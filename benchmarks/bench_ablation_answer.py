@@ -1,0 +1,22 @@
+"""Ablation benchmark: answer-position features (Zhou et al. 2017).
+
+The paper's related work cites Zhou et al.'s answer-position conditioning;
+this bench measures what those features buy on top of the ACNN: the encoder
+receives an inside/outside-answer tag embedding per token, which
+disambiguates *which* question to ask about a sentence with several facts.
+"""
+
+from conftest import write_result
+
+from repro.experiments.ablations import run_answer_feature_ablation
+
+
+def test_answer_feature_ablation(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_answer_feature_ablation(bench_scale), rounds=1, iterations=1
+    )
+
+    assert set(result.scores) == {"ACNN", "ACNN + answer tags"}
+    rendered = result.render()
+    write_result(results_dir, f"ablation_answer_{bench_scale.name}.txt", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,20 @@
+"""Ablation benchmark: beam width at decode time.
+
+The paper fixes beam=3; this bench trains one ACNN-sent and decodes the
+test split at widths 1/3/5, rendering the sweep.
+"""
+
+from conftest import write_result
+
+from repro.experiments.ablations import run_beam_ablation
+
+
+def test_beam_ablation(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_beam_ablation(bench_scale), rounds=1, iterations=1
+    )
+
+    assert set(result.scores) == {"beam=1", "beam=3", "beam=5"}
+    rendered = result.render()
+    write_result(results_dir, f"ablation_beam_{bench_scale.name}.txt", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,24 @@
+"""Ablation benchmark: the coverage extension (See et al. 2017) on the ACNN.
+
+Coverage adds an attention-history term to the attention scores and a
+min(attention, coverage) loss, targeting the repeated-phrase stutter an
+attentional decoder exhibits at small scale. This bench trains ACNN-sent
+with and without coverage and reports BLEU/ROUGE plus the repeated-bigram
+rate.
+"""
+
+from conftest import write_result
+
+from repro.experiments.ablations import run_coverage_ablation
+
+
+def test_coverage_ablation(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_coverage_ablation(bench_scale), rounds=1, iterations=1
+    )
+
+    assert set(result.scores) == {"ACNN", "ACNN + coverage"}
+    rendered = result.render()
+    rendered += f"\n\ncoverage_reduces_repetition: {result.coverage_reduces_repetition()}"
+    write_result(results_dir, f"ablation_coverage_{bench_scale.name}.txt", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,26 @@
+"""Ablation benchmark: the adaptive switch gate vs frozen mixtures.
+
+DESIGN.md calls out the data-adaptive gate (Eq. 4) as the paper's central
+design choice; this bench trains ACNN-sent with the learned gate and with z
+frozen to 0 / 0.5 / 1 and renders the comparison. At the default scale the
+adaptive gate must match or beat every frozen variant on BLEU-4.
+"""
+
+from conftest import write_result
+
+from repro.experiments.ablations import SWITCH_VARIANTS, run_switch_ablation
+
+
+def test_switch_ablation(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_switch_ablation(bench_scale), rounds=1, iterations=1
+    )
+
+    assert set(result.scores) == {label for label, _ in SWITCH_VARIANTS}
+    rendered = result.render()
+    rendered += f"\n\nadaptive_wins: {result.adaptive_wins()}"
+    write_result(results_dir, f"ablation_switch_{bench_scale.name}.txt", rendered)
+    print("\n" + rendered)
+
+    if bench_scale.name == "default":
+        assert result.adaptive_wins()

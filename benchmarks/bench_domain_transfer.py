@@ -1,0 +1,27 @@
+"""Benchmark for the domain-transfer experiment (paper §5 future work).
+
+Trains the attention baseline and the ACNN on geography-flavoured templates
+and evaluates both on a disjoint people/organisation domain. At the default
+scale the future-work hypothesis — the copy skill transfers, so the ACNN
+keeps higher out-of-domain OOV-entity recall — is asserted.
+"""
+
+from conftest import write_result
+
+from repro.experiments.domain_transfer import run_domain_transfer
+
+
+def test_domain_transfer(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_domain_transfer(bench_scale), rounds=1, iterations=1
+    )
+
+    assert set(result.in_domain) == {"Du-attention", "ACNN"}
+    assert set(result.out_of_domain) == {"Du-attention", "ACNN"}
+    rendered = result.render()
+    rendered += f"\n\ncopy_transfers: {result.copy_transfers()}"
+    write_result(results_dir, f"domain_transfer_{bench_scale.name}.txt", rendered)
+    print("\n" + rendered)
+
+    if bench_scale.name == "default":
+        assert result.copy_transfers()

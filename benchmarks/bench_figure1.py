@@ -1,0 +1,24 @@
+"""Benchmark reproducing Figure 1 (the ACNN architecture schematic).
+
+Figure 1 is a diagram, not a measurement; the reproduction instantiates the
+model and asserts it contains exactly the components the diagram shows —
+bidirectional encoder, attentional decoder, generation softmax, copy
+distribution, and the adaptive switch — and benchmarks model construction.
+"""
+
+from conftest import write_result
+
+from repro.experiments.figure1 import EXPECTED_COMPONENTS, run_figure1
+
+
+def test_figure1(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(lambda: run_figure1(bench_scale), rounds=3, iterations=1)
+
+    for component in EXPECTED_COMPONENTS:
+        assert component in result.component_names, f"missing component: {component}"
+    for equation in ("Eq. 2", "z_k", "P_cop", "P_att"):
+        assert equation in result.description
+
+    rendered = result.render()
+    write_result(results_dir, f"figure1_{bench_scale.name}.txt", rendered)
+    print("\n" + rendered)

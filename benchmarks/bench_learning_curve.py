@@ -1,0 +1,31 @@
+"""Benchmark for the learning-curve experiment (intro's limited-data claim).
+
+Trains Du-attention and ACNN-sent at several training-set sizes. At the
+default scale, the ACNN must stay ahead on ROUGE-L at every size — the
+paper's motivating claim that copying compensates for limited supervision.
+At smoke scale only two small sizes are run.
+"""
+
+from conftest import write_result
+
+from repro.experiments.learning_curve import run_learning_curve
+
+
+def test_learning_curve(benchmark, bench_scale, results_dir):
+    if bench_scale.name == "smoke":
+        sizes = (24, 48)
+    else:
+        sizes = (250, 500, 1000, 2000)
+
+    result = benchmark.pedantic(
+        lambda: run_learning_curve(bench_scale, sizes=sizes), rounds=1, iterations=1
+    )
+
+    assert len(result.runs) == 2 * len(sizes)
+    rendered = result.render()
+    rendered += f"\n\nacnn_always_ahead (ROUGE-L): {result.acnn_always_ahead()}"
+    write_result(results_dir, f"learning_curve_{bench_scale.name}.txt", rendered)
+    print("\n" + rendered)
+
+    if bench_scale.name == "default":
+        assert result.acnn_always_ahead("ROUGE-L")

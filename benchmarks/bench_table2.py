@@ -1,0 +1,35 @@
+"""Benchmark regenerating the paper's Table 2 (paragraph-length ablation).
+
+Trains ACNN-para at truncation lengths 150/120/100 and renders the measured
+table next to the paper's. The paper's deltas between adjacent lengths are
+below one BLEU point; at CPU scale single-seed variance exceeds that (see
+EXPERIMENTS.md), so the default-scale assertion is a *noise-band* check —
+the three lengths must land within a few BLEU-4 points of each other — and
+the ordering booleans are reported rather than asserted.
+"""
+
+from conftest import write_result
+
+from repro.evaluation import METRIC_NAMES
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_table2(bench_scale), rounds=1, iterations=1
+    )
+
+    assert set(result.scores) == {"ACNN-para-150", "ACNN-para-120", "ACNN-para-100"}
+    for scores in result.scores.values():
+        assert set(scores) == set(METRIC_NAMES)
+
+    rendered = result.render()
+    orderings = result.ordering_holds()
+    rendered += "\n\norderings: " + ", ".join(f"{k}={v}" for k, v in orderings.items())
+    write_result(results_dir, f"table2_{bench_scale.name}.txt", rendered)
+    print("\n" + rendered)
+
+    if bench_scale.name == "default":
+        bleu4 = [scores["BLEU-4"] for scores in result.scores.values()]
+        assert max(bleu4) - min(bleu4) < 8.0, "truncation lengths diverged beyond noise"
+        assert min(bleu4) > 5.0, "a truncation-length run collapsed"

@@ -1,0 +1,29 @@
+"""Benchmark for the seed-variance study (reproduction methodology).
+
+Trains the same ACNN-sent at several seeds and reports the per-metric
+spread. At the default scale the study must produce a usable noise floor
+(non-degenerate runs; finite spread) — the yardstick EXPERIMENTS.md applies
+to the paper's sub-point Table 2 deltas.
+"""
+
+from conftest import write_result
+
+from repro.experiments.variance import run_variance_study
+
+
+def test_variance_study(benchmark, bench_scale, results_dir):
+    seeds = (0, 1) if bench_scale.name == "smoke" else (0, 1, 2)
+    result = benchmark.pedantic(
+        lambda: run_variance_study(bench_scale, seeds=seeds), rounds=1, iterations=1
+    )
+
+    assert len(result.runs) == len(seeds)
+    spread = result.spread("BLEU-4")
+    assert spread["max"] >= spread["min"]
+    rendered = result.render()
+    write_result(results_dir, f"variance_{bench_scale.name}.txt", rendered)
+    print("\n" + rendered)
+
+    if bench_scale.name == "default":
+        # Every seed must train to a non-collapsed model.
+        assert spread["min"] > 10.0

@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+By default benchmarks run at the ``smoke`` scale so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes and exercises
+every experiment end to end. Set ``ACNN_BENCH_SCALE=default`` to regenerate
+the full recorded tables (tens of minutes on one CPU core); that is how the
+numbers in EXPERIMENTS.md were produced.
+
+Every table benchmark writes its rendered output under ``results/`` so the
+regenerated artifacts are inspectable after the run.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.configs import SCALES
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    name = os.environ.get("ACNN_BENCH_SCALE", "smoke")
+    if name not in SCALES or name == "paper":
+        raise ValueError(f"ACNN_BENCH_SCALE must be 'smoke' or 'default', got {name!r}")
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    with open(os.path.join(results_dir, name), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,60 @@
+"""Train the three model families side by side — a mini Table 1.
+
+    python examples/compare_baselines.py [--train-size 1000 --epochs 6]
+
+Shows the paper's central comparison at laptop scale: the plain Seq2Seq
+baseline cannot name entities at all, the Du et al. attention model does
+better on function words, and the ACNN wins by copying entities out of the
+source.
+"""
+
+import argparse
+
+from repro.data.synthetic import generate_corpus
+from repro.evaluation import format_table
+from repro.experiments.configs import DEFAULT
+from repro.experiments.runner import TABLE1_SYSTEMS, run_system
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--train-size", type=int, default=1000)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument(
+        "--include-paragraph",
+        action="store_true",
+        help="also train the slower -para variants (full Table 1)",
+    )
+    args = parser.parse_args()
+
+    scale = DEFAULT.scaled(
+        num_train=args.train_size,
+        num_dev=150,
+        num_test=150,
+        epochs=args.epochs,
+        halve_at_epoch=max(2, args.epochs - 1),
+    )
+    corpus = generate_corpus(scale.synthetic_config())
+
+    systems = [
+        spec for spec in TABLE1_SYSTEMS
+        if args.include_paragraph or spec.source_mode == "sentence"
+    ]
+    rows = {}
+    for spec in systems:
+        print(f"training {spec.label} ({spec.family}, {spec.source_mode}) ...")
+        run = run_system(spec, scale, corpus=corpus)
+        rows[spec.label] = run.scores
+        print(f"  {run.result.summary()} ({run.train_seconds:.0f}s)")
+
+    print()
+    print(format_table(rows, title="Model comparison (cf. paper Table 1)"))
+
+    print(
+        "\nexpected shape: ACNN > Du-attention > Seq2Seq on every metric, "
+        "driven by copied out-of-vocabulary entities."
+    )
+
+
+if __name__ == "__main__":
+    main()

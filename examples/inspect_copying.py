@@ -1,0 +1,62 @@
+"""Look inside the adaptive switch gate while the model generates.
+
+    python examples/inspect_copying.py
+
+Trains a small ACNN, then replays greedy decoding step by step, printing for
+every emitted token the gate value z_k (Eq. 4), whether the token was copied
+from the source, and where the attention looked. Ends with the aggregate
+adaptivity statistics: on a working ACNN the mean gate at copy steps is far
+above the mean gate at generation steps — the paper's "data adaptive
+selection" made visible.
+"""
+
+from repro.data import BatchIterator, QGDataset, SyntheticConfig, generate_corpus
+from repro.evaluation import gate_statistics, render_trace, trace_generation
+from repro.models import ModelConfig, build_model
+from repro.training import Trainer, TrainerConfig
+
+
+def main() -> None:
+    print("training a small ACNN (~30s)...")
+    corpus = generate_corpus(SyntheticConfig(num_train=1000, num_dev=120, num_test=120, seed=13))
+    encoder_vocab, decoder_vocab = QGDataset.build_vocabs(
+        corpus.train, encoder_vocab_size=1200, decoder_vocab_size=140
+    )
+    train_set = QGDataset(corpus.train, encoder_vocab, decoder_vocab)
+    test_set = QGDataset(corpus.test, encoder_vocab, decoder_vocab)
+
+    config = ModelConfig(embedding_dim=28, hidden_size=48, num_layers=1, dropout=0.2, seed=2)
+    model = build_model("acnn", config, len(encoder_vocab), len(decoder_vocab))
+    Trainer(
+        model,
+        BatchIterator(train_set, batch_size=32, seed=2),
+        None,
+        TrainerConfig(epochs=10, learning_rate=1.0, halve_at_epoch=8),
+    ).train()
+
+    print("\nper-step traces on unseen test sentences:\n")
+    traces = []
+    for encoded in test_set.encoded[:3]:
+        trace = trace_generation(model, encoded, decoder_vocab, max_length=16)
+        traces.append(trace)
+        print(render_trace(trace))
+        print()
+
+    traces += [
+        trace_generation(model, encoded, decoder_vocab, max_length=16)
+        for encoded in test_set.encoded[3:40]
+    ]
+    stats = gate_statistics(traces)
+    print("aggregate adaptivity over 40 test examples:")
+    print(f"  steps traced:                 {int(stats['steps'])}")
+    print(f"  copy rate:                    {100 * stats['copy_rate']:.1f}%")
+    print(f"  mean z when copying:          {stats['mean_switch_when_copying']:.3f}")
+    print(f"  mean z when generating:       {stats['mean_switch_when_generating']:.3f}")
+    print(
+        "\nEq. 4's gate is data adaptive: it opens (z -> 1) exactly at the steps "
+        "that copy source entities and closes for function words."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Paragraph-length study — a scaled-down interactive version of Table 2.
+
+    python examples/paragraph_length_study.py [--lengths 100 120 150]
+
+Trains ACNN-para once per truncation length on a shared corpus and prints
+the paper-style comparison table. Demonstrates the paper's Section 4.2
+finding: longer truncation windows admit more distractor noise and hurt
+every metric.
+"""
+
+import argparse
+
+from repro.data.dataset import SourceMode
+from repro.data.synthetic import generate_corpus
+from repro.evaluation import format_table
+from repro.experiments.configs import DEFAULT
+from repro.experiments.runner import SystemSpec, run_system
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--lengths", type=int, nargs="+", default=[100, 120, 150])
+    parser.add_argument("--train-size", type=int, default=1000)
+    parser.add_argument("--epochs", type=int, default=6)
+    args = parser.parse_args()
+
+    scale = DEFAULT.scaled(
+        num_train=args.train_size,
+        num_dev=150,
+        num_test=150,
+        epochs=args.epochs,
+        halve_at_epoch=max(2, args.epochs - 1),
+    )
+    corpus = generate_corpus(scale.synthetic_config())
+
+    rows = {}
+    for length in args.lengths:
+        label = f"ACNN-para-{length}"
+        print(f"training {label} ...")
+        spec = SystemSpec(
+            key=label, label=label, family="acnn", source_mode=SourceMode.PARAGRAPH, seed_offset=4
+        )
+        run = run_system(spec, scale, corpus=corpus, paragraph_length=length)
+        rows[label] = run.scores
+        print(f"  {run.result.summary()} ({run.train_seconds:.0f}s)")
+
+    print()
+    print(format_table(rows, title="Paragraph-length study (cf. paper Table 2)"))
+    print(
+        "\npaper's finding: scores decrease as the truncation window grows "
+        "past 100 tokens (more context, more noise)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Regenerate every default-scale result recorded in EXPERIMENTS.md.
+
+    python scripts/run_default_experiments.py [experiment ...]
+
+Runs each experiment at the DEFAULT scale and writes its rendered output to
+``results/<key>_default.txt`` (plus JSON score dumps for the paper tables).
+With no arguments, runs everything in EXPERIMENTS.md order. This is the
+script behind the recorded numbers; `ACNN_BENCH_SCALE=default pytest
+benchmarks/ --benchmark-only` exercises the same code paths with assertions.
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from repro.experiments.configs import DEFAULT
+from repro.experiments.registry import EXPERIMENTS
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+ORDER = [
+    "table1",
+    "table2",
+    "ablation-switch",
+    "learning-curve",
+    "ablation-coverage",
+    "ablation-answer",
+    "ablation-beam",
+    "domain-transfer",
+    "figure1",
+]
+
+
+def main() -> int:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    keys = sys.argv[1:] or ORDER
+    for key in keys:
+        experiment = EXPERIMENTS[key]
+        print(f"##### {key} #####", flush=True)
+        start = time.perf_counter()
+        result = experiment.runner(DEFAULT, verbose=True)
+        elapsed = time.perf_counter() - start
+        rendered = result.render()
+        out_path = os.path.join(RESULTS_DIR, f"{key.replace('-', '_')}_default.txt")
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + f"\n\n(elapsed: {elapsed:.0f}s)\n")
+        if hasattr(result, "scores"):
+            with open(out_path.replace(".txt", ".json"), "w", encoding="utf-8") as handle:
+                json.dump(result.scores, handle, indent=2)
+        print(rendered, flush=True)
+        print(f"(elapsed: {elapsed:.0f}s)\n", flush=True)
+    print("##### ALL EXPERIMENTS DONE #####")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

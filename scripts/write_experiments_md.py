@@ -1,0 +1,210 @@
+"""Assemble EXPERIMENTS.md from the recorded result JSON files.
+
+    python scripts/write_experiments_md.py
+
+Reads results/table1_default.json and results/table2_default.json plus the
+paper's published numbers and writes the paper-vs-measured record. Run after
+`scripts/run_default_experiments.py` (or the dedicated table runners).
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from repro.evaluation.reporting import format_markdown_table
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.experiments.table2 import PAPER_TABLE2
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+RESULTS = os.path.join(ROOT, "results")
+
+
+def _load(name):
+    with open(os.path.join(RESULTS, name), encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+All measured numbers come from the `DEFAULT` experiment scale (synthetic
+SQuAD-style corpus: 2,000/250/250 examples; 2-layer LSTMs, hidden 48,
+embeddings 32; SGD lr 1.0 halved at epoch 10 of 14; dropout 0.3; beam 3 —
+the paper's recipe at CPU dimensions, see DESIGN.md). Regenerate with
+`python scripts/run_default_experiments.py table1 table2` (or
+`ACNN_BENCH_SCALE=default pytest benchmarks/ --benchmark-only`, which also
+asserts the qualitative orderings). Rendered outputs live under `results/`.
+
+**What is comparable and what is not.** The substrate is a synthetic corpus
+and a ~12x-smaller model, so absolute BLEU/ROUGE values are *not*
+comparable to the paper's SQuAD numbers (ours run higher: templated
+questions are far more predictable than natural ones). The reproduction
+targets are the paper's comparative claims, checked per table below.
+"""
+
+
+def main() -> int:
+    table1 = _load("table1_default.json")
+    table2 = _load("table2_default.json")
+
+    bleu4 = {name: s["BLEU-4"] for name, s in table1.items()}
+    rouge = {name: s["ROUGE-L"] for name, s in table1.items()}
+
+    t2 = {name: s for name, s in table2.items()}
+    len100, len120, len150 = (
+        t2["ACNN-para-100"], t2["ACNN-para-120"], t2["ACNN-para-150"]
+    )
+
+    claims_t1 = [
+        (
+            "Both ACNN variants beat every baseline on every metric",
+            all(
+                table1[acnn][m] > table1[base][m]
+                for acnn in ("ACNN-sent", "ACNN-para")
+                for base in ("Seq2Seq", "Du-sent", "Du-para")
+                for m in ("BLEU-1", "BLEU-2", "BLEU-3", "BLEU-4", "ROUGE-L")
+            ),
+        ),
+        ("ACNN-sent > Du-sent (the paper's headline copy-mechanism gain)",
+         bleu4["ACNN-sent"] > bleu4["Du-sent"] and rouge["ACNN-sent"] > rouge["Du-sent"]),
+        ("ACNN-para > Du-para", bleu4["ACNN-para"] > bleu4["Du-para"]),
+        ("ACNN-sent > ACNN-para (sentence beats noisy paragraph)",
+         bleu4["ACNN-sent"] > bleu4["ACNN-para"]),
+        ("Attention models > Seq2Seq on BLEU-4",
+         min(bleu4["Du-sent"], bleu4["Du-para"]) > bleu4["Seq2Seq"]),
+    ]
+
+    claims_t2 = [
+        ("length 100 > length 150 on BLEU-4", len100["BLEU-4"] > len150["BLEU-4"]),
+        ("length 100 > length 150 on ROUGE-L", len100["ROUGE-L"] > len150["ROUGE-L"]),
+        (
+            "monotone BLEU-4 degradation 100 >= 120 >= 150",
+            len100["BLEU-4"] >= len120["BLEU-4"] >= len150["BLEU-4"],
+        ),
+    ]
+
+    def claims_md(claims):
+        lines = []
+        for text, held in claims:
+            lines.append(f"- {'HOLDS' if held else '**DOES NOT HOLD**'} — {text}")
+        return "\n".join(lines)
+
+    parts = [HEADER]
+    parts.append("## Table 1 — main comparison\n")
+    parts.append("Paper (SQuAD, Du et al. split):\n")
+    parts.append(format_markdown_table(PAPER_TABLE1))
+    parts.append("\nMeasured (synthetic corpus, DEFAULT scale):\n")
+    parts.append(format_markdown_table(table1))
+    parts.append("\nClaims under reproduction:\n")
+    parts.append(claims_md(claims_t1))
+    parts.append(
+        "\nNotes: the copy mechanism's margin is much *larger* here than in the"
+        " paper because the synthetic corpus concentrates the difficulty in"
+        " rare-entity tokens, which only a copy path can emit. Du-sent and"
+        " Du-para report identical rows because converged generation-only"
+        " models on this corpus collapse to the same deterministic"
+        " template-to-question mapping with UNK/head entities at the entity"
+        " slots — the Du-attention seed-variance study below measures exactly"
+        " zero score variance across three seeds, confirming the unique"
+        " limiting solution (the models differ early in training and disagree"
+        " when under-trained).\n"
+    )
+
+    parts.append("## Table 2 — paragraph truncation length\n")
+    parts.append("Paper:\n")
+    parts.append(format_markdown_table(PAPER_TABLE2))
+    parts.append("\nMeasured:\n")
+    parts.append(format_markdown_table(table2))
+    parts.append("\nClaims under reproduction:\n")
+    parts.append(claims_md(claims_t2))
+    parts.append(
+        "\nMechanism note: synthetic paragraphs place the answer-bearing"
+        " sentence at a random position within the first 100 tokens"
+        " (`SyntheticConfig.fact_window`), so every truncation window contains"
+        " it but longer windows admit strictly more distractor facts — the"
+        " paper's noise explanation, §4.2.\n\n"
+        "Honest-reproduction note: the paper's Table 2 deltas are small"
+        " (≤ 0.6 BLEU-1 between adjacent lengths). The seed-variance study"
+        " below measures this recipe's noise floor at BLEU-4 std 3.4 / range"
+        " 6.5 across seeds — several times the paper's effect size — and the"
+        " measured lengths land within ~1 BLEU-4 point of each other with no"
+        " monotone trend. The claim is therefore *not resolvable* at CPU"
+        " scale, rather than confirmed or refuted. The strong length effect"
+        " that does replicate is sentence vs. paragraph (Table 1: ACNN-sent ≫"
+        " ACNN-para), the same noise mechanism at a much larger dose.\n"
+    )
+
+    parts.append("## Figure 1 — architecture\n")
+    parts.append(
+        "Reproduced structurally rather than graphically: `ACNN.describe()`"
+        " emits the component diagram (bi-LSTM encoder → global attention →"
+        " decoder → P_att / P_cop mixed by the z_k gate), and"
+        " `benchmarks/bench_figure1.py` asserts the model contains exactly the"
+        " schematic's components (encoder/decoder embeddings, bidirectional"
+        " encoder, attention W_h, readout W_k, output W_y, copy projection V,"
+        " switch parameters W_d/W_c/W_s). See results/figure1_*.txt.\n"
+    )
+
+    parts.append("## Extensions (beyond the paper)\n")
+    parts.append(
+        "Each extension has a registered experiment and benchmark"
+        " (`python -m repro.experiments list`). Headline observations at the"
+        " default scale (full tables inlined below):\n\n"
+        "- **Adaptive gate is adaptive** (`examples/inspect_copying.py`): mean"
+        " z at copy steps 0.93 vs 0.44 at generation steps over 258 traced"
+        " decoding steps — Eq. 4 behaves as the paper claims.\n"
+        "- **Switch ablation** (`ablation-switch`): the learned gate wins"
+        " decisively — BLEU-4 54.7 vs 0.0 (z=0, no copy), 14.9 (z=0.5), 4.1"
+        " (z=1, copy only). The *adaptive* part of the ACNN is load-bearing,"
+        " not just the copy path's existence.\n"
+        "- **Learning curve** (`learning-curve`): the ACNN leads the baseline"
+        " at every training-set size (ROUGE-L gaps of +11 to +38); at 250"
+        " examples the ACNN already produces usable questions (ROUGE-L 35)"
+        " where the baseline sits at 16 — the paper's §1 limited-data"
+        " motivation, quantified.\n"
+        "- **Domain transfer** (`domain-transfer`, §5 future work): trained on"
+        " geography templates, the ACNN retains 24% OOV-entity recall on"
+        " unseen people/organisation templates (66% in-domain); the"
+        " attention-only baseline recalls 0% in both — the copy skill"
+        " transfers across domains, as the paper conjectured.\n"
+        "- **Beam width** (`ablation-beam`): beam 3 beats greedy by ~1.2"
+        " BLEU-4; beam 5 adds only ~0.1 — the paper's beam-3 choice sits at"
+        " the knee.\n"
+        "- **Coverage** (`ablation-coverage`): ~+0.5 BLEU-4 at convergence;"
+        " its repetition fix matters mainly for under-trained models (the"
+        " stutter visible in the quickstart disappears with coverage).\n"
+        "- **Answer features** (`ablation-answer`): inside/outside-answer tags"
+        " add +7.1 BLEU-4 by disambiguating *which* question to ask about a"
+        " multi-fact sentence (Zhou et al. 2017, cited in related work).\n"
+        "- **Seed variance** (`variance`): the noise floor used to judge"
+        " Table 2 above; see the inlined table.\n"
+    )
+
+    extension_files = [
+        ("ablation-switch", "ablation_switch_default.txt"),
+        ("learning-curve", "learning_curve_default.txt"),
+        ("ablation-coverage", "ablation_coverage_default.txt"),
+        ("ablation-beam", "ablation_beam_default.txt"),
+        ("ablation-answer", "ablation_answer_default.txt"),
+        ("domain-transfer", "domain_transfer_default.txt"),
+        ("variance", "variance_default.txt"),
+        ("variance (Du-attention baseline)", "variance_du_default.txt"),
+    ]
+    for key, filename in extension_files:
+        path = os.path.join(RESULTS, filename)
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                body = handle.read().strip()
+            parts.append(f"### `{key}` (measured, default scale)\n\n```\n{body}\n```\n")
+
+    out_path = os.path.join(ROOT, "EXPERIMENTS.md")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(parts))
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Reproduction of "Learning to Generate Questions with Adaptive Copying
+Neural Networks" (Lu & Guo, 2019).
+
+Top-level layout:
+
+- :mod:`repro.tensor` — from-scratch reverse-mode autodiff over numpy.
+- :mod:`repro.nn` — neural layers (LSTM, attention, embeddings, losses).
+- :mod:`repro.optim` — SGD/Adam, clipping, the paper's LR schedule.
+- :mod:`repro.data` — tokenizer, vocabularies, SQuAD loaders, synthetic
+  SQuAD-style corpus, batching, embeddings.
+- :mod:`repro.models` — Seq2Seq baseline, Du et al. attention baseline, and
+  the paper's ACNN with copy mechanism and adaptive switch gate.
+- :mod:`repro.decoding` — greedy and beam-search decoding.
+- :mod:`repro.metrics` — BLEU-n and ROUGE-L.
+- :mod:`repro.training` / :mod:`repro.evaluation` — training and evaluation
+  harnesses.
+- :mod:`repro.experiments` — runners that regenerate each paper table.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

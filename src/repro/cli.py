@@ -1,0 +1,261 @@
+"""The ``acnn`` command-line interface.
+
+Subcommands:
+
+- ``acnn stats``     — corpus statistics (synthetic by default, or a real
+  SQuAD JSON / Du-split via flags).
+- ``acnn train``     — train any model family and save a reusable bundle.
+- ``acnn evaluate``  — BLEU-1..4 / ROUGE-L of a saved bundle on a test split.
+- ``acnn generate``  — generate questions for sentences from a file or stdin.
+
+Every subcommand is offline-first: with no data flags it uses the synthetic
+SQuAD-style corpus, so the full train → evaluate → generate loop works on an
+air-gapped machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.data import (
+    BatchIterator,
+    QGDataset,
+    QGExample,
+    SourceMode,
+    SyntheticConfig,
+    collate,
+    corpus_statistics,
+    detokenize,
+    generate_corpus,
+    load_du_split,
+    load_squad_json,
+    tokenize,
+    vocabulary_coverage,
+)
+from repro.decoding import beam_decode, extended_ids_to_tokens
+from repro.evaluation import analyse_predictions, evaluate_model
+from repro.models import ModelConfig, build_model
+from repro.training import Trainer, TrainerConfig
+from repro.training.bundle import ModelBundle
+
+__all__ = ["main"]
+
+
+def _load_examples(args) -> list[QGExample]:
+    """Examples from --squad-json / --du-src+--du-tgt / synthetic fallback."""
+    if args.squad_json:
+        return load_squad_json(args.squad_json)
+    if args.du_src and args.du_tgt:
+        return load_du_split(args.du_src, args.du_tgt, args.du_para)
+    corpus = generate_corpus(
+        SyntheticConfig(
+            num_train=args.train_size,
+            num_dev=max(1, args.train_size // 8),
+            num_test=max(1, args.train_size // 8),
+            seed=args.seed,
+        )
+    )
+    return list(corpus.train) + list(corpus.dev) + list(corpus.test)
+
+
+def _add_data_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--squad-json", help="path to a SQuAD v1.1 JSON file")
+    parser.add_argument("--du-src", help="Du et al. split: source sentences file")
+    parser.add_argument("--du-tgt", help="Du et al. split: questions file")
+    parser.add_argument("--du-para", help="Du et al. split: paragraphs file (optional)")
+    parser.add_argument("--train-size", type=int, default=1500, help="synthetic corpus size")
+    parser.add_argument("--seed", type=int, default=13)
+
+
+def _cmd_stats(args) -> int:
+    examples = _load_examples(args)
+    stats = corpus_statistics(examples)
+    print(stats.render())
+    if args.decoder_vocab_size:
+        encoder_vocab, decoder_vocab = QGDataset.build_vocabs(
+            examples, args.encoder_vocab_size, args.decoder_vocab_size
+        )
+        coverage = vocabulary_coverage(examples, decoder_vocab, side="question")
+        print(f"decoder vocab ({len(decoder_vocab)}) question coverage: {100 * coverage:.1f}%")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.data import split_examples
+
+    examples = _load_examples(args)
+    train_examples, dev_examples, _ = split_examples(
+        examples, dev_fraction=0.15, test_fraction=0.0, seed=args.seed
+    )
+
+    source_mode = SourceMode.PARAGRAPH if args.mode == "paragraph" else SourceMode.SENTENCE
+    encoder_vocab, decoder_vocab = QGDataset.build_vocabs(
+        train_examples,
+        encoder_vocab_size=args.encoder_vocab_size,
+        decoder_vocab_size=args.decoder_vocab_size,
+        source_mode=source_mode,
+        paragraph_length=args.paragraph_length,
+    )
+    train_set = QGDataset(
+        train_examples, encoder_vocab, decoder_vocab,
+        source_mode=source_mode, paragraph_length=args.paragraph_length,
+    )
+    dev_set = QGDataset(
+        dev_examples, encoder_vocab, decoder_vocab,
+        source_mode=source_mode, paragraph_length=args.paragraph_length,
+    )
+
+    model_config = ModelConfig(
+        embedding_dim=args.embedding_dim,
+        hidden_size=args.hidden_size,
+        num_layers=args.num_layers,
+        dropout=args.dropout,
+        seed=args.seed,
+    )
+    model_kwargs = {}
+    if args.family == "acnn":
+        if args.coverage:
+            model_kwargs["use_coverage"] = True
+        if args.answer_features:
+            model_kwargs["use_answer_features"] = True
+    model = build_model(args.family, model_config, len(encoder_vocab), len(decoder_vocab), **model_kwargs)
+    print(f"{args.family}: {model.num_parameters():,} parameters")
+
+    trainer = Trainer(
+        model,
+        BatchIterator(train_set, batch_size=args.batch_size, seed=args.seed),
+        BatchIterator(dev_set, batch_size=args.batch_size, shuffle=False),
+        TrainerConfig(
+            epochs=args.epochs,
+            learning_rate=args.learning_rate,
+            halve_at_epoch=args.halve_at_epoch,
+        ),
+        epoch_callback=lambda r: print(
+            f"epoch {r.epoch}: train {r.train_loss:.4f} dev {r.dev_loss:.4f} lr {r.learning_rate:g}"
+        ),
+    )
+    history = trainer.train()
+
+    bundle = ModelBundle(
+        model=model,
+        encoder_vocab=encoder_vocab,
+        decoder_vocab=decoder_vocab,
+        family=args.family,
+        model_config=model_config,
+        model_kwargs=model_kwargs,
+        metadata={
+            "mode": args.mode,
+            "paragraph_length": args.paragraph_length,
+            "best_dev_epoch": history.best_dev_epoch,
+            "best_dev_loss": history.best_dev_loss,
+        },
+    )
+    bundle.save(args.out)
+    print(f"bundle saved to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    bundle = ModelBundle.load(args.bundle)
+    examples = _load_examples(args)
+    test_examples = examples[-args.num_examples:] if args.num_examples else examples
+    mode = bundle.metadata.get("mode", "sentence")
+    source_mode = SourceMode.PARAGRAPH if mode == "paragraph" else SourceMode.SENTENCE
+    dataset = QGDataset(
+        test_examples,
+        bundle.encoder_vocab,
+        bundle.decoder_vocab,
+        source_mode=source_mode,
+        paragraph_length=bundle.metadata.get("paragraph_length", 100),
+    )
+    result = evaluate_model(bundle.model, dataset, beam_size=args.beam_size, max_length=args.max_length)
+    print(result.summary())
+    analysis = analyse_predictions(result.predictions, result.references, bundle.decoder_vocab)
+    print(analysis.summary())
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    bundle = ModelBundle.load(args.bundle)
+    if args.input:
+        with open(args.input, encoding="utf-8") as handle:
+            lines = [line.strip() for line in handle if line.strip()]
+    else:
+        lines = [line.strip() for line in sys.stdin if line.strip()]
+
+    for line in lines:
+        tokens = tuple(tokenize(line))
+        if not tokens:
+            continue
+        example = QGExample(sentence=tokens, paragraph=tokens, question=("?",))
+        dataset = QGDataset([example], bundle.encoder_vocab, bundle.decoder_vocab)
+        batch = collate(list(dataset), pad_id=0)
+        hypothesis = beam_decode(
+            bundle.model, batch, beam_size=args.beam_size, max_length=args.max_length
+        )[0]
+        question = extended_ids_to_tokens(
+            hypothesis.token_ids, bundle.decoder_vocab, batch.examples[0].oov_tokens
+        )
+        print(detokenize(question))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="acnn", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="corpus statistics")
+    _add_data_flags(stats)
+    stats.add_argument("--encoder-vocab-size", type=int, default=45000)
+    stats.add_argument("--decoder-vocab-size", type=int, default=0)
+    stats.set_defaults(handler=_cmd_stats)
+
+    train = subparsers.add_parser("train", help="train a model and save a bundle")
+    _add_data_flags(train)
+    train.add_argument("--family", default="acnn", choices=["acnn", "du-attention", "seq2seq"])
+    train.add_argument("--mode", default="sentence", choices=["sentence", "paragraph"])
+    train.add_argument("--paragraph-length", type=int, default=100)
+    train.add_argument("--encoder-vocab-size", type=int, default=1500)
+    train.add_argument("--decoder-vocab-size", type=int, default=150)
+    train.add_argument("--embedding-dim", type=int, default=32)
+    train.add_argument("--hidden-size", type=int, default=48)
+    train.add_argument("--num-layers", type=int, default=2)
+    train.add_argument("--dropout", type=float, default=0.3)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--learning-rate", type=float, default=1.0)
+    train.add_argument("--halve-at-epoch", type=int, default=8)
+    train.add_argument("--coverage", action="store_true", help="enable the coverage extension")
+    train.add_argument("--answer-features", action="store_true", help="enable answer tags")
+    train.add_argument("--out", required=True, help="bundle output directory")
+    train.set_defaults(handler=_cmd_train)
+
+    evaluate = subparsers.add_parser("evaluate", help="score a saved bundle")
+    _add_data_flags(evaluate)
+    evaluate.add_argument("--bundle", required=True)
+    evaluate.add_argument("--beam-size", type=int, default=3)
+    evaluate.add_argument("--max-length", type=int, default=24)
+    evaluate.add_argument("--num-examples", type=int, default=0, help="use only the last N examples")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    generate = subparsers.add_parser("generate", help="generate questions for sentences")
+    generate.add_argument("--bundle", required=True)
+    generate.add_argument("--input", help="file with one sentence per line (default: stdin)")
+    generate.add_argument("--beam-size", type=int, default=3)
+    generate.add_argument("--max-length", type=int, default=24)
+    generate.set_defaults(handler=_cmd_generate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``acnn`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

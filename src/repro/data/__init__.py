@@ -1,0 +1,47 @@
+"""Data substrate: tokenization, vocabularies, corpora, batching, embeddings."""
+
+from repro.data.analysis import CorpusStatistics, corpus_statistics, vocabulary_coverage
+from repro.data.augmentation import augment_examples, rename_entities
+from repro.data.batching import Batch, BatchIterator, collate
+from repro.data.dataset import EncodedExample, QGDataset, SourceMode
+from repro.data.embeddings import embedding_matrix_for_vocab, load_glove_text, pseudo_glove
+from repro.data.examples import QGExample
+from repro.data.splits import split_examples
+from repro.data.squad import load_du_split, load_squad_json, split_sentences
+from repro.data.synthetic import TEMPLATE_NAMES, SyntheticConfig, SyntheticCorpus, generate_corpus
+from repro.data.tokenizer import detokenize, tokenize
+from repro.data.vocabulary import BOS, EOS, PAD, SPECIAL_TOKENS, UNK, Vocabulary
+
+__all__ = [
+    "CorpusStatistics",
+    "corpus_statistics",
+    "vocabulary_coverage",
+    "augment_examples",
+    "rename_entities",
+    "TEMPLATE_NAMES",
+    "Batch",
+    "BatchIterator",
+    "collate",
+    "EncodedExample",
+    "QGDataset",
+    "SourceMode",
+    "embedding_matrix_for_vocab",
+    "load_glove_text",
+    "pseudo_glove",
+    "QGExample",
+    "load_du_split",
+    "load_squad_json",
+    "split_sentences",
+    "split_examples",
+    "SyntheticConfig",
+    "SyntheticCorpus",
+    "generate_corpus",
+    "detokenize",
+    "tokenize",
+    "BOS",
+    "EOS",
+    "PAD",
+    "SPECIAL_TOKENS",
+    "UNK",
+    "Vocabulary",
+]

@@ -1,0 +1,97 @@
+"""Corpus statistics.
+
+Quantifies the properties that make question generation hard and copying
+useful: length distributions, source/question token overlap, vocabulary
+coverage at a given truncation size, and how much of the gold question is
+out of reach of a generation-only decoder.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.examples import QGExample
+from repro.data.vocabulary import Vocabulary
+
+__all__ = ["CorpusStatistics", "corpus_statistics", "vocabulary_coverage"]
+
+
+@dataclass(frozen=True)
+class CorpusStatistics:
+    """Summary numbers for a list of examples."""
+
+    num_examples: int
+    mean_sentence_length: float
+    mean_paragraph_length: float
+    mean_question_length: float
+    distinct_source_tokens: int
+    distinct_question_tokens: int
+    question_source_overlap: float
+    """Mean fraction of question tokens that also occur in the sentence —
+    the upper bound on what pure copying could produce."""
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"examples:                 {self.num_examples}",
+                f"mean sentence length:     {self.mean_sentence_length:.1f}",
+                f"mean paragraph length:    {self.mean_paragraph_length:.1f}",
+                f"mean question length:     {self.mean_question_length:.1f}",
+                f"distinct source tokens:   {self.distinct_source_tokens}",
+                f"distinct question tokens: {self.distinct_question_tokens}",
+                f"question-source overlap:  {100 * self.question_source_overlap:.1f}%",
+            ]
+        )
+
+
+def corpus_statistics(examples: Sequence[QGExample]) -> CorpusStatistics:
+    """Compute :class:`CorpusStatistics` over the examples."""
+    if not examples:
+        raise ValueError("corpus_statistics needs at least one example")
+    source_tokens: Counter[str] = Counter()
+    question_tokens: Counter[str] = Counter()
+    overlaps: list[float] = []
+    for example in examples:
+        source_tokens.update(example.sentence)
+        question_tokens.update(example.question)
+        source_set = set(example.sentence)
+        overlap = sum(1 for token in example.question if token in source_set)
+        overlaps.append(overlap / len(example.question))
+    return CorpusStatistics(
+        num_examples=len(examples),
+        mean_sentence_length=float(np.mean([len(e.sentence) for e in examples])),
+        mean_paragraph_length=float(np.mean([len(e.paragraph) for e in examples])),
+        mean_question_length=float(np.mean([len(e.question) for e in examples])),
+        distinct_source_tokens=len(source_tokens),
+        distinct_question_tokens=len(question_tokens),
+        question_source_overlap=float(np.mean(overlaps)),
+    )
+
+
+def vocabulary_coverage(
+    examples: Sequence[QGExample],
+    vocab: Vocabulary,
+    side: str = "question",
+) -> float:
+    """Fraction of running tokens covered by ``vocab``.
+
+    ``side`` selects ``"question"`` or ``"sentence"`` tokens. This is the
+    number the paper's 45K/28K truncation trades off: coverage vs softmax
+    size. On the synthetic corpus, a small decoder vocabulary covers the
+    function words but not the entity tail — the copy mechanism's opening.
+    """
+    if side not in ("question", "sentence"):
+        raise ValueError(f"side must be 'question' or 'sentence', got {side!r}")
+    covered = 0
+    total = 0
+    for example in examples:
+        tokens = example.question if side == "question" else example.sentence
+        total += len(tokens)
+        covered += sum(1 for token in tokens if token in vocab)
+    if total == 0:
+        raise ValueError("no tokens to measure coverage over")
+    return covered / total

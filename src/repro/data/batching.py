@@ -1,0 +1,166 @@
+"""Padded mini-batches with copy supervision, plus a bucketing iterator.
+
+The paper trains with mini-batches of 64; :class:`BatchIterator` buckets
+examples by source length (standard OpenNMT behaviour) so padding waste
+stays low, then shuffles batch order each epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.dataset import EncodedExample
+
+__all__ = ["Batch", "collate", "BatchIterator"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Numpy arrays for one training/eval step (B = batch, S/T = lengths)."""
+
+    src: np.ndarray
+    """(B, S) encoder-vocab ids, PAD-padded."""
+    src_pad_mask: np.ndarray
+    """(B, S) bool, True at padding."""
+    src_ext: np.ndarray
+    """(B, S) extended-vocab ids for copy output mapping."""
+    tgt_input: np.ndarray
+    """(B, T) decoder inputs (BOS-led)."""
+    tgt_output: np.ndarray
+    """(B, T) decoder targets (EOS-terminated)."""
+    tgt_pad_mask: np.ndarray
+    """(B, T) bool, True at padding."""
+    att_allowed: np.ndarray
+    """(B, T) float, 1 where the generation softmax may explain the target."""
+    copy_match: np.ndarray
+    """(B, T, S) float, 1 where the source position holds the gold token."""
+    answer_mask: np.ndarray
+    """(B, S) float, 1 at source positions inside the answer span (all zeros
+    when spans are unknown) — consumed by answer-feature models."""
+    oov_tokens: tuple[tuple[str, ...], ...]
+    """Per example, the source tokens outside the decoder vocabulary."""
+    examples: tuple[EncodedExample, ...]
+
+    @property
+    def size(self) -> int:
+        return self.src.shape[0]
+
+    @property
+    def num_target_tokens(self) -> int:
+        return int((~self.tgt_pad_mask).sum())
+
+
+def collate(examples: Sequence[EncodedExample], pad_id: int) -> Batch:
+    """Pad a list of encoded examples into one :class:`Batch`."""
+    if not examples:
+        raise ValueError("cannot collate an empty list of examples")
+    batch = len(examples)
+    src_len = max(len(ex.src_ids) for ex in examples)
+    tgt_len = max(len(ex.tgt_input_ids) for ex in examples)
+
+    src = np.full((batch, src_len), pad_id, dtype=np.int64)
+    src_pad = np.ones((batch, src_len), dtype=bool)
+    src_ext = np.full((batch, src_len), pad_id, dtype=np.int64)
+    tgt_in = np.full((batch, tgt_len), pad_id, dtype=np.int64)
+    tgt_out = np.full((batch, tgt_len), pad_id, dtype=np.int64)
+    tgt_pad = np.ones((batch, tgt_len), dtype=bool)
+    att_allowed = np.ones((batch, tgt_len), dtype=float)
+    copy_match = np.zeros((batch, tgt_len, src_len), dtype=float)
+    answer_mask = np.zeros((batch, src_len), dtype=float)
+
+    for row, ex in enumerate(examples):
+        s, t = len(ex.src_ids), len(ex.tgt_input_ids)
+        src[row, :s] = ex.src_ids
+        src_pad[row, :s] = False
+        src_ext[row, :s] = ex.src_ext_ids
+        tgt_in[row, :t] = ex.tgt_input_ids
+        tgt_out[row, :t] = ex.tgt_output_ids
+        tgt_pad[row, :t] = False
+        att_allowed[row, :t] = [float(a) for a in ex.att_allowed]
+        for step, positions in enumerate(ex.copy_positions):
+            for position in positions:
+                copy_match[row, step, position] = 1.0
+        for position in ex.answer_positions:
+            answer_mask[row, position] = 1.0
+
+    return Batch(
+        src=src,
+        src_pad_mask=src_pad,
+        src_ext=src_ext,
+        tgt_input=tgt_in,
+        tgt_output=tgt_out,
+        tgt_pad_mask=tgt_pad,
+        att_allowed=att_allowed,
+        copy_match=copy_match,
+        answer_mask=answer_mask,
+        oov_tokens=tuple(ex.oov_tokens for ex in examples),
+        examples=tuple(examples),
+    )
+
+
+class BatchIterator:
+    """Length-bucketed, shuffled mini-batches over a dataset.
+
+    Parameters
+    ----------
+    examples:
+        Encoded examples (a :class:`~repro.data.dataset.QGDataset` works).
+    batch_size:
+        Paper default is 64; experiments scale it with the corpus.
+    pad_id:
+        Padding id shared by both vocabularies (always 0 here).
+    shuffle:
+        Shuffle example order and batch order each epoch.
+    seed:
+        Seed for the shuffling generator.
+    bucket_multiplier:
+        Examples are sorted by source length within pools of
+        ``batch_size * bucket_multiplier`` before chunking.
+    """
+
+    def __init__(
+        self,
+        examples: Sequence[EncodedExample],
+        batch_size: int,
+        pad_id: int = 0,
+        shuffle: bool = True,
+        seed: int = 0,
+        bucket_multiplier: int = 16,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.examples = list(examples)
+        self.batch_size = batch_size
+        self.pad_id = pad_id
+        self.shuffle = shuffle
+        self.bucket_multiplier = bucket_multiplier
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.examples) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = np.arange(len(self.examples))
+        if self.shuffle:
+            self._rng.shuffle(order)
+
+        # Bucket: sort by source length inside pools so batches are
+        # length-homogeneous without fixing a global order.
+        pool_size = self.batch_size * self.bucket_multiplier
+        sorted_order: list[int] = []
+        for start in range(0, len(order), pool_size):
+            pool = order[start: start + pool_size]
+            pool = sorted(pool, key=lambda i: len(self.examples[i].src_ids))
+            sorted_order.extend(pool)
+
+        batches = [
+            sorted_order[start: start + self.batch_size]
+            for start in range(0, len(sorted_order), self.batch_size)
+        ]
+        if self.shuffle:
+            self._rng.shuffle(batches)
+        for indices in batches:
+            yield collate([self.examples[i] for i in indices], pad_id=self.pad_id)

@@ -1,0 +1,224 @@
+"""Dataset: examples encoded against encoder/decoder vocabularies.
+
+Reproduces the paper's asymmetric-vocabulary setup (45K encoder / 28K
+decoder tokens) and prepares the supervision signals the copy mechanism
+needs:
+
+- which source positions carry each gold question token (``copy_positions``),
+- whether the attention/generation path is allowed to explain a token
+  (``att_allowed``): gold tokens inside the decoder vocabulary, or gold
+  tokens that are unknown *and* uncopyable (those are trained as ``<unk>``,
+  since nothing else can produce them),
+- the extended-vocabulary ids used at decoding time to surface copied
+  out-of-vocabulary words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.examples import QGExample
+from repro.data.vocabulary import Vocabulary
+
+__all__ = ["EncodedExample", "QGDataset", "SourceMode"]
+
+
+class SourceMode:
+    """Encoder input granularity: the paper's ``-sent`` vs ``-para`` variants."""
+
+    SENTENCE = "sentence"
+    PARAGRAPH = "paragraph"
+
+
+@dataclass(frozen=True)
+class EncodedExample:
+    """One example, numericalized and ready for batching."""
+
+    src_tokens: tuple[str, ...]
+    src_ids: tuple[int, ...]
+    """Encoder-vocabulary ids of the source."""
+    src_ext_ids: tuple[int, ...]
+    """Extended-vocabulary ids: decoder-vocab id, or ``V + oov_index``."""
+    oov_tokens: tuple[str, ...]
+    """Source tokens outside the decoder vocab, in first-occurrence order."""
+    tgt_input_ids: tuple[int, ...]
+    """Decoder input: BOS + question (decoder vocab, OOV → UNK)."""
+    tgt_output_ids: tuple[int, ...]
+    """Decoder targets: question + EOS (decoder vocab, OOV → UNK)."""
+    copy_positions: tuple[tuple[int, ...], ...]
+    """Per target step, the source positions holding the gold token."""
+    att_allowed: tuple[bool, ...]
+    """Per target step, whether the generation path may explain the token."""
+    answer_positions: tuple[int, ...]
+    """Source positions covered by the answer span (empty when the span is
+    unknown or not present) — the Zhou et al. (2017) answer-feature signal."""
+    example: QGExample
+
+    def __post_init__(self) -> None:
+        if len(self.tgt_input_ids) != len(self.tgt_output_ids):
+            raise ValueError("target input/output lengths differ")
+        if len(self.copy_positions) != len(self.tgt_output_ids):
+            raise ValueError("copy_positions must align with target steps")
+
+
+def _find_span(haystack: Sequence[str], needle: Sequence[str]) -> tuple[int, ...]:
+    """Positions of the first contiguous occurrence of ``needle`` (or ())."""
+    if not needle or len(needle) > len(haystack):
+        return ()
+    first = needle[0]
+    for start in range(len(haystack) - len(needle) + 1):
+        if haystack[start] == first and tuple(haystack[start: start + len(needle)]) == tuple(needle):
+            return tuple(range(start, start + len(needle)))
+    return ()
+
+
+class QGDataset:
+    """A split of encoded examples sharing a vocabulary pair.
+
+    Parameters
+    ----------
+    examples:
+        The raw examples of this split.
+    encoder_vocab, decoder_vocab:
+        Typically built from the *training* split via :meth:`build_vocabs`.
+    source_mode:
+        ``SourceMode.SENTENCE`` or ``SourceMode.PARAGRAPH``.
+    paragraph_length:
+        Truncation applied in paragraph mode (the paper's default is 100;
+        Table 2 sweeps 100/120/150).
+    max_question_length:
+        Questions longer than this are clipped (keeps decoding bounded).
+    """
+
+    def __init__(
+        self,
+        examples: Sequence[QGExample],
+        encoder_vocab: Vocabulary,
+        decoder_vocab: Vocabulary,
+        source_mode: str = SourceMode.SENTENCE,
+        paragraph_length: int = 100,
+        max_question_length: int = 30,
+    ) -> None:
+        if source_mode not in (SourceMode.SENTENCE, SourceMode.PARAGRAPH):
+            raise ValueError(f"unknown source mode {source_mode!r}")
+        self.encoder_vocab = encoder_vocab
+        self.decoder_vocab = decoder_vocab
+        self.source_mode = source_mode
+        self.paragraph_length = paragraph_length
+        self.max_question_length = max_question_length
+        self.encoded: list[EncodedExample] = [self._encode(ex) for ex in examples]
+
+    # ------------------------------------------------------------------
+    # Vocabulary construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build_vocabs(
+        train_examples: Sequence[QGExample],
+        encoder_vocab_size: int = 45000,
+        decoder_vocab_size: int = 28000,
+        source_mode: str = SourceMode.SENTENCE,
+        paragraph_length: int = 100,
+    ) -> tuple[Vocabulary, Vocabulary]:
+        """Frequency-truncated vocabularies from the training split.
+
+        Defaults are the paper's 45K/28K; experiments scale them down along
+        with everything else.
+        """
+        use_paragraph = source_mode == SourceMode.PARAGRAPH
+        sources = [
+            ex.source(use_paragraph, truncate=paragraph_length if use_paragraph else None)
+            for ex in train_examples
+        ]
+        questions = [ex.question for ex in train_examples]
+        encoder_vocab = Vocabulary.build(sources, max_size=encoder_vocab_size)
+        decoder_vocab = Vocabulary.build(questions, max_size=decoder_vocab_size)
+        return encoder_vocab, decoder_vocab
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _encode(self, example: QGExample) -> EncodedExample:
+        use_paragraph = self.source_mode == SourceMode.PARAGRAPH
+        src_tokens = example.source(
+            use_paragraph, truncate=self.paragraph_length if use_paragraph else None
+        )
+        src_ids = tuple(self.encoder_vocab.encode(src_tokens))
+
+        # Extended ids: decoder-vocab id when known, else V + index into the
+        # per-example OOV list (first-occurrence order).
+        oov_tokens: list[str] = []
+        src_ext_ids: list[int] = []
+        vocab_size = len(self.decoder_vocab)
+        for token in src_tokens:
+            if token in self.decoder_vocab:
+                src_ext_ids.append(self.decoder_vocab.token_to_id(token))
+            else:
+                if token not in oov_tokens:
+                    oov_tokens.append(token)
+                src_ext_ids.append(vocab_size + oov_tokens.index(token))
+
+        question = example.question[: self.max_question_length]
+        positions_by_token: dict[str, tuple[int, ...]] = {}
+        for position, token in enumerate(src_tokens):
+            positions_by_token.setdefault(token, ())
+            positions_by_token[token] += (position,)
+
+        tgt_input = [self.decoder_vocab.bos_id]
+        tgt_output: list[int] = []
+        copy_positions: list[tuple[int, ...]] = []
+        att_allowed: list[bool] = []
+        for token in question:
+            token_id = self.decoder_vocab.token_to_id(token)
+            tgt_input.append(token_id)
+            in_vocab = token in self.decoder_vocab
+            matches = positions_by_token.get(token, ())
+            tgt_output.append(token_id)
+            copy_positions.append(matches)
+            # The generation softmax may explain: known tokens, and unknown
+            # tokens that cannot be copied (trained as literal <unk>).
+            att_allowed.append(in_vocab or not matches)
+        # Close with EOS (always generated, never copied).
+        tgt_output.append(self.decoder_vocab.eos_id)
+        copy_positions.append(())
+        att_allowed.append(True)
+
+        return EncodedExample(
+            src_tokens=tuple(src_tokens),
+            src_ids=src_ids,
+            src_ext_ids=tuple(src_ext_ids),
+            oov_tokens=tuple(oov_tokens),
+            tgt_input_ids=tuple(tgt_input),
+            tgt_output_ids=tuple(tgt_output),
+            copy_positions=tuple(copy_positions),
+            att_allowed=tuple(att_allowed),
+            answer_positions=_find_span(src_tokens, example.answer),
+            example=example,
+        )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.encoded)
+
+    def __getitem__(self, index: int) -> EncodedExample:
+        return self.encoded[index]
+
+    def __iter__(self):
+        return iter(self.encoded)
+
+    def copyable_oov_rate(self) -> float:
+        """Fraction of gold question tokens that are decoder-OOV but copyable.
+
+        This is the quantity the copy mechanism exists for; the synthetic
+        corpus is tuned so it is substantial (as in real SQuAD).
+        """
+        oov_copyable = 0
+        total = 0
+        for encoded in self.encoded:
+            for allowed, positions in zip(encoded.att_allowed, encoded.copy_positions):
+                total += 1
+                if not allowed and positions:
+                    oov_copyable += 1
+        return oov_copyable / total if total else 0.0

@@ -1,0 +1,48 @@
+"""The corpus record type shared by all loaders and generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QGExample"]
+
+
+@dataclass(frozen=True)
+class QGExample:
+    """One question-generation instance.
+
+    Mirrors the structure of the Du et al. (2017) SQuAD release the paper
+    trains on: a tokenized source *sentence*, the tokenized *paragraph* it
+    came from (used by the ``-para`` model variants), and the gold
+    *question*. ``answer`` is kept when known (real SQuAD and the synthetic
+    generator both provide it); the models here do not condition on it, but
+    extensions (e.g. Zhou et al.'s answer-position features) can.
+    """
+
+    sentence: tuple[str, ...]
+    paragraph: tuple[str, ...]
+    question: tuple[str, ...]
+    answer: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.sentence:
+            raise ValueError("QGExample requires a non-empty sentence")
+        if not self.question:
+            raise ValueError("QGExample requires a non-empty question")
+        if not self.paragraph:
+            # Sentence-only corpora: the paragraph degenerates to the sentence.
+            object.__setattr__(self, "paragraph", self.sentence)
+
+    def source(self, use_paragraph: bool, truncate: int | None = None) -> tuple[str, ...]:
+        """The encoder input: sentence or (optionally truncated) paragraph.
+
+        ``truncate`` is the paper's paragraph-length knob (Table 2): the
+        paragraph is cut to its first ``truncate`` tokens.
+        """
+        if not use_paragraph:
+            return self.sentence
+        if truncate is None:
+            return self.paragraph
+        if truncate < 1:
+            raise ValueError(f"truncate must be >= 1, got {truncate}")
+        return self.paragraph[:truncate]

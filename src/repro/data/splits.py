@@ -1,0 +1,63 @@
+"""Deterministic train/dev/test splitting for real corpora.
+
+The synthetic generator produces splits directly; real data loaded from a
+single SQuAD JSON needs splitting. Du et al. split by *article* so that no
+paragraph leaks across splits; absent article ids we shuffle examples with a
+seeded generator and cut by ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.examples import QGExample
+
+__all__ = ["split_examples"]
+
+
+def split_examples(
+    examples: Sequence[QGExample],
+    dev_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> tuple[list[QGExample], list[QGExample], list[QGExample]]:
+    """Split into (train, dev, test) by ratio.
+
+    Parameters
+    ----------
+    dev_fraction, test_fraction:
+        Fractions of the whole corpus; the remainder is training data.
+        Must leave a non-empty training split.
+    seed, shuffle:
+        Shuffling is seeded and on by default; disable it to split
+        already-ordered data (e.g. a file that is pre-shuffled).
+    """
+    if not examples:
+        raise ValueError("split_examples needs at least one example")
+    if dev_fraction < 0 or test_fraction < 0:
+        raise ValueError("split fractions must be non-negative")
+    if dev_fraction + test_fraction >= 1.0:
+        raise ValueError(
+            f"dev+test fractions must leave room for training data, "
+            f"got {dev_fraction} + {test_fraction}"
+        )
+
+    order = np.arange(len(examples))
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+
+    num_dev = int(round(len(examples) * dev_fraction))
+    num_test = int(round(len(examples) * test_fraction))
+    dev_idx = order[:num_dev]
+    test_idx = order[num_dev: num_dev + num_test]
+    train_idx = order[num_dev + num_test:]
+    if len(train_idx) == 0:
+        raise ValueError("split produced an empty training set")
+    return (
+        [examples[i] for i in train_idx],
+        [examples[i] for i in dev_idx],
+        [examples[i] for i in test_idx],
+    )

@@ -1,0 +1,147 @@
+"""Loaders for the real SQuAD data, used when a copy is available on disk.
+
+Two formats are supported:
+
+- :func:`load_squad_json` parses the official SQuAD v1.1 JSON (Rajpurkar et
+  al., 2016): for every question it locates the context sentence containing
+  the answer span, producing the (sentence, paragraph, question) triples the
+  paper trains on.
+- :func:`load_du_split` parses the preprocessed line-aligned release of
+  Du et al. (2017) — parallel ``src``/``tgt`` (and optionally paragraph)
+  files, one tokenized example per line — which is the exact version the
+  paper says it used.
+
+Neither file ships with this repository (offline reproduction); the synthetic
+corpus in :mod:`repro.data.synthetic` is the default substitute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+from repro.data.examples import QGExample
+from repro.data.tokenizer import tokenize
+
+__all__ = ["load_squad_json", "load_du_split", "split_sentences"]
+
+_SENTENCE_BOUNDARY = re.compile(r"(?<=[.!?])\s+")
+
+
+def split_sentences(text: str) -> list[tuple[int, int, str]]:
+    """Split text into sentences, returning ``(start_char, end_char, text)``.
+
+    A light heuristic splitter (period/question/exclamation followed by
+    whitespace); adequate for locating which sentence contains an answer
+    span.
+    """
+    sentences: list[tuple[int, int, str]] = []
+    start = 0
+    for match in _SENTENCE_BOUNDARY.finditer(text):
+        end = match.start()
+        if end > start:
+            sentences.append((start, end, text[start:end]))
+        start = match.end()
+    if start < len(text):
+        sentences.append((start, len(text), text[start:]))
+    return sentences
+
+
+def load_squad_json(path: str | os.PathLike) -> list[QGExample]:
+    """Parse official SQuAD v1.1 JSON into question-generation examples.
+
+    Each (question, answer) pair becomes one example whose source sentence
+    is the context sentence containing the first answer occurrence.
+    Questions whose answer span cannot be located are skipped, mirroring the
+    preprocessing of Du et al.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "data" not in payload:
+        raise ValueError(f"{path} does not look like a SQuAD JSON file (no 'data' key)")
+
+    examples: list[QGExample] = []
+    for article in payload["data"]:
+        for paragraph in article.get("paragraphs", []):
+            context = paragraph.get("context", "")
+            sentences = split_sentences(context)
+            paragraph_tokens = tuple(tokenize(context))
+            for qa in paragraph.get("qas", []):
+                answers = qa.get("answers", [])
+                if not answers:
+                    continue
+                answer = answers[0]
+                answer_start = answer.get("answer_start", -1)
+                sentence_text = _sentence_containing(sentences, answer_start)
+                if sentence_text is None:
+                    continue
+                sentence_tokens = tuple(tokenize(sentence_text))
+                question_tokens = tuple(tokenize(qa.get("question", "")))
+                if not sentence_tokens or not question_tokens:
+                    continue
+                examples.append(
+                    QGExample(
+                        sentence=sentence_tokens,
+                        paragraph=paragraph_tokens,
+                        question=question_tokens,
+                        answer=tuple(tokenize(answer.get("text", ""))),
+                    )
+                )
+    return examples
+
+
+def _sentence_containing(
+    sentences: list[tuple[int, int, str]], char_offset: int
+) -> str | None:
+    for start, end, text in sentences:
+        if start <= char_offset < end:
+            return text
+    return None
+
+
+def load_du_split(
+    src_path: str | os.PathLike,
+    tgt_path: str | os.PathLike,
+    para_path: str | os.PathLike | None = None,
+) -> list[QGExample]:
+    """Load Du et al.'s preprocessed line-aligned files.
+
+    Parameters
+    ----------
+    src_path, tgt_path:
+        Parallel files with one pre-tokenized sentence / question per line.
+    para_path:
+        Optional third parallel file with the containing paragraphs (used by
+        the ``-para`` model variants).
+    """
+    sources = _read_lines(src_path)
+    targets = _read_lines(tgt_path)
+    if len(sources) != len(targets):
+        raise ValueError(
+            f"line count mismatch: {src_path} has {len(sources)} lines, "
+            f"{tgt_path} has {len(targets)}"
+        )
+    paragraphs: list[str] | None = None
+    if para_path is not None:
+        paragraphs = _read_lines(para_path)
+        if len(paragraphs) != len(sources):
+            raise ValueError(
+                f"line count mismatch: {para_path} has {len(paragraphs)} lines, "
+                f"expected {len(sources)}"
+            )
+
+    examples: list[QGExample] = []
+    for index, (src, tgt) in enumerate(zip(sources, targets)):
+        sentence = tuple(src.split())
+        question = tuple(tgt.split())
+        if not sentence or not question:
+            continue
+        paragraph = tuple(paragraphs[index].split()) if paragraphs else ()
+        examples.append(QGExample(sentence=sentence, paragraph=paragraph, question=question))
+    return examples
+
+
+def _read_lines(path: str | os.PathLike) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        return [line.rstrip("\n") for line in handle]

@@ -1,0 +1,47 @@
+"""Word tokenization.
+
+A deterministic regex tokenizer in the style of the PTB/Stanford pipelines
+used by Du et al.'s released SQuAD split: lowercased words, numbers kept
+whole, punctuation split into its own tokens.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize", "detokenize"]
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \d+(?:[.,]\d+)*         # numbers, incl. 1,000 and 3.14
+    | [a-zA-Z]+(?:'[a-z]+)? # words with optional clitic ('s, n't)
+    | [^\w\s]               # any single punctuation mark
+    """,
+    re.VERBOSE,
+)
+
+# Punctuation that attaches to the preceding token when detokenizing.
+_CLOSE_PUNCT = {".", ",", "?", "!", ";", ":", ")", "]", "}", "'", '"', "%"}
+_OPEN_PUNCT = {"(", "[", "{", "$"}
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase and split ``text`` into word/number/punctuation tokens.
+
+    >>> tokenize("Who designed the Eiffel Tower, in 1887?")
+    ['who', 'designed', 'the', 'eiffel', 'tower', ',', 'in', '1887', '?']
+    """
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+def detokenize(tokens: list[str]) -> str:
+    """Join tokens back into a readable string (inverse-ish of tokenize)."""
+    pieces: list[str] = []
+    no_space_before_next = False
+    for token in tokens:
+        if not pieces or no_space_before_next or token in _CLOSE_PUNCT:
+            pieces.append(token)
+        else:
+            pieces.append(" " + token)
+        no_space_before_next = token in _OPEN_PUNCT
+    return "".join(pieces)

@@ -1,0 +1,154 @@
+"""Vocabularies with frequency-based truncation.
+
+The paper keeps "the most frequent 45K tokens as the encoder vocabulary and
+28K tokens as the decoder vocabulary"; :meth:`Vocabulary.build` reproduces
+that construction at any size. Ids 0-3 are reserved for the special tokens.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Vocabulary",
+    "PAD", "UNK", "BOS", "EOS", "SPECIAL_TOKENS",
+    "PAD_ID", "UNK_ID", "BOS_ID", "EOS_ID",
+]
+
+PAD = "<pad>"
+UNK = "<unk>"
+BOS = "<s>"
+EOS = "</s>"
+SPECIAL_TOKENS = (PAD, UNK, BOS, EOS)
+
+# Special ids are fixed by construction (specials are always added first).
+PAD_ID = 0
+UNK_ID = 1
+BOS_ID = 2
+EOS_ID = 3
+
+
+class Vocabulary:
+    """Bidirectional token ↔ id mapping with reserved special tokens."""
+
+    def __init__(self, tokens: Sequence[str] = ()) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        for token in tokens:
+            self._add(token)
+
+    def _add(self, token: str) -> None:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        sequences: Iterable[Sequence[str]],
+        max_size: int | None = None,
+        min_freq: int = 1,
+    ) -> "Vocabulary":
+        """Build from tokenized sequences, keeping the most frequent tokens.
+
+        Parameters
+        ----------
+        sequences:
+            Iterable of token lists.
+        max_size:
+            Cap on non-special vocabulary entries (paper: 45K encoder / 28K
+            decoder). ``None`` keeps everything above ``min_freq``.
+        min_freq:
+            Minimum occurrence count to be included.
+
+        Ties in frequency are broken alphabetically so construction is
+        deterministic regardless of iteration order.
+        """
+        counts: Counter[str] = Counter()
+        for sequence in sequences:
+            counts.update(sequence)
+        for special in SPECIAL_TOKENS:
+            counts.pop(special, None)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        kept = [token for token, count in ranked if count >= min_freq]
+        if max_size is not None:
+            kept = kept[:max_size]
+        return cls(kept)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def token_to_id(self, token: str) -> int:
+        """Id of ``token``, or the UNK id if unknown."""
+        return self._token_to_id.get(token, self._token_to_id[UNK])
+
+    def id_to_token(self, index: int) -> str:
+        if not 0 <= index < len(self._id_to_token):
+            raise IndexError(f"id {index} outside vocabulary of size {len(self)}")
+        return self._id_to_token[index]
+
+    def encode(self, tokens: Sequence[str]) -> list[int]:
+        """Map tokens to ids (unknowns become UNK)."""
+        return [self.token_to_id(token) for token in tokens]
+
+    def decode(self, ids: Sequence[int], strip_special: bool = True) -> list[str]:
+        """Map ids back to tokens, optionally dropping special tokens."""
+        tokens = [self.id_to_token(i) for i in ids]
+        if strip_special:
+            tokens = [t for t in tokens if t not in SPECIAL_TOKENS]
+        return tokens
+
+    @property
+    def tokens(self) -> list[str]:
+        """All tokens in id order (including specials)."""
+        return list(self._id_to_token)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the vocabulary as a JSON token list."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self._id_to_token, handle, ensure_ascii=False)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Vocabulary":
+        """Read a vocabulary written by :meth:`save`."""
+        with open(path, encoding="utf-8") as handle:
+            tokens = json.load(handle)
+        if tokens[: len(SPECIAL_TOKENS)] != list(SPECIAL_TOKENS):
+            raise ValueError(f"{path} is not a saved vocabulary (bad special tokens)")
+        return cls(tokens[len(SPECIAL_TOKENS):])
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"

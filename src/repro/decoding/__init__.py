@@ -1,0 +1,20 @@
+"""Decoding: greedy and beam search over the incremental model interface."""
+
+from repro.decoding.beam import beam_decode, beam_decode_example
+from repro.decoding.greedy import greedy_decode
+from repro.decoding.hypothesis import Hypothesis, extended_ids_to_tokens
+from repro.decoding.nbest import beam_decode_nbest
+from repro.decoding.postprocess import greedy_decode_with_attention, replace_unknowns
+from repro.decoding.sampling import sample_decode
+
+__all__ = [
+    "beam_decode",
+    "beam_decode_example",
+    "greedy_decode",
+    "Hypothesis",
+    "extended_ids_to_tokens",
+    "beam_decode_nbest",
+    "greedy_decode_with_attention",
+    "replace_unknowns",
+    "sample_decode",
+]

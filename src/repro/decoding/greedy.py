@@ -1,0 +1,61 @@
+"""Greedy (argmax) decoding — the beam-size-1 special case, batched."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.data.vocabulary import BOS_ID, EOS_ID, PAD_ID
+from repro.decoding.hypothesis import Hypothesis
+from repro.models.base import QuestionGenerator
+from repro.tensor.core import no_grad
+
+__all__ = ["greedy_decode"]
+
+
+def greedy_decode(
+    model: QuestionGenerator,
+    batch: Batch,
+    max_length: int = 30,
+) -> list[Hypothesis]:
+    """Decode every example in the batch greedily.
+
+    Returns one finished :class:`Hypothesis` per example; sequences that hit
+    ``max_length`` without emitting EOS are returned unfinished.
+    """
+    model.eval()
+    with no_grad():
+        context = model.encode(batch)
+        state = model.initial_decoder_state(context)
+        batch_size = context.batch_size
+
+        prev = np.full(batch_size, BOS_ID, dtype=np.int64)
+        sequences: list[list[int]] = [[] for _ in range(batch_size)]
+        log_probs = np.zeros(batch_size)
+        finished = np.zeros(batch_size, dtype=bool)
+
+        for _ in range(max_length):
+            step_lp, state = model.step_log_probs(prev, state, context)
+            step_lp[:, PAD_ID] = -np.inf
+            step_lp[:, BOS_ID] = -np.inf
+            choices = step_lp.argmax(axis=1)
+            chosen_lp = step_lp[np.arange(batch_size), choices]
+            for row in range(batch_size):
+                if finished[row]:
+                    continue
+                log_probs[row] += chosen_lp[row]
+                if choices[row] == EOS_ID:
+                    # EOS contributes to the score (as in beam search) but
+                    # is not part of the surface sequence.
+                    finished[row] = True
+                    continue
+                sequences[row].append(int(choices[row]))
+            if finished.all():
+                break
+            # Finished rows keep feeding EOS; it no longer affects them.
+            prev = np.where(finished, EOS_ID, choices)
+
+    return [
+        Hypothesis(tuple(sequences[row]), float(log_probs[row]), finished=bool(finished[row]))
+        for row in range(batch_size)
+    ]

@@ -1,0 +1,62 @@
+"""Decoding hypothesis bookkeeping shared by greedy and beam search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.vocabulary import Vocabulary
+
+__all__ = ["Hypothesis", "extended_ids_to_tokens"]
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """A (possibly finished) decoded sequence with its cumulative score."""
+
+    token_ids: tuple[int, ...]
+    log_prob: float
+    finished: bool = False
+
+    def score(self, length_penalty: float) -> float:
+        """Length-normalized score: ``log_prob / len**length_penalty``.
+
+        ``length_penalty = 0`` is the raw sum of log-probabilities;
+        ``1`` is the per-token average (the default used here, standard for
+        beam-searched NQG systems).
+        """
+        length = max(1, len(self.token_ids))
+        return self.log_prob / (length ** length_penalty)
+
+    def extended(self, token_id: int, log_prob: float, finished: bool) -> "Hypothesis":
+        return Hypothesis(
+            token_ids=self.token_ids + (token_id,),
+            log_prob=self.log_prob + log_prob,
+            finished=finished,
+        )
+
+
+def extended_ids_to_tokens(
+    ids: tuple[int, ...] | list[int],
+    decoder_vocab: Vocabulary,
+    oov_tokens: tuple[str, ...],
+) -> list[str]:
+    """Map extended-vocabulary ids back to surface tokens.
+
+    Ids below the decoder vocabulary size resolve through the vocabulary;
+    ids at or above it index the example's source-OOV list (the copy
+    mechanism's output slots).
+    """
+    vocab_size = len(decoder_vocab)
+    tokens: list[str] = []
+    for token_id in ids:
+        if token_id < vocab_size:
+            tokens.append(decoder_vocab.id_to_token(token_id))
+        else:
+            oov_index = token_id - vocab_size
+            if oov_index >= len(oov_tokens):
+                raise IndexError(
+                    f"extended id {token_id} exceeds the OOV list "
+                    f"(size {len(oov_tokens)}, vocab {vocab_size})"
+                )
+            tokens.append(oov_tokens[oov_index])
+    return tokens

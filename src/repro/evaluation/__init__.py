@@ -1,0 +1,31 @@
+"""Evaluation harness: decode-and-score plus paper-style table rendering."""
+
+from repro.evaluation.analysis import WH_WORDS, PredictionAnalysis, analyse_predictions
+from repro.evaluation.evaluator import METRIC_NAMES, EvaluationResult, evaluate_model
+from repro.evaluation.introspection import (
+    GenerationTrace,
+    StepTrace,
+    gate_statistics,
+    render_trace,
+    trace_generation,
+)
+from repro.evaluation.reporting import format_markdown_table, format_table
+from repro.evaluation.significance import BootstrapResult, paired_bootstrap
+
+__all__ = [
+    "WH_WORDS",
+    "PredictionAnalysis",
+    "analyse_predictions",
+    "METRIC_NAMES",
+    "EvaluationResult",
+    "evaluate_model",
+    "GenerationTrace",
+    "StepTrace",
+    "gate_statistics",
+    "render_trace",
+    "trace_generation",
+    "format_markdown_table",
+    "format_table",
+    "BootstrapResult",
+    "paired_bootstrap",
+]

@@ -1,0 +1,76 @@
+"""End-to-end evaluation: decode a dataset, score with the paper's metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.batching import BatchIterator
+from repro.data.dataset import QGDataset
+from repro.decoding import beam_decode, extended_ids_to_tokens, greedy_decode
+from repro.metrics import bleu_n_scores, corpus_rouge_l
+from repro.models.base import QuestionGenerator
+
+__all__ = ["EvaluationResult", "evaluate_model", "METRIC_NAMES"]
+
+METRIC_NAMES = ("BLEU-1", "BLEU-2", "BLEU-3", "BLEU-4", "ROUGE-L")
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Scores plus the raw predictions that produced them."""
+
+    scores: dict[str, float]
+    predictions: tuple[tuple[str, ...], ...]
+    references: tuple[tuple[str, ...], ...]
+
+    def __getitem__(self, metric: str) -> float:
+        return self.scores[metric]
+
+    def summary(self) -> str:
+        return "  ".join(f"{name}={self.scores[name]:.2f}" for name in METRIC_NAMES)
+
+
+def evaluate_model(
+    model: QuestionGenerator,
+    dataset: QGDataset,
+    beam_size: int = 3,
+    max_length: int = 30,
+    batch_size: int = 32,
+    length_penalty: float = 1.0,
+) -> EvaluationResult:
+    """Decode every example and compute BLEU-1..4 and ROUGE-L.
+
+    Decoding uses beam search (the paper's test-time setting is beam 3);
+    ``beam_size=1`` falls back to the cheaper batched greedy decoder.
+    """
+    iterator = BatchIterator(dataset, batch_size=batch_size, shuffle=False)
+    predictions: list[tuple[str, ...]] = []
+    references: list[tuple[str, ...]] = []
+
+    for batch in iterator:
+        if beam_size == 1:
+            hypotheses = greedy_decode(model, batch, max_length=max_length)
+        else:
+            hypotheses = beam_decode(
+                model,
+                batch,
+                beam_size=beam_size,
+                max_length=max_length,
+                length_penalty=length_penalty,
+            )
+        for hypothesis, encoded in zip(hypotheses, batch.examples):
+            tokens = extended_ids_to_tokens(
+                hypothesis.token_ids, dataset.decoder_vocab, encoded.oov_tokens
+            )
+            predictions.append(tuple(tokens))
+            references.append(tuple(encoded.example.question))
+
+    hyp_list = [list(p) if p else ["<empty>"] for p in predictions]
+    ref_list = [[list(r)] for r in references]
+    scores = bleu_n_scores(hyp_list, ref_list)
+    scores["ROUGE-L"] = corpus_rouge_l(hyp_list, ref_list)
+    return EvaluationResult(
+        scores=scores,
+        predictions=tuple(predictions),
+        references=tuple(references),
+    )

@@ -1,0 +1,75 @@
+"""Paper-style result tables.
+
+Renders score dictionaries the way the paper's Tables 1 and 2 present them:
+one row per system, columns BLEU-1..4 and ROUGE-L, best value per column
+highlighted (the paper uses boldface; plain text uses an asterisk, markdown
+uses ``**bold**``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.evaluation.evaluator import METRIC_NAMES
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _best_per_column(
+    rows: Mapping[str, Mapping[str, float]], metrics: Sequence[str]
+) -> dict[str, float]:
+    return {metric: max(scores[metric] for scores in rows.values()) for metric in metrics}
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str] = METRIC_NAMES,
+    title: str | None = None,
+    highlight_best: bool = True,
+) -> str:
+    """Fixed-width text table; the best score per column gets a ``*``."""
+    if not rows:
+        raise ValueError("format_table needs at least one row")
+    best = _best_per_column(rows, metrics) if highlight_best else {}
+    name_width = max(len("Model"), max(len(name) for name in rows))
+    col_width = max(8, max(len(m) for m in metrics) + 1)
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = "Model".ljust(name_width) + "".join(m.rjust(col_width) for m in metrics)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, scores in rows.items():
+        cells = []
+        for metric in metrics:
+            value = scores[metric]
+            text = f"{value:.2f}"
+            if highlight_best and value == best[metric]:
+                text += "*"
+            cells.append(text.rjust(col_width))
+        lines.append(name.ljust(name_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str] = METRIC_NAMES,
+    highlight_best: bool = True,
+) -> str:
+    """GitHub-markdown table with the best score per column in bold."""
+    if not rows:
+        raise ValueError("format_markdown_table needs at least one row")
+    best = _best_per_column(rows, metrics) if highlight_best else {}
+    lines = ["| Model | " + " | ".join(metrics) + " |"]
+    lines.append("|" + "---|" * (len(metrics) + 1))
+    for name, scores in rows.items():
+        cells = []
+        for metric in metrics:
+            value = scores[metric]
+            text = f"{value:.2f}"
+            if highlight_best and value == best[metric]:
+                text = f"**{text}**"
+            cells.append(text)
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

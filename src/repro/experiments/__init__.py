@@ -1,0 +1,20 @@
+"""Experiment harness: one runner per paper table/figure plus ablations.
+
+See :mod:`repro.experiments.registry` for the experiment index and
+``python -m repro.experiments list`` for the CLI view.
+"""
+
+from repro.experiments.configs import DEFAULT, PAPER, SCALES, SMOKE, ExperimentScale
+from repro.experiments.runner import TABLE1_SYSTEMS, SystemRun, SystemSpec, run_system
+
+__all__ = [
+    "DEFAULT",
+    "PAPER",
+    "SCALES",
+    "SMOKE",
+    "ExperimentScale",
+    "TABLE1_SYSTEMS",
+    "SystemRun",
+    "SystemSpec",
+    "run_system",
+]

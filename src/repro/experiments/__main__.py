@@ -1,0 +1,74 @@
+"""CLI entry point: ``python -m repro.experiments <experiment> [options]``.
+
+Examples
+--------
+List everything::
+
+    python -m repro.experiments list
+
+Regenerate Table 1 at the recorded (DEFAULT) scale::
+
+    python -m repro.experiments table1
+
+Quick plumbing check::
+
+    python -m repro.experiments table2 --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.configs import SCALES
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="acnn-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id, or 'list' to enumerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(SCALES),
+        help="experiment scale (default: 'default'; 'smoke' for a fast check)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment in EXPERIMENTS.values():
+            print(f"{experiment.key:16s} {experiment.paper_artifact:10s} {experiment.description}")
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; run 'list' to enumerate",
+            file=sys.stderr,
+        )
+        return 2
+
+    experiment = EXPERIMENTS[args.experiment]
+    scale = SCALES[args.scale]
+    if scale.name == "paper":
+        print(
+            "the 'paper' scale documents the original configuration and is not "
+            "runnable on this substrate; use --scale default",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = experiment.runner(scale, verbose=not args.quiet)
+    print()
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,243 @@
+"""Extension ablations beyond the paper's tables.
+
+Two design choices the paper motivates but does not ablate:
+
+- **Switch gate** (Section 3.2 argues the gate is *data adaptive*):
+  ``run_switch_ablation`` compares the learned gate against frozen variants
+  (z=0 pure attention — i.e. Du without extra parameters; z=1 pure copy;
+  z=0.5 uniform mixture).
+- **Beam width** (Section 4 fixes beam=3): ``run_beam_ablation`` sweeps
+  widths on one trained ACNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dataset import SourceMode
+from repro.data.synthetic import generate_corpus
+from repro.evaluation.evaluator import EvaluationResult, evaluate_model
+from repro.evaluation.reporting import format_table
+from repro.experiments.configs import DEFAULT, ExperimentScale
+from repro.experiments.runner import SystemRun, SystemSpec, prepare_datasets, run_system
+
+__all__ = [
+    "SWITCH_VARIANTS",
+    "SwitchAblationResult",
+    "run_switch_ablation",
+    "BeamAblationResult",
+    "run_beam_ablation",
+    "CoverageAblationResult",
+    "run_coverage_ablation",
+    "AnswerFeatureAblationResult",
+    "run_answer_feature_ablation",
+]
+
+SWITCH_VARIANTS: tuple[tuple[str, dict], ...] = (
+    ("ACNN (adaptive z)", {"switch_mode": "adaptive"}),
+    ("fixed z=0 (no copy)", {"switch_mode": "fixed", "fixed_switch": 0.0}),
+    ("fixed z=0.5", {"switch_mode": "fixed", "fixed_switch": 0.5}),
+    ("fixed z=1 (copy only)", {"switch_mode": "fixed", "fixed_switch": 1.0}),
+)
+
+
+@dataclass
+class SwitchAblationResult:
+    scale: ExperimentScale
+    runs: dict[str, SystemRun] = field(default_factory=dict)
+
+    @property
+    def scores(self) -> dict[str, dict[str, float]]:
+        return {label: run.scores for label, run in self.runs.items()}
+
+    def render(self) -> str:
+        return format_table(
+            self.scores, title=f"Switch-gate ablation (scale={self.scale.name})"
+        )
+
+    def adaptive_wins(self) -> bool:
+        bleu4 = {label: s["BLEU-4"] for label, s in self.scores.items()}
+        adaptive = bleu4.pop("ACNN (adaptive z)")
+        return adaptive >= max(bleu4.values())
+
+
+def run_switch_ablation(
+    scale: ExperimentScale = DEFAULT,
+    verbose: bool = False,
+) -> SwitchAblationResult:
+    """Train one ACNN-sent per switch variant on a shared corpus."""
+    corpus = generate_corpus(scale.synthetic_config())
+    result = SwitchAblationResult(scale=scale)
+    for label, kwargs in SWITCH_VARIANTS:
+        spec = SystemSpec(
+            key=label,
+            label=label,
+            family="acnn",
+            source_mode=SourceMode.SENTENCE,
+            model_kwargs=dict(kwargs),
+            seed_offset=3,  # match Table 1's ACNN-sent init
+        )
+        if verbose:
+            print(f"== {label} ==")
+        run = run_system(spec, scale, corpus=corpus, verbose=verbose)
+        result.runs[label] = run
+        if verbose:
+            print(f"  {run.result.summary()}")
+    return result
+
+
+@dataclass
+class CoverageAblationResult:
+    """ACNN with vs without the coverage extension (See et al. 2017)."""
+
+    scale: ExperimentScale
+    runs: dict[str, SystemRun] = field(default_factory=dict)
+    repetition_rates: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def scores(self) -> dict[str, dict[str, float]]:
+        return {label: run.scores for label, run in self.runs.items()}
+
+    def render(self) -> str:
+        table = format_table(
+            self.scores, title=f"Coverage ablation (scale={self.scale.name})"
+        )
+        lines = [table, "", "repeated-bigram rate (stutter):"]
+        for label, rate in self.repetition_rates.items():
+            lines.append(f"  {label}: {100 * rate:.1f}%")
+        return "\n".join(lines)
+
+    def coverage_reduces_repetition(self) -> bool:
+        return (
+            self.repetition_rates["ACNN + coverage"]
+            <= self.repetition_rates["ACNN"]
+        )
+
+
+def run_coverage_ablation(
+    scale: ExperimentScale = DEFAULT,
+    verbose: bool = False,
+) -> CoverageAblationResult:
+    """Train ACNN-sent with and without coverage on a shared corpus."""
+    from repro.evaluation.analysis import analyse_predictions
+
+    corpus = generate_corpus(scale.synthetic_config())
+    result = CoverageAblationResult(scale=scale)
+    variants = (
+        ("ACNN", {}),
+        ("ACNN + coverage", {"use_coverage": True}),
+    )
+    for label, kwargs in variants:
+        spec = SystemSpec(
+            key=label,
+            label=label,
+            family="acnn",
+            source_mode=SourceMode.SENTENCE,
+            model_kwargs=dict(kwargs),
+            seed_offset=3,
+        )
+        if verbose:
+            print(f"== {label} ==")
+        run = run_system(spec, scale, corpus=corpus, verbose=verbose)
+        result.runs[label] = run
+        analysis = analyse_predictions(
+            run.result.predictions,
+            run.result.references,
+            run.datasets[0].decoder_vocab,
+        )
+        result.repetition_rates[label] = analysis.repeated_bigram_rate
+        if verbose:
+            print(f"  {run.result.summary()}")
+            print(f"  {analysis.summary()}")
+    return result
+
+
+@dataclass
+class AnswerFeatureAblationResult:
+    """ACNN with vs without answer-position features (Zhou et al. 2017)."""
+
+    scale: ExperimentScale
+    runs: dict[str, SystemRun] = field(default_factory=dict)
+
+    @property
+    def scores(self) -> dict[str, dict[str, float]]:
+        return {label: run.scores for label, run in self.runs.items()}
+
+    def render(self) -> str:
+        return format_table(
+            self.scores, title=f"Answer-feature ablation (scale={self.scale.name})"
+        )
+
+
+def run_answer_feature_ablation(
+    scale: ExperimentScale = DEFAULT,
+    verbose: bool = False,
+) -> AnswerFeatureAblationResult:
+    """Train ACNN-sent with and without the answer-tag encoder features."""
+    corpus = generate_corpus(scale.synthetic_config())
+    result = AnswerFeatureAblationResult(scale=scale)
+    variants = (
+        ("ACNN", {}),
+        ("ACNN + answer tags", {"use_answer_features": True}),
+    )
+    for label, kwargs in variants:
+        spec = SystemSpec(
+            key=label,
+            label=label,
+            family="acnn",
+            source_mode=SourceMode.SENTENCE,
+            model_kwargs=dict(kwargs),
+            seed_offset=3,
+        )
+        if verbose:
+            print(f"== {label} ==")
+        run = run_system(spec, scale, corpus=corpus, verbose=verbose)
+        result.runs[label] = run
+        if verbose:
+            print(f"  {run.result.summary()}")
+    return result
+
+
+@dataclass
+class BeamAblationResult:
+    scale: ExperimentScale
+    results: dict[str, EvaluationResult] = field(default_factory=dict)
+
+    @property
+    def scores(self) -> dict[str, dict[str, float]]:
+        return {label: res.scores for label, res in self.results.items()}
+
+    def render(self) -> str:
+        return format_table(self.scores, title=f"Beam-size ablation (scale={self.scale.name})")
+
+
+def run_beam_ablation(
+    scale: ExperimentScale = DEFAULT,
+    beam_sizes: tuple[int, ...] = (1, 3, 5),
+    verbose: bool = False,
+) -> BeamAblationResult:
+    """Train ACNN-sent once, decode the test set at several beam widths."""
+    corpus = generate_corpus(scale.synthetic_config())
+    spec = SystemSpec(
+        key="acnn-sent",
+        label="ACNN-sent",
+        family="acnn",
+        source_mode=SourceMode.SENTENCE,
+        seed_offset=3,
+    )
+    run = run_system(spec, scale, corpus=corpus, verbose=verbose)
+    _, _, test_ds = prepare_datasets(corpus, scale, spec.source_mode)
+
+    result = BeamAblationResult(scale=scale)
+    for beam in beam_sizes:
+        label = f"beam={beam}"
+        result.results[label] = evaluate_model(
+            run.model,
+            test_ds,
+            beam_size=beam,
+            max_length=scale.max_decode_length,
+            batch_size=scale.batch_size,
+        )
+        if verbose:
+            print(f"  {label}: {result.results[label].summary()}")
+    return result

@@ -1,0 +1,128 @@
+"""Experiment scales.
+
+The paper's configuration (``PAPER``) cannot be trained on one CPU core with
+a numpy backend (70k pairs, 600-d LSTMs). ``DEFAULT`` is the scaled-down
+configuration used for the recorded results in EXPERIMENTS.md: same
+mechanisms and schedule, smaller corpus and dimensions. ``SMOKE`` is a
+seconds-scale setting for tests and benchmark plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.data.synthetic import SyntheticConfig
+from repro.models.config import ModelConfig
+from repro.training.trainer import TrainerConfig
+
+__all__ = ["ExperimentScale", "SMOKE", "DEFAULT", "PAPER", "SCALES"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Everything an experiment run needs besides the system list."""
+
+    name: str
+    # Corpus
+    num_train: int
+    num_dev: int
+    num_test: int
+    corpus_seed: int = 13
+    # Vocabularies (paper: 45K encoder / 28K decoder)
+    encoder_vocab_size: int = 45000
+    decoder_vocab_size: int = 28000
+    # Model
+    embedding_dim: int = 300
+    hidden_size: int = 600
+    num_layers: int = 2
+    dropout: float = 0.3
+    model_seed: int = 1
+    use_pretrained_embeddings: bool = True
+    # Optimization (paper: SGD lr=1.0 halved at epoch 8, batch 64)
+    batch_size: int = 64
+    epochs: int = 12
+    learning_rate: float = 1.0
+    halve_at_epoch: int = 8
+    clip_norm: float = 5.0
+    # Decoding (paper: beam 3)
+    beam_size: int = 3
+    max_decode_length: int = 30
+    # Paragraph truncation default (paper: 100; Table 2 sweeps it)
+    paragraph_length: int = 100
+
+    def synthetic_config(self) -> SyntheticConfig:
+        return SyntheticConfig(
+            num_train=self.num_train,
+            num_dev=self.num_dev,
+            num_test=self.num_test,
+            seed=self.corpus_seed,
+        )
+
+    def model_config(self, seed_offset: int = 0) -> ModelConfig:
+        return ModelConfig(
+            embedding_dim=self.embedding_dim,
+            hidden_size=self.hidden_size,
+            num_layers=self.num_layers,
+            dropout=self.dropout,
+            seed=self.model_seed + seed_offset,
+        )
+
+    def trainer_config(self) -> TrainerConfig:
+        return TrainerConfig(
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            halve_at_epoch=self.halve_at_epoch,
+            clip_norm=self.clip_norm,
+        )
+
+    def scaled(self, **overrides) -> "ExperimentScale":
+        return replace(self, **overrides)
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    num_train=48,
+    num_dev=12,
+    num_test=12,
+    encoder_vocab_size=400,
+    decoder_vocab_size=120,
+    embedding_dim=12,
+    hidden_size=12,
+    num_layers=1,
+    dropout=0.0,
+    batch_size=12,
+    epochs=2,
+    halve_at_epoch=2,
+    max_decode_length=16,
+)
+"""Seconds-scale plumbing check; numbers are meaningless."""
+
+DEFAULT = ExperimentScale(
+    name="default",
+    num_train=2000,
+    num_dev=250,
+    num_test=250,
+    encoder_vocab_size=1500,
+    decoder_vocab_size=150,
+    embedding_dim=32,
+    hidden_size=48,
+    num_layers=2,
+    dropout=0.3,
+    batch_size=32,
+    epochs=14,
+    halve_at_epoch=10,
+    max_decode_length=24,
+)
+"""The configuration behind EXPERIMENTS.md: CPU-trainable in minutes per
+system while preserving the paper's mechanisms and relative orderings."""
+
+PAPER = ExperimentScale(
+    name="paper",
+    num_train=70484,
+    num_dev=10570,
+    num_test=11877,
+)
+"""The paper's exact setting (documentation; not runnable on this substrate
+in reasonable time — see DESIGN.md substitutions)."""
+
+SCALES = {scale.name: scale for scale in (SMOKE, DEFAULT, PAPER)}

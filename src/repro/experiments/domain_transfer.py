@@ -1,0 +1,144 @@
+"""Domain-transfer experiment (the paper's future-work direction).
+
+Section 5 of the paper: "The copying mechanism can also be expected to allow
+model adaptation across domains." This experiment operationalizes that
+claim on the synthetic corpus: train on one *domain* of fact templates
+(geography-flavoured), evaluate on a disjoint domain (people/organisations).
+Question patterns differ across domains, but the copy skill — point at the
+entity and reproduce it — transfers. The hypothesis: the ACNN degrades less
+out-of-domain than the attention-only baseline, measured both by BLEU and by
+out-of-vocabulary entity recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dataset import QGDataset, SourceMode
+from repro.data.synthetic import SyntheticConfig, generate_corpus
+from repro.evaluation.analysis import analyse_predictions
+from repro.evaluation.evaluator import EvaluationResult, evaluate_model
+from repro.evaluation.reporting import format_table
+from repro.experiments.configs import DEFAULT, ExperimentScale
+from repro.experiments.runner import SystemSpec, run_system
+
+__all__ = [
+    "SOURCE_DOMAIN",
+    "TARGET_DOMAIN",
+    "DomainTransferResult",
+    "run_domain_transfer",
+]
+
+SOURCE_DOMAIN: tuple[str, ...] = ("birth", "capital", "river", "mountain", "population")
+"""Training domain: geography-flavoured templates."""
+
+TARGET_DOMAIN: tuple[str, ...] = ("design", "acquisition", "book", "university", "invention")
+"""Held-out domain: people/organisation templates, never seen in training."""
+
+
+@dataclass
+class DomainTransferResult:
+    scale: ExperimentScale
+    in_domain: dict[str, EvaluationResult] = field(default_factory=dict)
+    out_of_domain: dict[str, EvaluationResult] = field(default_factory=dict)
+    oov_recall: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows_in = {name: result.scores for name, result in self.in_domain.items()}
+        rows_out = {name: result.scores for name, result in self.out_of_domain.items()}
+        pieces = [
+            format_table(rows_in, title=f"In-domain test (scale={self.scale.name})"),
+            "",
+            format_table(rows_out, title="Out-of-domain test (disjoint templates)"),
+            "",
+            "OOV entity recall (copyable tokens reproduced):",
+        ]
+        for name, recalls in self.oov_recall.items():
+            pieces.append(
+                f"  {name}: in-domain {100 * recalls['in']:.1f}%, "
+                f"out-of-domain {100 * recalls['out']:.1f}%"
+            )
+        return "\n".join(pieces)
+
+    def copy_transfers(self) -> bool:
+        """The future-work hypothesis: ACNN keeps higher OOV recall than the
+        attention baseline on the unseen domain."""
+        return self.oov_recall["ACNN"]["out"] > self.oov_recall["Du-attention"]["out"]
+
+
+def run_domain_transfer(
+    scale: ExperimentScale = DEFAULT,
+    verbose: bool = False,
+) -> DomainTransferResult:
+    """Train on SOURCE_DOMAIN, evaluate on both domains."""
+    train_corpus = generate_corpus(
+        SyntheticConfig(
+            num_train=scale.num_train,
+            num_dev=scale.num_dev,
+            num_test=scale.num_test,
+            seed=scale.corpus_seed,
+            template_names=SOURCE_DOMAIN,
+        )
+    )
+    target_corpus = generate_corpus(
+        SyntheticConfig(
+            num_train=1,  # only the test split is used
+            num_dev=1,
+            num_test=scale.num_test,
+            seed=scale.corpus_seed + 1,
+            template_names=TARGET_DOMAIN,
+        )
+    )
+
+    result = DomainTransferResult(scale=scale)
+    systems = (
+        ("Du-attention", "du-attention", 1),
+        ("ACNN", "acnn", 3),
+    )
+    for label, family, seed_offset in systems:
+        spec = SystemSpec(
+            key=label,
+            label=label,
+            family=family,
+            source_mode=SourceMode.SENTENCE,
+            seed_offset=seed_offset,
+        )
+        if verbose:
+            print(f"== {label}: training on domain {SOURCE_DOMAIN} ==")
+        run = run_system(spec, scale, corpus=train_corpus, verbose=verbose)
+        result.in_domain[label] = run.result
+
+        # Out-of-domain test set encoded with the TRAINING vocabularies.
+        train_dataset = run.datasets[0]
+        encoder_vocab = train_dataset.encoder_vocab
+        decoder_vocab = train_dataset.decoder_vocab
+        ood_dataset = QGDataset(
+            target_corpus.test,
+            encoder_vocab,
+            decoder_vocab,
+            source_mode=SourceMode.SENTENCE,
+            max_question_length=scale.max_decode_length,
+        )
+        ood_result = evaluate_model(
+            run.model,
+            ood_dataset,
+            beam_size=scale.beam_size,
+            max_length=scale.max_decode_length,
+            batch_size=scale.batch_size,
+        )
+        result.out_of_domain[label] = ood_result
+
+        in_analysis = analyse_predictions(
+            run.result.predictions, run.result.references, decoder_vocab
+        )
+        out_analysis = analyse_predictions(
+            ood_result.predictions, ood_result.references, decoder_vocab
+        )
+        result.oov_recall[label] = {
+            "in": in_analysis.oov_entity_recall,
+            "out": out_analysis.oov_entity_recall,
+        }
+        if verbose:
+            print(f"  in-domain : {run.result.summary()}")
+            print(f"  out-domain: {ood_result.summary()}")
+    return result

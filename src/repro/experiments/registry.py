@@ -1,0 +1,133 @@
+"""Registry mapping experiment ids to runners.
+
+Every table/figure of the paper's evaluation, plus the extension ablations,
+has an entry; `python -m repro.experiments <id>` and the benchmark suite
+both resolve through this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    domain_transfer,
+    figure1,
+    learning_curve,
+    table1,
+    table2,
+    variance,
+)
+from repro.experiments.configs import ExperimentScale
+
+__all__ = ["Experiment", "EXPERIMENTS"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable paper artifact."""
+
+    key: str
+    paper_artifact: str
+    description: str
+    runner: Callable[..., object]
+    """Callable taking (scale: ExperimentScale, verbose: bool) and returning
+    an object with a ``render() -> str`` method."""
+    bench_target: str
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "table1": Experiment(
+        key="table1",
+        paper_artifact="Table 1",
+        description=(
+            "Main comparison: Seq2Seq / Du-sent / Du-para / ACNN-sent / "
+            "ACNN-para on BLEU-1..4 and ROUGE-L"
+        ),
+        runner=lambda scale, verbose=False: table1.run_table1(scale, verbose=verbose),
+        bench_target="benchmarks/bench_table1.py",
+    ),
+    "table2": Experiment(
+        key="table2",
+        paper_artifact="Table 2",
+        description="ACNN-para with paragraph truncation length 100 / 120 / 150",
+        runner=lambda scale, verbose=False: table2.run_table2(scale, verbose=verbose),
+        bench_target="benchmarks/bench_table2.py",
+    ),
+    "figure1": Experiment(
+        key="figure1",
+        paper_artifact="Figure 1",
+        description="Architecture inventory of the ACNN (schematic reproduction)",
+        runner=lambda scale, verbose=False: figure1.run_figure1(scale),
+        bench_target="benchmarks/bench_figure1.py",
+    ),
+    "ablation-switch": Experiment(
+        key="ablation-switch",
+        paper_artifact="(extension)",
+        description="Adaptive switch gate vs frozen z in {0, 0.5, 1}",
+        runner=lambda scale, verbose=False: ablations.run_switch_ablation(scale, verbose=verbose),
+        bench_target="benchmarks/bench_ablation_switch.py",
+    ),
+    "ablation-beam": Experiment(
+        key="ablation-beam",
+        paper_artifact="(extension)",
+        description="Beam width sweep (1/3/5) on a trained ACNN-sent",
+        runner=lambda scale, verbose=False: ablations.run_beam_ablation(scale, verbose=verbose),
+        bench_target="benchmarks/bench_ablation_beam.py",
+    ),
+    "ablation-coverage": Experiment(
+        key="ablation-coverage",
+        paper_artifact="(extension)",
+        description="ACNN with vs without the coverage mechanism (repetition fix)",
+        runner=lambda scale, verbose=False: ablations.run_coverage_ablation(
+            scale, verbose=verbose
+        ),
+        bench_target="benchmarks/bench_ablation_coverage.py",
+    ),
+    "ablation-answer": Experiment(
+        key="ablation-answer",
+        paper_artifact="(extension)",
+        description="ACNN with vs without answer-position encoder tags (Zhou et al. 2017)",
+        runner=lambda scale, verbose=False: ablations.run_answer_feature_ablation(
+            scale, verbose=verbose
+        ),
+        bench_target="benchmarks/bench_ablation_answer.py",
+    ),
+    "learning-curve": Experiment(
+        key="learning-curve",
+        paper_artifact="(intro motivation)",
+        description=(
+            "Du-attention vs ACNN across training-set sizes: the copy "
+            "advantage in the limited-data regime the paper's intro motivates"
+        ),
+        runner=lambda scale, verbose=False: learning_curve.run_learning_curve(
+            scale, verbose=verbose
+        ),
+        bench_target="benchmarks/bench_learning_curve.py",
+    ),
+    "variance": Experiment(
+        key="variance",
+        paper_artifact="(methodology)",
+        description=(
+            "Seed-variance of ACNN-sent under the paper's recipe: the noise "
+            "floor against which Table 2's sub-point deltas must be judged"
+        ),
+        runner=lambda scale, verbose=False: variance.run_variance_study(
+            scale, verbose=verbose
+        ),
+        bench_target="benchmarks/bench_variance.py",
+    ),
+    "domain-transfer": Experiment(
+        key="domain-transfer",
+        paper_artifact="(future work, §5)",
+        description=(
+            "Train on geography templates, test on unseen people/organisation "
+            "templates: does the copy skill transfer across domains?"
+        ),
+        runner=lambda scale, verbose=False: domain_transfer.run_domain_transfer(
+            scale, verbose=verbose
+        ),
+        bench_target="benchmarks/bench_domain_transfer.py",
+    ),
+}

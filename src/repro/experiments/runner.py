@@ -1,0 +1,178 @@
+"""Shared experiment machinery: build data, train a system, evaluate it.
+
+A *system* is a Table 1 row: a model family plus a source granularity
+(sentence vs. truncated paragraph). All systems in one experiment share the
+same synthetic corpus; each gets vocabularies matching its own source mode,
+exactly as Du et al./the paper build separate sentence- and paragraph-level
+encoders.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.data.batching import BatchIterator
+from repro.data.dataset import QGDataset, SourceMode
+from repro.data.embeddings import embedding_matrix_for_vocab, pseudo_glove
+from repro.data.synthetic import SyntheticCorpus, generate_corpus
+from repro.evaluation.evaluator import EvaluationResult, evaluate_model
+from repro.experiments.configs import ExperimentScale
+from repro.models import build_model
+from repro.models.base import QuestionGenerator
+from repro.training.history import TrainingHistory
+from repro.training.trainer import Trainer
+
+import numpy as np
+
+__all__ = ["SystemSpec", "SystemRun", "TABLE1_SYSTEMS", "prepare_datasets", "run_system"]
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One row of a results table."""
+
+    key: str
+    label: str
+    family: str
+    source_mode: str
+    model_kwargs: dict = field(default_factory=dict)
+    seed_offset: int = 0
+
+
+TABLE1_SYSTEMS: tuple[SystemSpec, ...] = (
+    SystemSpec("seq2seq", "Seq2Seq", "seq2seq", SourceMode.SENTENCE, seed_offset=0),
+    SystemSpec("du-sent", "Du-sent", "du-attention", SourceMode.SENTENCE, seed_offset=1),
+    SystemSpec("du-para", "Du-para", "du-attention", SourceMode.PARAGRAPH, seed_offset=2),
+    SystemSpec("acnn-sent", "ACNN-sent", "acnn", SourceMode.SENTENCE, seed_offset=3),
+    SystemSpec("acnn-para", "ACNN-para", "acnn", SourceMode.PARAGRAPH, seed_offset=4),
+)
+
+
+@dataclass
+class SystemRun:
+    """Everything produced by training + evaluating one system."""
+
+    spec: SystemSpec
+    model: QuestionGenerator
+    result: EvaluationResult
+    history: TrainingHistory
+    train_seconds: float
+    eval_seconds: float
+    datasets: tuple[QGDataset, QGDataset, QGDataset] | None = None
+    """(train, dev, test) datasets, carrying the vocabularies the system was
+    trained with — needed for cross-domain evaluation."""
+
+    @property
+    def scores(self) -> dict[str, float]:
+        return self.result.scores
+
+
+def prepare_datasets(
+    corpus: SyntheticCorpus,
+    scale: ExperimentScale,
+    source_mode: str,
+    paragraph_length: int | None = None,
+) -> tuple[QGDataset, QGDataset, QGDataset]:
+    """Train/dev/test datasets with vocabularies built from the train split."""
+    length = paragraph_length if paragraph_length is not None else scale.paragraph_length
+    encoder_vocab, decoder_vocab = QGDataset.build_vocabs(
+        corpus.train,
+        encoder_vocab_size=scale.encoder_vocab_size,
+        decoder_vocab_size=scale.decoder_vocab_size,
+        source_mode=source_mode,
+        paragraph_length=length,
+    )
+
+    def make(split):
+        return QGDataset(
+            split,
+            encoder_vocab,
+            decoder_vocab,
+            source_mode=source_mode,
+            paragraph_length=length,
+            max_question_length=scale.max_decode_length,
+        )
+
+    return make(corpus.train), make(corpus.dev), make(corpus.test)
+
+
+def _apply_pretrained_embeddings(model: QuestionGenerator, train_ds: QGDataset, scale: ExperimentScale) -> None:
+    """GloVe-style init (pseudo-GloVe offline) for both embedding tables."""
+    rng = np.random.default_rng(scale.model_seed + 500)
+    for vocab, embedding in (
+        (train_ds.encoder_vocab, model.encoder_embedding),
+        (train_ds.decoder_vocab, model.decoder_embedding),
+    ):
+        vectors = pseudo_glove(vocab.tokens, scale.embedding_dim, seed=scale.corpus_seed)
+        matrix = embedding_matrix_for_vocab(vocab, vectors, scale.embedding_dim, rng)
+        embedding.load_pretrained(matrix)
+
+
+def run_system(
+    spec: SystemSpec,
+    scale: ExperimentScale,
+    corpus: SyntheticCorpus | None = None,
+    paragraph_length: int | None = None,
+    verbose: bool = False,
+) -> SystemRun:
+    """Train one system from scratch and evaluate it on the test split."""
+    corpus = corpus or generate_corpus(scale.synthetic_config())
+    train_ds, dev_ds, test_ds = prepare_datasets(
+        corpus, scale, spec.source_mode, paragraph_length=paragraph_length
+    )
+
+    model = build_model(
+        spec.family,
+        scale.model_config(seed_offset=spec.seed_offset),
+        len(train_ds.encoder_vocab),
+        len(train_ds.decoder_vocab),
+        **spec.model_kwargs,
+    )
+    if scale.use_pretrained_embeddings:
+        _apply_pretrained_embeddings(model, train_ds, scale)
+
+    train_iterator = BatchIterator(
+        train_ds, batch_size=scale.batch_size, seed=scale.model_seed + spec.seed_offset
+    )
+    dev_iterator = BatchIterator(dev_ds, batch_size=scale.batch_size, shuffle=False)
+
+    callback = None
+    if verbose:
+        def callback(record):
+            dev = f" dev {record.dev_loss:.4f}" if record.dev_loss is not None else ""
+            print(
+                f"  [{spec.label}] epoch {record.epoch}: "
+                f"train {record.train_loss:.4f}{dev} (lr {record.learning_rate:g})"
+            )
+
+    trainer = Trainer(
+        model,
+        train_iterator,
+        dev_iterator,
+        scale.trainer_config(),
+        epoch_callback=callback,
+    )
+    start = time.perf_counter()
+    history = trainer.train()
+    train_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = evaluate_model(
+        model,
+        test_ds,
+        beam_size=scale.beam_size,
+        max_length=scale.max_decode_length,
+        batch_size=scale.batch_size,
+    )
+    eval_seconds = time.perf_counter() - start
+
+    return SystemRun(
+        spec=spec,
+        model=model,
+        result=result,
+        history=history,
+        train_seconds=train_seconds,
+        eval_seconds=eval_seconds,
+        datasets=(train_ds, dev_ds, test_ds),
+    )

@@ -1,0 +1,91 @@
+"""Seed-variance study: the noise floor under the paper's recipe.
+
+Table 2 of the paper reports differences of fractions of a BLEU point
+between truncation lengths. Whether such differences are meaningful depends
+on the run-to-run variance of the training recipe, which the paper does not
+report. This experiment trains the same system at several init/shuffle
+seeds and reports the mean, standard deviation, and range per metric — the
+yardstick EXPERIMENTS.md uses when deciding which paper deltas are
+resolvable at this scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import SourceMode
+from repro.data.synthetic import generate_corpus
+from repro.evaluation.evaluator import METRIC_NAMES
+from repro.experiments.configs import DEFAULT, ExperimentScale
+from repro.experiments.runner import SystemRun, SystemSpec, run_system
+
+__all__ = ["VarianceResult", "run_variance_study"]
+
+
+@dataclass
+class VarianceResult:
+    """Per-metric spread across seeds for one system."""
+
+    scale: ExperimentScale
+    label: str
+    runs: dict[int, SystemRun] = field(default_factory=dict)
+
+    def values(self, metric: str) -> list[float]:
+        """Metric values across seeds, in seed order."""
+        return [self.runs[seed].scores[metric] for seed in sorted(self.runs)]
+
+    def spread(self, metric: str) -> dict[str, float]:
+        """Mean / std / min / max of one metric across seeds."""
+        values = np.asarray(self.values(metric))
+        return {
+            "mean": float(values.mean()),
+            "std": float(values.std(ddof=1)) if len(values) > 1 else 0.0,
+            "min": float(values.min()),
+            "max": float(values.max()),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"Seed-variance study: {self.label} over seeds {sorted(self.runs)} "
+            f"(scale={self.scale.name})",
+            f"{'metric':<10s}{'mean':>9s}{'std':>9s}{'min':>9s}{'max':>9s}{'range':>9s}",
+        ]
+        for metric in METRIC_NAMES:
+            s = self.spread(metric)
+            lines.append(
+                f"{metric:<10s}{s['mean']:>9.2f}{s['std']:>9.2f}"
+                f"{s['min']:>9.2f}{s['max']:>9.2f}{s['max'] - s['min']:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_variance_study(
+    scale: ExperimentScale = DEFAULT,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    family: str = "acnn",
+    source_mode: str = SourceMode.SENTENCE,
+    verbose: bool = False,
+) -> VarianceResult:
+    """Train one system once per seed (same corpus, different init/shuffle)."""
+    if len(seeds) < 1:
+        raise ValueError("run_variance_study needs at least one seed")
+    corpus = generate_corpus(scale.synthetic_config())
+    label = f"{family}-{'sent' if source_mode == SourceMode.SENTENCE else 'para'}"
+    result = VarianceResult(scale=scale, label=label)
+    for seed in seeds:
+        spec = SystemSpec(
+            key=f"{label}-seed{seed}",
+            label=label,
+            family=family,
+            source_mode=source_mode,
+            seed_offset=100 + seed,
+        )
+        if verbose:
+            print(f"== {label} seed {seed} ==")
+        run = run_system(spec, scale, corpus=corpus, verbose=verbose)
+        result.runs[seed] = run
+        if verbose:
+            print(f"  {run.result.summary()}")
+    return result

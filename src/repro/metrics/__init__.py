@@ -1,0 +1,19 @@
+"""Evaluation metrics: BLEU-n (Papineni 2002) and ROUGE-L (Lin 2004)."""
+
+from repro.metrics.bleu import bleu_n_scores, corpus_bleu, sentence_bleu
+from repro.metrics.diversity import distinct_n, unique_output_ratio
+from repro.metrics.ngram import ngram_counts, ngrams
+from repro.metrics.rouge import corpus_rouge_l, lcs_length, rouge_l_sentence
+
+__all__ = [
+    "bleu_n_scores",
+    "corpus_bleu",
+    "sentence_bleu",
+    "distinct_n",
+    "unique_output_ratio",
+    "ngram_counts",
+    "ngrams",
+    "corpus_rouge_l",
+    "lcs_length",
+    "rouge_l_sentence",
+]

@@ -1,0 +1,128 @@
+"""BLEU (Papineni et al., 2002).
+
+Implements standard corpus-level BLEU with modified (clipped) n-gram
+precision, geometric mean over orders, and the brevity penalty — the same
+definition as the classic ``multi-bleu.perl`` used by the OpenNMT pipeline
+the paper was built on. ``BLEU-n`` in the paper's tables is the cumulative
+score with maximum order ``n``; scores are reported on the 0-100 scale.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from repro.metrics.ngram import ngram_counts
+
+__all__ = ["corpus_bleu", "bleu_n_scores", "sentence_bleu"]
+
+Tokens = Sequence[str]
+
+
+def _clipped_matches(
+    hypothesis: Tokens, references: Sequence[Tokens], n: int
+) -> tuple[int, int]:
+    """(clipped match count, total hypothesis n-grams) for one segment."""
+    hyp_counts = ngram_counts(hypothesis, n)
+    if not hyp_counts:
+        return 0, 0
+    max_ref: Counter = Counter()
+    for reference in references:
+        for gram, count in ngram_counts(reference, n).items():
+            if count > max_ref[gram]:
+                max_ref[gram] = count
+    matches = sum(min(count, max_ref[gram]) for gram, count in hyp_counts.items())
+    return matches, sum(hyp_counts.values())
+
+
+def _closest_reference_length(hypothesis: Tokens, references: Sequence[Tokens]) -> int:
+    hyp_len = len(hypothesis)
+    return min((abs(len(r) - hyp_len), len(r)) for r in references)[1]
+
+
+def corpus_bleu(
+    hypotheses: Sequence[Tokens],
+    references: Sequence[Sequence[Tokens]],
+    max_n: int = 4,
+    smooth_epsilon: float = 0.0,
+) -> float:
+    """Corpus BLEU on the 0-100 scale.
+
+    Parameters
+    ----------
+    hypotheses:
+        One token sequence per segment.
+    references:
+        For each segment, a list of one or more reference token sequences.
+    max_n:
+        Highest n-gram order (BLEU-4 is the default/headline metric).
+    smooth_epsilon:
+        If > 0, zero precisions are replaced by this value instead of
+        zeroing the whole score (useful for tiny corpora; the paper-scale
+        harness leaves it at 0).
+    """
+    if len(hypotheses) != len(references):
+        raise ValueError(
+            f"{len(hypotheses)} hypotheses vs {len(references)} reference sets"
+        )
+    if not hypotheses:
+        raise ValueError("corpus_bleu needs at least one segment")
+
+    matches = [0] * max_n
+    totals = [0] * max_n
+    hyp_length = 0
+    ref_length = 0
+    for hypothesis, refs in zip(hypotheses, references):
+        if not refs:
+            raise ValueError("every segment needs at least one reference")
+        hyp_length += len(hypothesis)
+        ref_length += _closest_reference_length(hypothesis, refs)
+        for order in range(1, max_n + 1):
+            m, t = _clipped_matches(hypothesis, refs, order)
+            matches[order - 1] += m
+            totals[order - 1] += t
+
+    log_precisions = []
+    for m, t in zip(matches, totals):
+        if t == 0:
+            return 0.0
+        if m == 0:
+            if smooth_epsilon <= 0:
+                return 0.0
+            m = smooth_epsilon
+        log_precisions.append(math.log(m / t))
+
+    geo_mean = math.exp(sum(log_precisions) / max_n)
+    brevity = 1.0 if hyp_length > ref_length else math.exp(1.0 - ref_length / max(1, hyp_length))
+    return 100.0 * brevity * geo_mean
+
+
+def bleu_n_scores(
+    hypotheses: Sequence[Tokens],
+    references: Sequence[Sequence[Tokens]],
+    max_n: int = 4,
+    smooth_epsilon: float = 0.0,
+) -> dict[str, float]:
+    """BLEU-1 .. BLEU-``max_n`` as reported in the paper's tables."""
+    return {
+        f"BLEU-{n}": corpus_bleu(hypotheses, references, max_n=n, smooth_epsilon=smooth_epsilon)
+        for n in range(1, max_n + 1)
+    }
+
+
+def sentence_bleu(
+    hypothesis: Tokens,
+    references: Sequence[Tokens],
+    max_n: int = 4,
+    smooth_epsilon: float = 0.1,
+) -> float:
+    """Single-segment BLEU with epsilon smoothing (for inspection/examples).
+
+    The order is capped at the hypothesis length so a 2-token output is
+    scored as BLEU-2 rather than an automatic zero.
+    """
+    effective_n = max(1, min(max_n, len(hypothesis)))
+    return corpus_bleu(
+        [hypothesis], [references], max_n=effective_n, smooth_epsilon=smooth_epsilon
+    )

@@ -1,0 +1,42 @@
+"""Generation-diversity metrics (distinct-n, Li et al. 2016).
+
+Complements BLEU/ROUGE when the decoder is used to produce question *sets*
+(n-best or sampling): distinct-n is the fraction of unique n-grams across
+all generated outputs, and self-BLEU-free pairwise uniqueness measures how
+different the candidates for one source are.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metrics.ngram import ngrams
+
+__all__ = ["distinct_n", "unique_output_ratio"]
+
+Tokens = Sequence[str]
+
+
+def distinct_n(outputs: Sequence[Tokens], n: int = 2) -> float:
+    """Unique n-grams divided by total n-grams across all outputs.
+
+    1.0 means every n-gram is unique (maximal diversity); values near 0 mean
+    the generator repeats itself. Outputs too short for any n-gram are
+    skipped; if nothing yields an n-gram the result is 0.0.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    total = 0
+    unique: set[tuple[str, ...]] = set()
+    for output in outputs:
+        grams = ngrams(list(output), n)
+        total += len(grams)
+        unique.update(grams)
+    return len(unique) / total if total else 0.0
+
+
+def unique_output_ratio(outputs: Sequence[Tokens]) -> float:
+    """Fraction of outputs that are distinct as whole sequences."""
+    if not outputs:
+        raise ValueError("unique_output_ratio needs at least one output")
+    return len({tuple(output) for output in outputs}) / len(outputs)

@@ -1,0 +1,20 @@
+"""N-gram counting utilities shared by the BLEU implementation."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+__all__ = ["ngrams", "ngram_counts"]
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous n-grams of ``tokens`` (empty when too short)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [tuple(tokens[i: i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def ngram_counts(tokens: Sequence[str], n: int) -> Counter:
+    """Multiset of n-grams as a Counter."""
+    return Counter(ngrams(tokens, n))

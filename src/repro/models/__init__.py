@@ -1,0 +1,46 @@
+"""Models: the Seq2Seq baseline, the Du et al. attention baseline, and ACNN.
+
+:func:`build_model` is the factory the experiment harness uses; names match
+the rows of the paper's Table 1 (the ``-sent`` / ``-para`` suffix is a data
+setting, not a model difference, so it lives in the experiment configs).
+"""
+
+from repro.models.acnn import ACNN
+from repro.models.base import DecoderStepState, EncoderContext, QuestionGenerator
+from repro.models.config import ModelConfig
+from repro.models.du_attention import DuAttentionModel
+from repro.models.seq2seq import Seq2SeqBaseline
+
+__all__ = [
+    "ACNN",
+    "DecoderStepState",
+    "EncoderContext",
+    "QuestionGenerator",
+    "ModelConfig",
+    "DuAttentionModel",
+    "Seq2SeqBaseline",
+    "build_model",
+    "MODEL_FAMILIES",
+]
+
+MODEL_FAMILIES = {
+    "seq2seq": Seq2SeqBaseline,
+    "du-attention": DuAttentionModel,
+    "acnn": ACNN,
+}
+
+
+def build_model(
+    family: str,
+    config: ModelConfig,
+    encoder_vocab_size: int,
+    decoder_vocab_size: int,
+    **kwargs,
+) -> QuestionGenerator:
+    """Instantiate a model family by name.
+
+    ``kwargs`` are forwarded (e.g. ``switch_mode`` for ACNN ablations).
+    """
+    if family not in MODEL_FAMILIES:
+        raise KeyError(f"unknown model family {family!r}; options: {sorted(MODEL_FAMILIES)}")
+    return MODEL_FAMILIES[family](config, encoder_vocab_size, decoder_vocab_size, **kwargs)

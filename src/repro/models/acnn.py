@@ -1,0 +1,281 @@
+"""The Adaptive Copying Neural Network (ACNN) — the paper's contribution.
+
+ACNN extends the Du et al. attention model with Eqs. 2-4 of Section 3.2:
+
+- **Eq. 2 (mixture)**: ``P(y_k) = z_k P_cop(y_k) + (1 - z_k) P_att(y_k)``,
+  where ``P_att`` generates from the decoder vocabulary and ``P_cop`` copies
+  from the source.
+- **Eq. 3 (copy distribution)**: a softmax over the words of the source
+  sequence scored against the transformed decoder context. As printed in
+  the paper, Eq. 3 reuses the symbol ``V`` on both sides and is dimensionally
+  ambiguous; we implement the standard pointer reading that matches its
+  shape: each source position ``t`` receives the score
+
+      s_t = h_t^T (V [d_k ; c_k] + b_1) + b_2
+
+  (``h_t`` = encoder state at position t, ``V`` a learned projection of the
+  concatenated decoder state and context, ``b_1`` a vector bias, ``b_2`` a
+  scalar bias), and ``P_cop`` is the masked softmax of ``s`` over source
+  positions; the probability of *word* w is the sum over positions holding
+  w. This keeps Eq. 3's "softmax over the unique word set of the source"
+  semantics.
+- **Eq. 4 (adaptive switch)**:
+  ``z_k = sigmoid(W_d^T d_k + W_c^T c_k + W_s^T y_{k-1} + b)`` with
+  ``y_{k-1}`` the embedding of the previous output token — the data-adaptive
+  gate that selects between generating and copying.
+
+For ablations, ``switch_mode`` can freeze the gate: ``"adaptive"`` (paper),
+``"fixed"`` with a constant ``z`` (0 = pure attention, 1 = pure copy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.data.vocabulary import UNK_ID
+from repro.models.base import DecoderStepState, EncoderContext
+from repro.models.config import ModelConfig
+from repro.models.du_attention import DuAttentionModel
+from repro.nn import Linear, Parameter, sequence_nll
+from repro.nn import init as nn_init
+from repro.nn.loss import PROBABILITY_FLOOR
+from repro.tensor.core import Tensor
+from repro.tensor.ops import (
+    concat,
+    expand_dims,
+    gather_rows,
+    masked_fill,
+    minimum,
+    sigmoid,
+    softmax,
+)
+
+__all__ = ["ACNN"]
+
+_MASK_VALUE = -1e9
+
+
+class ACNN(DuAttentionModel):
+    """Adaptive copying model: attention decoder + copy path + switch gate."""
+
+    name = "acnn"
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        encoder_vocab_size: int,
+        decoder_vocab_size: int,
+        switch_mode: str = "adaptive",
+        fixed_switch: float = 0.5,
+        use_coverage: bool = False,
+        coverage_loss_weight: float = 1.0,
+        use_answer_features: bool = False,
+        answer_feature_dim: int = 8,
+        scheduled_sampling_rate: float = 0.0,
+        scheduled_sampling_seed: int = 0,
+    ) -> None:
+        super().__init__(
+            config,
+            encoder_vocab_size,
+            decoder_vocab_size,
+            use_answer_features=use_answer_features,
+            answer_feature_dim=answer_feature_dim,
+        )
+        if switch_mode not in ("adaptive", "fixed"):
+            raise ValueError(f"unknown switch_mode {switch_mode!r}")
+        if not 0.0 <= fixed_switch <= 1.0:
+            raise ValueError(f"fixed_switch must be in [0, 1], got {fixed_switch}")
+        if coverage_loss_weight < 0:
+            raise ValueError(f"coverage_loss_weight must be >= 0, got {coverage_loss_weight}")
+        if not 0.0 <= scheduled_sampling_rate < 1.0:
+            raise ValueError(
+                f"scheduled_sampling_rate must be in [0, 1), got {scheduled_sampling_rate}"
+            )
+        self.switch_mode = switch_mode
+        self.fixed_switch = fixed_switch
+        self.use_coverage = use_coverage
+        self.coverage_loss_weight = coverage_loss_weight
+        self.scheduled_sampling_rate = scheduled_sampling_rate
+        self._sampling_rng = np.random.default_rng(scheduled_sampling_seed)
+
+        rng = np.random.default_rng(config.seed + 100)
+        if use_coverage:
+            # Rebuild the attention layer with the coverage term (See et al.
+            # 2017 extension; see DESIGN.md's ablation index).
+            from repro.nn import GlobalAttention
+
+            self.attention = GlobalAttention(
+                config.hidden_size,
+                self.encoder_output_size,
+                np.random.default_rng(config.seed + 200),
+                use_coverage=True,
+            )
+        hidden = config.hidden_size
+        # Eq. 3: V [d_k ; c_k] + b_1 projects into encoder-state space; b_2
+        # is the scalar score bias.
+        self.copy_projection = Linear(hidden + self.encoder_output_size, self.encoder_output_size, rng)
+        self.copy_score_bias = Parameter(np.zeros(1), name="copy_b2")
+        # Eq. 4: one weight vector per input of the switch gate.
+        self.switch_d = Parameter(nn_init.uniform((hidden,), rng), name="W_d")
+        self.switch_c = Parameter(nn_init.uniform((self.encoder_output_size,), rng), name="W_c")
+        self.switch_y = Parameter(nn_init.uniform((config.embedding_dim,), rng), name="W_s")
+        self.switch_bias = Parameter(np.zeros(1), name="switch_b")
+
+    # ------------------------------------------------------------------
+    # Copy machinery
+    # ------------------------------------------------------------------
+    def copy_distribution(
+        self,
+        d_k: Tensor,
+        c_k: Tensor,
+        encoder_states: Tensor,
+        src_pad_mask: np.ndarray,
+    ) -> Tensor:
+        """Eq. 3: ``P_cop`` over source positions, padding masked out."""
+        projected = self.copy_projection(concat([d_k, c_k], axis=1))  # (B, enc_out)
+        scores = (expand_dims(projected, 1) * encoder_states).sum(axis=2)  # (B, S)
+        scores = scores + self.copy_score_bias
+        scores = masked_fill(scores, src_pad_mask, _MASK_VALUE)
+        return softmax(scores, axis=1)
+
+    def switch(self, d_k: Tensor, c_k: Tensor, y_prev_embedded: Tensor) -> Tensor:
+        """Eq. 4: the adaptive copy/generate gate ``z_k`` in (0, 1)."""
+        if self.switch_mode == "fixed":
+            return Tensor(np.full((d_k.shape[0],), self.fixed_switch))
+        logit = (
+            d_k @ self.switch_d
+            + c_k @ self.switch_c
+            + y_prev_embedded @ self.switch_y
+            + self.switch_bias
+        )
+        return sigmoid(logit)  # (B,)
+
+    # ------------------------------------------------------------------
+    # Training (Eq. 1/2: maximize the mixture likelihood of gold tokens)
+    # ------------------------------------------------------------------
+    def loss(self, batch: Batch) -> Tensor:
+        context = self.encode(batch)
+        states = list(context.initial_states)
+        embedded = self.decoder_embedding(batch.tgt_input)
+        time_steps = batch.tgt_input.shape[1]
+        valid = ~batch.tgt_pad_mask
+
+        coverage: Tensor | None = None
+        if self.use_coverage:
+            coverage = Tensor(np.zeros((batch.size, batch.src.shape[1])))
+        coverage_penalty: Tensor | None = None
+
+        # Scheduled sampling (Bengio et al. 2015, extension): with some
+        # probability feed the model's previous prediction instead of the
+        # gold token, shrinking the train/inference exposure gap.
+        sampling = self.training and self.scheduled_sampling_rate > 0.0
+        prev_predictions: np.ndarray | None = None
+
+        step_probs: list[Tensor] = []
+        for t in range(time_steps):
+            if sampling and t > 0:
+                use_model = self._sampling_rng.random(batch.size) < self.scheduled_sampling_rate
+                input_ids = np.where(use_model, prev_predictions, batch.tgt_input[:, t])
+                x_t = self.decoder_embedding(input_ids)
+            else:
+                x_t = embedded[:, t, :]
+            d_k, c_k, attn, logits, states = self._decode_step(
+                x_t, states, context.encoder_states, context.src_pad_mask, coverage=coverage
+            )
+            p_att = softmax(logits, axis=-1)  # (B, V)
+            p_att_target = gather_rows(p_att, batch.tgt_output[:, t])
+            # Zero out the generation path where it may not explain the
+            # token (decoder-OOV but copyable: only the copy path counts).
+            p_att_target = p_att_target * Tensor(batch.att_allowed[:, t])
+
+            p_cop = self.copy_distribution(d_k, c_k, context.encoder_states, context.src_pad_mask)
+            p_cop_target = (p_cop * Tensor(batch.copy_match[:, t, :])).sum(axis=1)
+
+            z = self.switch(d_k, c_k, x_t)
+            mixture = z * p_cop_target + (1.0 - z) * p_att_target  # Eq. 2
+            step_probs.append(mixture)
+
+            if sampling:
+                # The next step may feed this step's greedy vocabulary pick
+                # (OOV copies feed back as UNK at inference too).
+                prev_predictions = p_att.data.argmax(axis=1)
+
+            if coverage is not None:
+                # Coverage loss (See et al. 2017): penalize re-attending.
+                overlap = minimum(attn, coverage).sum(axis=1)
+                step_penalty = (overlap * Tensor(valid[:, t].astype(float))).sum()
+                coverage_penalty = (
+                    step_penalty if coverage_penalty is None else coverage_penalty + step_penalty
+                )
+                coverage = coverage + attn
+
+        nll = sequence_nll(step_probs, batch.tgt_output, batch.tgt_pad_mask)
+        if coverage_penalty is not None and self.coverage_loss_weight > 0:
+            total_tokens = float(valid.sum())
+            nll = nll + coverage_penalty * (self.coverage_loss_weight / total_tokens)
+        return nll
+
+    # ------------------------------------------------------------------
+    # Decoding: full extended-vocabulary distribution
+    # ------------------------------------------------------------------
+    def initial_decoder_state(self, context: EncoderContext) -> DecoderStepState:
+        state = super().initial_decoder_state(context)
+        if self.use_coverage:
+            batch, src_len = context.src_ext.shape
+            state.coverage = np.zeros((batch, src_len))
+        return state
+
+    def step_log_probs(
+        self,
+        prev_tokens: np.ndarray,
+        state: DecoderStepState,
+        context: EncoderContext,
+        row_indices: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, DecoderStepState]:
+        encoder_states, src_pad_mask, src_ext = self._context_rows(context, row_indices)
+        token_ids = self.map_to_decoder_vocab(prev_tokens, self.decoder_vocab_size, UNK_ID)
+        embedded = self.decoder_embedding(token_ids)
+        coverage = Tensor(state.coverage) if state.coverage is not None else None
+        d_k, c_k, attn, logits, new_states = self._decode_step(
+            embedded, state.lstm_states, encoder_states, src_pad_mask, coverage=coverage
+        )
+        p_att = softmax(logits, axis=-1).data  # (B, V)
+        p_cop = self.copy_distribution(d_k, c_k, encoder_states, src_pad_mask).data  # (B, S)
+        z = self.switch(d_k, c_k, embedded).data.reshape(-1, 1)  # (B, 1)
+
+        batch_size = p_att.shape[0]
+        extended = np.zeros((batch_size, self.decoder_vocab_size + context.max_oov))
+        extended[:, : self.decoder_vocab_size] = (1.0 - z) * p_att
+        rows = np.repeat(np.arange(batch_size)[:, None], src_ext.shape[1], axis=1)
+        np.add.at(extended, (rows, src_ext), z * p_cop)
+        new_coverage = (
+            state.coverage + attn.data if state.coverage is not None else None
+        )
+        return (
+            np.log(extended + PROBABILITY_FLOOR),
+            DecoderStepState(new_states, coverage=new_coverage),
+        )
+
+    def describe(self) -> str:
+        cfg = self.config
+        switch = (
+            "adaptive: z_k = sigmoid(W_d d_k + W_c c_k + W_s y_{k-1} + b)"
+            if self.switch_mode == "adaptive"
+            else f"fixed: z = {self.fixed_switch}"
+        )
+        return (
+            "ACNN — Adaptive Copying Neural Network (Lu & Guo 2019)\n"
+            f"  encoder: {cfg.num_layers}-layer bidirectional LSTM({cfg.hidden_size} per direction)\n"
+            f"  decoder: {cfg.num_layers}-layer LSTM({cfg.hidden_size}), bridged init\n"
+            "  attention: global, e_kt = tanh(d_k^T W_h h_t)\n"
+            "  generation: P_att = softmax(W_y tanh(W_k [d_k ; c_k]))\n"
+            "  copy: P_cop = softmax_t(h_t^T (V [d_k ; c_k] + b_1) + b_2) over source words\n"
+            f"  switch ({switch})\n"
+            "  output: P(y_k) = z_k P_cop + (1 - z_k) P_att   [Eq. 2]"
+            + (
+                f"\n  coverage: attention history term + loss (weight {self.coverage_loss_weight})"
+                if self.use_coverage
+                else ""
+            )
+        )

@@ -1,0 +1,149 @@
+"""Shared model interface.
+
+All three systems (Seq2Seq baseline, Du et al. attention model, ACNN)
+implement :class:`QuestionGenerator`:
+
+- :meth:`loss` — teacher-forced training loss on a :class:`Batch`;
+- :meth:`encode` — run the encoder, producing an :class:`EncoderContext`;
+- :meth:`initial_decoder_state` / :meth:`step_log_probs` — the incremental
+  decoding interface the greedy/beam decoders drive.
+
+``step_log_probs`` returns log-probabilities over the *extended* vocabulary
+(decoder vocab followed by per-example source OOV slots); models without a
+copy path simply return zero-probability for the OOV slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.nn.module import Module
+from repro.tensor.core import Tensor
+
+__all__ = ["EncoderContext", "DecoderStepState", "QuestionGenerator"]
+
+State = tuple[Tensor, Tensor]
+
+
+@dataclass
+class EncoderContext:
+    """Everything decoding needs about an encoded batch."""
+
+    encoder_states: Tensor
+    """(B, S, enc_out) per-position encoder representations (None-like zero
+    tensor for the attention-free baseline, which ignores it)."""
+    src_pad_mask: np.ndarray
+    """(B, S) True at padding."""
+    src_ext: np.ndarray
+    """(B, S) extended-vocabulary ids for copy scattering."""
+    max_oov: int
+    """Largest per-example OOV count in the batch."""
+    initial_states: list[State]
+    """Per-layer decoder start states (bridged from the encoder)."""
+
+    @property
+    def batch_size(self) -> int:
+        return self.src_ext.shape[0]
+
+
+@dataclass
+class DecoderStepState:
+    """Recurrent decoder state carried between steps."""
+
+    lstm_states: list[State]
+    coverage: np.ndarray | None = None
+    """(B, S) accumulated attention (only for coverage-enabled models)."""
+
+    def select(self, indices: np.ndarray) -> "DecoderStepState":
+        """Reorder/duplicate along the batch axis (beam bookkeeping)."""
+        picked = [
+            (Tensor(h.data[indices]), Tensor(c.data[indices]))
+            for h, c in self.lstm_states
+        ]
+        coverage = self.coverage[indices] if self.coverage is not None else None
+        return DecoderStepState(picked, coverage=coverage)
+
+
+class QuestionGenerator(Module):
+    """Abstract base for every model in the comparison."""
+
+    name: str = "base"
+
+    def __init__(self, decoder_vocab_size: int) -> None:
+        super().__init__()
+        self.decoder_vocab_size = decoder_vocab_size
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def loss(self, batch: Batch) -> Tensor:
+        """Teacher-forced token-averaged NLL for one batch."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Decoding interface
+    # ------------------------------------------------------------------
+    def encode(self, batch: Batch) -> EncoderContext:
+        """Run the encoder over a batch (call under ``no_grad`` for eval)."""
+        raise NotImplementedError
+
+    def initial_decoder_state(self, context: EncoderContext) -> DecoderStepState:
+        """The decoder state before the first step (bridged encoder states)."""
+        return DecoderStepState(list(context.initial_states))
+
+    def step_log_probs(
+        self,
+        prev_tokens: np.ndarray,
+        state: DecoderStepState,
+        context: EncoderContext,
+        row_indices: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, DecoderStepState]:
+        """One decoding step.
+
+        Parameters
+        ----------
+        prev_tokens:
+            ``(B,)`` previously generated extended-vocab ids (ids beyond the
+            decoder vocabulary are fed back as UNK).
+        state:
+            Recurrent state from the previous step.
+        context:
+            Output of :meth:`encode`. When beam search expands one example
+            into several hypotheses, ``row_indices`` maps each row of
+            ``prev_tokens`` onto the context's batch row.
+
+        Returns
+        -------
+        log_probs, new_state:
+            ``log_probs`` is ``(B, decoder_vocab + max_oov)``.
+        """
+        raise NotImplementedError
+
+    def extended_vocab_size(self, context: EncoderContext) -> int:
+        """Decoder vocabulary plus this batch's per-example OOV slots."""
+        return self.decoder_vocab_size + context.max_oov
+
+    # ------------------------------------------------------------------
+    # Introspection (Figure 1 reproduction)
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable component inventory of the architecture."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _context_rows(context: EncoderContext, row_indices: np.ndarray | None):
+        """Encoder tensors for the requested rows (beam expansion)."""
+        if row_indices is None:
+            return context.encoder_states, context.src_pad_mask, context.src_ext
+        states = Tensor(context.encoder_states.data[row_indices])
+        return states, context.src_pad_mask[row_indices], context.src_ext[row_indices]
+
+    @staticmethod
+    def map_to_decoder_vocab(prev_tokens: np.ndarray, vocab_size: int, unk_id: int) -> np.ndarray:
+        """Replace extended-vocab ids (copied OOVs) with UNK for embedding."""
+        prev_tokens = np.asarray(prev_tokens)
+        return np.where(prev_tokens >= vocab_size, unk_id, prev_tokens)

@@ -1,0 +1,44 @@
+"""Model hyperparameter configuration.
+
+Defaults are the paper's Section 4 settings (600-d LSTM states, 2 layers,
+dropout 0.3, 300-d GloVe embeddings). The experiment harness instantiates
+scaled-down copies for CPU training; the defaults remain as documentation of
+the original configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ModelConfig"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shared hyperparameters for all three model families."""
+
+    embedding_dim: int = 300
+    """Word embedding width (paper: GloVe 300-d)."""
+    hidden_size: int = 600
+    """LSTM hidden state width (paper: 600). The bidirectional encoder uses
+    this per direction, so its per-position output is ``2 * hidden_size``."""
+    num_layers: int = 2
+    """Stacked LSTM depth (paper: 2)."""
+    dropout: float = 0.3
+    """Dropout probability (paper: 0.3)."""
+    seed: int = 0
+    """Seed for weight init and dropout masks."""
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim < 1:
+            raise ValueError(f"embedding_dim must be >= 1, got {self.embedding_dim}")
+        if self.hidden_size < 1:
+            raise ValueError(f"hidden_size must be >= 1, got {self.hidden_size}")
+        if self.num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {self.num_layers}")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+
+    def scaled(self, **overrides) -> "ModelConfig":
+        """A copy with some fields replaced (used by experiment configs)."""
+        return replace(self, **overrides)

@@ -1,0 +1,30 @@
+"""Neural network layers built on :mod:`repro.tensor`.
+
+Contains every architectural component the paper's Section 3 needs: LSTM
+cells and stacks, the bidirectional encoder, global attention, embeddings
+(with GloVe-style pre-trained init), dropout, and sequence losses.
+"""
+
+from repro.nn.attention import GlobalAttention
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.loss import PROBABILITY_FLOOR, cross_entropy, nll_loss, sequence_nll
+from repro.nn.lstm import LSTM, BidirectionalLSTM, LSTMCell
+from repro.nn.module import Module, Parameter
+
+__all__ = [
+    "GlobalAttention",
+    "Dropout",
+    "Embedding",
+    "Linear",
+    "PROBABILITY_FLOOR",
+    "cross_entropy",
+    "nll_loss",
+    "sequence_nll",
+    "LSTM",
+    "BidirectionalLSTM",
+    "LSTMCell",
+    "Module",
+    "Parameter",
+]

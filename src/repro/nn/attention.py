@@ -1,0 +1,105 @@
+"""Global attention as specified in Section 3.1 of the paper.
+
+The attention-based encoding of the input at decoding step ``k`` is
+
+    c_k = sum_t a_{k,t} h_t
+    a_{k,t} = softmax_t(e_{k,t})
+    e_{k,t} = tanh(d_k^T W_h h_t)
+
+where ``d_k`` is the decoder hidden state and ``h_t`` the (bidirectional)
+encoder state at source position ``t``. Padding positions are excluded from
+the softmax via a mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.core import Tensor
+from repro.tensor.ops import expand_dims, masked_fill, softmax, tanh
+
+__all__ = ["GlobalAttention"]
+
+_MASK_VALUE = -1e9
+
+
+class GlobalAttention(Module):
+    """Bilinear-scored global attention over encoder states.
+
+    Parameters
+    ----------
+    decoder_size:
+        Width of the decoder hidden state ``d_k``.
+    encoder_size:
+        Width of the per-position encoder state ``h_t`` (``2 * hidden`` for
+        the bidirectional encoder).
+    rng:
+        Generator for the ``W_h`` init.
+    """
+
+    def __init__(
+        self,
+        decoder_size: int,
+        encoder_size: int,
+        rng: np.random.Generator,
+        use_coverage: bool = False,
+    ) -> None:
+        super().__init__()
+        self.decoder_size = decoder_size
+        self.encoder_size = encoder_size
+        self.weight = Parameter(init.xavier_uniform((decoder_size, encoder_size), rng), name="W_h")
+        # Coverage extension (See et al. 2017): a learned scalar mixes the
+        # accumulated attention history into the scores, discouraging the
+        # decoder from re-attending (and re-emitting) the same positions.
+        self.coverage_weight = Parameter(np.zeros(1), name="w_cov") if use_coverage else None
+
+    def scores(self, decoder_state: Tensor, encoder_states: Tensor) -> Tensor:
+        """Unnormalized scores ``e_{k,t} = tanh(d_k^T W_h h_t)``.
+
+        Shapes: ``decoder_state`` is ``(B, decoder_size)``,
+        ``encoder_states`` is ``(B, T, encoder_size)``; returns ``(B, T)``.
+        """
+        projected = decoder_state @ self.weight  # (B, encoder_size)
+        raw = (expand_dims(projected, 1) * encoder_states).sum(axis=2)  # (B, T)
+        return tanh(raw)
+
+    def forward(
+        self,
+        decoder_state: Tensor,
+        encoder_states: Tensor,
+        pad_mask: np.ndarray | None = None,
+        coverage: Tensor | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Compute the context vector and attention weights.
+
+        Parameters
+        ----------
+        decoder_state:
+            ``(B, decoder_size)`` current decoder hidden state ``d_k``.
+        encoder_states:
+            ``(B, T, encoder_size)`` bidirectional encoder outputs.
+        pad_mask:
+            Optional ``(B, T)`` boolean array, True at padding positions.
+        coverage:
+            Optional ``(B, T)`` accumulated attention history; only valid
+            when the layer was built with ``use_coverage=True``.
+
+        Returns
+        -------
+        context, weights:
+            ``context`` is ``(B, encoder_size)`` (``c_k`` in the paper);
+            ``weights`` is ``(B, T)`` (``a_{k,t}``), summing to one over the
+            non-padded positions.
+        """
+        scores = self.scores(decoder_state, encoder_states)
+        if coverage is not None:
+            if self.coverage_weight is None:
+                raise ValueError("attention layer was built without use_coverage=True")
+            scores = scores + coverage * self.coverage_weight
+        if pad_mask is not None:
+            scores = masked_fill(scores, pad_mask, _MASK_VALUE)
+        weights = softmax(scores, axis=1)
+        context = (expand_dims(weights, 2) * encoder_states).sum(axis=1)
+        return context, weights

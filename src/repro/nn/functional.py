@@ -1,0 +1,144 @@
+"""Fused neural-network ops with hand-written backwards.
+
+The recurrent models spend their time in the LSTM cell; expressing the cell
+as ~16 elementary tape ops per timestep makes Python-level graph overhead
+the bottleneck. The fused ops here compute a whole cell step as ONE tape
+node whose output stacks ``[h_new ; c_new]`` along the feature axis; callers
+split it with two cheap basic slices. The math is identical to the
+elementary-op formulation (the test suite gradchecks it and compares the two
+directly).
+
+Two variants:
+
+- :func:`lstm_cell_step` — self-contained step (used for single-step
+  decoding).
+- :func:`lstm_cell_step_preprojected` — takes ``x @ W_ih^T + b`` computed
+  outside, so a full sequence can batch its input projections into one big
+  matmul (used by :class:`repro.nn.lstm.LSTM` over whole sequences).
+
+Gate layout in the fused weights is ``[input, forget, cell, output]``,
+matching :class:`repro.nn.lstm.LSTMCell`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.core import Tensor
+
+__all__ = ["lstm_cell_step", "lstm_cell_step_preprojected"]
+
+
+def _fast_sigmoid(x: np.ndarray) -> np.ndarray:
+    # exp overflow for very negative inputs saturates to exactly 0.0, which
+    # is the correct limit; suppress the harmless warning.
+    with np.errstate(over="ignore"):
+        return 1.0 / (1.0 + np.exp(-x))
+
+
+def _fused_core(
+    gates: np.ndarray,
+    h_prev: Tensor,
+    c_prev: Tensor,
+    weight_hh: Tensor,
+    parents: tuple[Tensor, ...],
+    input_backward,
+) -> tuple[Tensor, Tensor]:
+    """Shared forward/backward around precomputed gate pre-activations.
+
+    ``input_backward(d_gates)`` propagates the gate gradient to whatever
+    produced the input-side projection (either the raw x and W_ih, or the
+    pre-projected tensor).
+    """
+    hidden = h_prev.data.shape[1]
+    i_gate = _fast_sigmoid(gates[:, :hidden])
+    f_gate = _fast_sigmoid(gates[:, hidden: 2 * hidden])
+    g_gate = np.tanh(gates[:, 2 * hidden: 3 * hidden])
+    o_gate = _fast_sigmoid(gates[:, 3 * hidden:])
+    c_new = f_gate * c_prev.data + i_gate * g_gate
+    tanh_c_new = np.tanh(c_new)
+    h_new = o_gate * tanh_c_new
+
+    out_data = np.concatenate([h_new, c_new], axis=1)
+
+    def backward(d_out: np.ndarray) -> None:
+        d_h = d_out[:, :hidden]
+        d_c = d_out[:, hidden:].copy()
+        d_o = d_h * tanh_c_new * o_gate * (1.0 - o_gate)
+        d_c += d_h * o_gate * (1.0 - tanh_c_new * tanh_c_new)
+
+        d_gates = np.empty_like(gates)
+        d_gates[:, :hidden] = d_c * g_gate * i_gate * (1.0 - i_gate)
+        d_gates[:, hidden: 2 * hidden] = d_c * c_prev.data * f_gate * (1.0 - f_gate)
+        d_gates[:, 2 * hidden: 3 * hidden] = d_c * i_gate * (1.0 - g_gate * g_gate)
+        d_gates[:, 3 * hidden:] = d_o
+
+        input_backward(d_gates)
+        if h_prev.requires_grad:
+            h_prev._accumulate_grad(d_gates @ weight_hh.data)
+        if c_prev.requires_grad:
+            c_prev._accumulate_grad(d_c * f_gate)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate_grad(d_gates.T @ h_prev.data)
+
+    out = Tensor._from_op(out_data, parents, backward)
+    return out[:, :hidden], out[:, hidden:]
+
+
+def lstm_cell_step(
+    x: Tensor,
+    h_prev: Tensor,
+    c_prev: Tensor,
+    weight_ih: Tensor,
+    weight_hh: Tensor,
+    bias: Tensor,
+) -> tuple[Tensor, Tensor]:
+    """One LSTM step as a single fused autodiff operation.
+
+    Parameters
+    ----------
+    x:
+        ``(B, input_size)`` step input.
+    h_prev, c_prev:
+        ``(B, H)`` previous hidden and cell state.
+    weight_ih, weight_hh, bias:
+        ``(4H, input_size)``, ``(4H, H)``, ``(4H,)`` fused gate parameters.
+
+    Returns
+    -------
+    h_new, c_new:
+        ``(B, H)`` tensors (two views of one fused tape node).
+    """
+    gates = x.data @ weight_ih.data.T + h_prev.data @ weight_hh.data.T + bias.data
+
+    def input_backward(d_gates: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(d_gates @ weight_ih.data)
+        if weight_ih.requires_grad:
+            weight_ih._accumulate_grad(d_gates.T @ x.data)
+        if bias.requires_grad:
+            bias._accumulate_grad(d_gates.sum(axis=0))
+
+    parents = (x, h_prev, c_prev, weight_ih, weight_hh, bias)
+    return _fused_core(gates, h_prev, c_prev, weight_hh, parents, input_backward)
+
+
+def lstm_cell_step_preprojected(
+    x_projected: Tensor,
+    h_prev: Tensor,
+    c_prev: Tensor,
+    weight_hh: Tensor,
+) -> tuple[Tensor, Tensor]:
+    """LSTM step whose input projection ``x @ W_ih^T + b`` was precomputed.
+
+    Lets a sequence model compute all timesteps' input projections in one
+    batched matmul and feed per-step ``(B, 4H)`` slices here.
+    """
+    gates = x_projected.data + h_prev.data @ weight_hh.data.T
+
+    def input_backward(d_gates: np.ndarray) -> None:
+        if x_projected.requires_grad:
+            x_projected._accumulate_grad(d_gates)
+
+    parents = (x_projected, h_prev, c_prev, weight_hh)
+    return _fused_core(gates, h_prev, c_prev, weight_hh, parents, input_backward)

@@ -1,0 +1,37 @@
+"""Weight initializers.
+
+The paper builds on OpenNMT, whose classic default is uniform initialization
+in ``[-0.1, 0.1]``; Xavier/Glorot is provided for the linear projections.
+All initializers take an explicit ``numpy.random.Generator`` so experiments
+are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform", "xavier_uniform", "zeros", "normal"]
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+    """Uniform init in ``[-scale, scale]`` (OpenNMT's param_init default)."""
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform init for 2-D weight matrices."""
+    if len(shape) != 2:
+        raise ValueError(f"xavier_uniform expects a 2-D shape, got {shape}")
+    fan_out, fan_in = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Zero-mean Gaussian init."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros init (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,88 @@
+"""Sequence losses.
+
+Training maximizes ``P(y | x) = prod_k P(y_k | y_<k, x)`` (Eq. 1 of the
+paper), i.e. minimizes the per-token negative log-likelihood, with padding
+positions masked out of the average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.core import Tensor
+from repro.tensor.ops import clip, gather_rows, log, log_softmax
+
+__all__ = ["nll_loss", "cross_entropy", "sequence_nll", "PROBABILITY_FLOOR"]
+
+# Mixture probabilities (Eq. 2) are clamped here before the log so a
+# confidently-wrong copy gate cannot produce -inf loss.
+PROBABILITY_FLOOR = 1e-12
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+    """Mean negative log-likelihood over a batch.
+
+    Parameters
+    ----------
+    log_probs:
+        ``(B, V)`` log-probabilities.
+    targets:
+        ``(B,)`` integer class ids.
+    mask:
+        Optional ``(B,)`` float/bool weights; masked-out entries (0/False)
+        do not contribute to the mean.
+    """
+    picked = gather_rows(log_probs, np.asarray(targets))
+    if mask is None:
+        return -picked.mean()
+    weights = np.asarray(mask, dtype=float)
+    total = weights.sum()
+    if total == 0:
+        raise ValueError("nll_loss mask excludes every element")
+    return -(picked * Tensor(weights)).sum() * (1.0 / total)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+    """Softmax cross-entropy from raw logits."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, mask=mask)
+
+
+def sequence_nll(
+    step_probs: list[Tensor],
+    targets: np.ndarray,
+    pad_mask: np.ndarray,
+) -> Tensor:
+    """Token-averaged NLL over a decoded sequence of *probabilities*.
+
+    Used for the ACNN mixture output, which is a probability (not a logit):
+    Eq. 2 produces ``P(y_k) = z_k P_cop + (1 - z_k) P_att`` directly.
+
+    Parameters
+    ----------
+    step_probs:
+        List of ``(B,)`` tensors, the model probability assigned to the gold
+        token at each decoding step.
+    targets:
+        ``(B, T)`` gold token ids (only used for shape validation).
+    pad_mask:
+        ``(B, T)`` boolean array, True at padding positions (excluded).
+    """
+    targets = np.asarray(targets)
+    if targets.shape[1] != len(step_probs):
+        raise ValueError(
+            f"got {len(step_probs)} step probabilities for target length {targets.shape[1]}"
+        )
+    valid = ~np.asarray(pad_mask, dtype=bool)
+    total_tokens = valid.sum()
+    if total_tokens == 0:
+        raise ValueError("sequence_nll: every target position is padding")
+
+    loss_terms = []
+    for k, prob in enumerate(step_probs):
+        log_p = log(clip(prob, PROBABILITY_FLOOR, 1.0))
+        weight = Tensor(valid[:, k].astype(float))
+        loss_terms.append((log_p * weight).sum())
+    total = loss_terms[0]
+    for term in loss_terms[1:]:
+        total = total + term
+    return -total * (1.0 / float(total_tokens))

@@ -1,0 +1,73 @@
+"""Learning-rate schedules.
+
+The paper: "We used stochastic gradient descent (SGD) ... with initial
+learning rate α = 1.0 and halve it when at epoch 8."
+:class:`HalveAtEpoch` implements exactly that rule; :class:`DecayAfterEpoch`
+generalizes it to OpenNMT's decay-every-epoch-after-a-threshold behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.optim.optimizers import Optimizer
+
+__all__ = ["Schedule", "ConstantSchedule", "HalveAtEpoch", "DecayAfterEpoch"]
+
+
+class Schedule:
+    """Base schedule: maps an epoch number onto the optimizer's lr."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+
+    def lr_for_epoch(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, epoch: int) -> float:
+        """Set and return the learning rate for ``epoch`` (1-based)."""
+        if epoch < 1:
+            raise ValueError(f"epochs are 1-based, got {epoch}")
+        lr = self.lr_for_epoch(epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(Schedule):
+    """No decay."""
+
+    def lr_for_epoch(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class HalveAtEpoch(Schedule):
+    """The paper's rule: lr is halved once, starting at ``halve_epoch``."""
+
+    def __init__(self, optimizer: Optimizer, halve_epoch: int = 8) -> None:
+        super().__init__(optimizer)
+        if halve_epoch < 1:
+            raise ValueError(f"halve_epoch must be >= 1, got {halve_epoch}")
+        self.halve_epoch = halve_epoch
+
+    def lr_for_epoch(self, epoch: int) -> float:
+        return self.base_lr * (0.5 if epoch >= self.halve_epoch else 1.0)
+
+
+class DecayAfterEpoch(Schedule):
+    """Multiply lr by ``decay`` on every epoch from ``start_epoch`` onward.
+
+    ``DecayAfterEpoch(opt, decay=0.5, start_epoch=8)`` reproduces OpenNMT's
+    classic ``-learning_rate_decay 0.5 -start_decay_at 8``.
+    """
+
+    def __init__(self, optimizer: Optimizer, decay: float = 0.5, start_epoch: int = 8) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if start_epoch < 1:
+            raise ValueError(f"start_epoch must be >= 1, got {start_epoch}")
+        self.decay = decay
+        self.start_epoch = start_epoch
+
+    def lr_for_epoch(self, epoch: int) -> float:
+        exponent = max(0, epoch - self.start_epoch + 1)
+        return self.base_lr * (self.decay ** exponent)

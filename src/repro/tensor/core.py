@@ -1,0 +1,451 @@
+"""Reverse-mode automatic differentiation core.
+
+This module provides :class:`Tensor`, a thin wrapper around ``numpy.ndarray``
+that records the operations applied to it on a dynamic tape, plus the handful
+of arithmetic/structural primitives that back the operator dunders. All other
+differentiable operations (activations, softmax, embedding lookups, ...) live
+in :mod:`repro.tensor.ops` and are built from the same machinery.
+
+The design mirrors the usual define-by-run autograd pattern: each operation
+produces a new :class:`Tensor` holding references to its parents and a closure
+that propagates the output gradient to them. Calling :meth:`Tensor.backward`
+performs a topological sort of the recorded graph and accumulates gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "ensure_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "DEFAULT_DTYPE",
+]
+
+DEFAULT_DTYPE = np.float64
+
+# Module-level switch flipped by the ``no_grad`` context manager. When False,
+# newly created tensors never record parents, which makes inference cheap.
+_GRAD_ENABLED = True
+
+# Active TapeProfile instances (see repro.tensor.profiler). Normally empty,
+# so the per-op overhead is one falsy check.
+_PROFILES: list = []
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+class no_grad:
+    """Context manager that disables tape recording inside its block.
+
+    Mirrors the familiar framework idiom::
+
+        with no_grad():
+            logits = model(batch)   # no graph is built
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    When a forward op broadcast an operand up to a larger shape, the gradient
+    flowing back must be summed over the broadcast axes to recover the
+    operand's own gradient.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts. Floating data is kept in
+        ``DEFAULT_DTYPE`` unless an explicit float dtype is already set.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward_fn", "_parents", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        name: str = "",
+    ) -> None:
+        array = np.asarray(data)
+        if array.dtype.kind not in "fc":
+            array = array.astype(DEFAULT_DTYPE)
+        self.data: np.ndarray = array
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad}{label})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise_item(self)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clear any accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _from_op(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create the output tensor of a differentiable operation.
+
+        ``backward_fn`` receives the gradient with respect to the output and
+        is responsible for calling ``parent._accumulate_grad`` on each parent
+        that requires a gradient.
+        """
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+            if _PROFILES:
+                for profile in _PROFILES:
+                    profile.record(out.data.size)
+        return out
+
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def _grad_buffer(self) -> np.ndarray:
+        """The gradient array, allocated (zeroed) on first use.
+
+        Indexing-style ops (slicing, embedding gathers) accumulate into this
+        buffer directly instead of materializing a dense zero gradient per
+        backward call — the difference between O(slice) and O(tensor) work
+        per recurrent timestep.
+        """
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        return self.grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ones (i.e. ``d self / d self``); for scalar losses
+            this is the conventional seed of 1.0.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"seed gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+                )
+
+        ordered = self._topological_order()
+        self._accumulate_grad(grad)
+        for node in reversed(ordered):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+                # Free the tape eagerly: interior activations are not needed
+                # once their gradient has been propagated.
+                if node is not self:
+                    node._backward_fn = None
+                    node._parents = ()
+
+    def _topological_order(self) -> list["Tensor"]:
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+        return order
+
+    # ------------------------------------------------------------------
+    # Arithmetic primitives
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad)
+            other._accumulate_grad(grad)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def __radd__(self, other) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad)
+            other._accumulate_grad(-grad)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return ensure_tensor(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * other.data)
+            other._accumulate_grad(grad * self.data)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def __rmul__(self, other) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad / other.data)
+            other._accumulate_grad(-grad * self.data / (other.data * other.data))
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return ensure_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(-grad)
+
+        return Tensor._from_op(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.data.ndim == 1 and other.data.ndim == 1:
+                # Vector dot product: grad is a scalar.
+                self._accumulate_grad(grad * other.data)
+                other._accumulate_grad(grad * self.data)
+                return
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    # (..., n) @ (n,) -> (...,): outer-product style gradient.
+                    self._accumulate_grad(np.expand_dims(grad, -1) * other.data)
+                else:
+                    self._accumulate_grad(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    # (n,) @ (n, k) -> (k,)
+                    other._accumulate_grad(np.outer(self.data, grad))
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                    other._accumulate_grad(grad_other)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Structural primitives
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        """View the tensor with a new shape (numpy reshape semantics)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad.reshape(original))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def transpose(self, axes: Sequence[int] | None = None) -> "Tensor":
+        """Permute axes (full reversal when ``axes`` is omitted)."""
+        if axes is None:
+            axes = tuple(reversed(range(self.data.ndim)))
+        axes = tuple(axes)
+        inverse = tuple(np.argsort(axes))
+        out_data = self.data.transpose(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad.transpose(inverse))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+        basic = _is_basic_index(key)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            buffer = self._grad_buffer()
+            if basic:
+                # Basic indexing never aliases, so += is safe and fast.
+                buffer[key] += grad
+            else:
+                np.add.at(buffer, key, grad)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over all elements or the given axis/axes."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis=axis)
+            self._accumulate_grad(np.broadcast_to(expanded, self.data.shape))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over all elements or the given axis/axes."""
+        count = self.data.size if axis is None else _axis_size(self.data.shape, axis)
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def _is_basic_index(key) -> bool:
+    """True when ``key`` uses only ints/slices/None/Ellipsis (no aliasing)."""
+    parts = key if isinstance(key, tuple) else (key,)
+    return all(
+        isinstance(part, (int, np.integer, slice)) or part is None or part is Ellipsis
+        for part in parts
+    )
+
+
+def _axis_size(shape: tuple[int, ...], axis: int | tuple[int, ...]) -> int:
+    if isinstance(axis, int):
+        return shape[axis]
+    result = 1
+    for ax in axis:
+        result *= shape[ax]
+    return result
+
+
+def _raise_item(tensor: Tensor) -> float:
+    raise ValueError(f"item() requires a single-element tensor, got shape {tensor.shape}")
+
+
+def ensure_tensor(value) -> Tensor:
+    """Coerce scalars / arrays / tensors into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def parameters_of(tensors: Iterable[Tensor]) -> list[Tensor]:
+    """Filter an iterable down to tensors that require gradients."""
+    return [t for t in tensors if t.requires_grad]

@@ -1,0 +1,28 @@
+"""Save/load utilities for named parameter collections.
+
+Checkpoints are plain ``.npz`` archives keyed by parameter name, so they are
+inspectable with nothing but numpy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["save_arrays", "load_arrays"]
+
+
+def save_arrays(path: str | os.PathLike, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write a name → array mapping to ``path`` as a compressed ``.npz``."""
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(os.fspath(path), **{k: np.asarray(v) for k, v in arrays.items()})
+
+
+def load_arrays(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Read a mapping previously written by :func:`save_arrays`."""
+    with np.load(os.fspath(path)) as archive:
+        return {key: archive[key] for key in archive.files}

@@ -1,0 +1,17 @@
+"""Training harness: trainer, history, checkpoints."""
+
+from repro.training.bundle import ModelBundle
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.history import EpochRecord, TrainingHistory
+from repro.training.trainer import Trainer, TrainerConfig, TrainingDiverged
+
+__all__ = [
+    "ModelBundle",
+    "load_checkpoint",
+    "save_checkpoint",
+    "EpochRecord",
+    "TrainingHistory",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingDiverged",
+]

@@ -1,0 +1,98 @@
+"""Self-contained trained-model bundles.
+
+A checkpoint alone cannot be used for generation: the vocabularies and the
+model hyperparameters are needed to rebuild the network and interpret ids.
+:class:`ModelBundle` packages all three and round-trips through a directory:
+
+    bundle.save("runs/acnn")        # config.json, *.vocab.json, model.npz/json
+    bundle = ModelBundle.load("runs/acnn")
+
+This is what the CLI's ``train`` writes and ``generate``/``evaluate`` read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.data.vocabulary import Vocabulary
+from repro.models import build_model
+from repro.models.base import QuestionGenerator
+from repro.models.config import ModelConfig
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = ["ModelBundle"]
+
+_CONFIG_FILE = "config.json"
+_ENCODER_VOCAB_FILE = "encoder.vocab.json"
+_DECODER_VOCAB_FILE = "decoder.vocab.json"
+_CHECKPOINT_BASE = "model"
+
+
+@dataclass
+class ModelBundle:
+    """A trained model plus everything needed to use it."""
+
+    model: QuestionGenerator
+    encoder_vocab: Vocabulary
+    decoder_vocab: Vocabulary
+    family: str
+    model_config: ModelConfig
+    model_kwargs: dict
+    metadata: dict
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str | os.PathLike) -> None:
+        """Write the bundle to ``directory`` (created if missing)."""
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        payload = {
+            "family": self.family,
+            "model_config": {
+                "embedding_dim": self.model_config.embedding_dim,
+                "hidden_size": self.model_config.hidden_size,
+                "num_layers": self.model_config.num_layers,
+                "dropout": self.model_config.dropout,
+                "seed": self.model_config.seed,
+            },
+            "model_kwargs": self.model_kwargs,
+            "metadata": self.metadata,
+        }
+        with open(os.path.join(directory, _CONFIG_FILE), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        self.encoder_vocab.save(os.path.join(directory, _ENCODER_VOCAB_FILE))
+        self.decoder_vocab.save(os.path.join(directory, _DECODER_VOCAB_FILE))
+        save_checkpoint(os.path.join(directory, _CHECKPOINT_BASE), self.model, self.metadata)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, directory: str | os.PathLike) -> "ModelBundle":
+        """Rebuild a bundle saved by :meth:`save`."""
+        directory = os.fspath(directory)
+        config_path = os.path.join(directory, _CONFIG_FILE)
+        if not os.path.exists(config_path):
+            raise FileNotFoundError(f"{directory} does not contain a model bundle ({_CONFIG_FILE} missing)")
+        with open(config_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+
+        encoder_vocab = Vocabulary.load(os.path.join(directory, _ENCODER_VOCAB_FILE))
+        decoder_vocab = Vocabulary.load(os.path.join(directory, _DECODER_VOCAB_FILE))
+        model_config = ModelConfig(**payload["model_config"])
+        model = build_model(
+            payload["family"],
+            model_config,
+            len(encoder_vocab),
+            len(decoder_vocab),
+            **payload["model_kwargs"],
+        )
+        metadata = load_checkpoint(os.path.join(directory, _CHECKPOINT_BASE), model)
+        return cls(
+            model=model,
+            encoder_vocab=encoder_vocab,
+            decoder_vocab=decoder_vocab,
+            family=payload["family"],
+            model_config=model_config,
+            model_kwargs=payload["model_kwargs"],
+            metadata=metadata,
+        )

@@ -1,0 +1,38 @@
+"""Model checkpointing: parameters as .npz plus JSON metadata."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.nn.module import Module
+from repro.tensor.serialization import load_arrays, save_arrays
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(
+    path: str | os.PathLike,
+    model: Module,
+    metadata: dict | None = None,
+) -> None:
+    """Write ``<path>.npz`` (parameters) and ``<path>.json`` (metadata)."""
+    base = os.fspath(path)
+    save_arrays(base + ".npz", model.state_dict())
+    with open(base + ".json", "w", encoding="utf-8") as handle:
+        json.dump(metadata or {}, handle, indent=2)
+
+
+def load_checkpoint(path: str | os.PathLike, model: Module) -> dict:
+    """Restore parameters into ``model``; returns the stored metadata.
+
+    Raises the usual :meth:`Module.load_state_dict` errors on any mismatch,
+    so loading a checkpoint into the wrong architecture fails loudly.
+    """
+    base = os.fspath(path)
+    model.load_state_dict(load_arrays(base + ".npz"))
+    meta_path = base + ".json"
+    if os.path.exists(meta_path):
+        with open(meta_path, encoding="utf-8") as handle:
+            return json.load(handle)
+    return {}

@@ -1,0 +1,85 @@
+"""Training history tracking."""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["EpochRecord", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Summary of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    learning_rate: float
+    grad_norm: float
+    """Mean pre-clipping gradient norm across the epoch's batches."""
+    dev_loss: float | None = None
+
+    @property
+    def train_perplexity(self) -> float:
+        return math.exp(min(self.train_loss, 50.0))
+
+    @property
+    def dev_perplexity(self) -> float | None:
+        if self.dev_loss is None:
+            return None
+        return math.exp(min(self.dev_loss, 50.0))
+
+
+@dataclass
+class TrainingHistory:
+    """Ordered epoch records plus convenience accessors."""
+
+    records: list[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        if self.records and record.epoch <= self.records[-1].epoch:
+            raise ValueError(
+                f"epoch {record.epoch} not after last recorded {self.records[-1].epoch}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def final_train_loss(self) -> float:
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].train_loss
+
+    @property
+    def best_dev_loss(self) -> float | None:
+        losses = [r.dev_loss for r in self.records if r.dev_loss is not None]
+        return min(losses) if losses else None
+
+    @property
+    def best_dev_epoch(self) -> int | None:
+        best: tuple[float, int] | None = None
+        for record in self.records:
+            if record.dev_loss is not None and (best is None or record.dev_loss < best[0]):
+                best = (record.dev_loss, record.epoch)
+        return best[1] if best else None
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the history to JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump([asdict(record) for record in self.records], handle, indent=2)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "TrainingHistory":
+        with open(path, encoding="utf-8") as handle:
+            rows = json.load(handle)
+        history = cls()
+        for row in rows:
+            history.append(EpochRecord(**row))
+        return history

@@ -1,0 +1,197 @@
+"""The training loop.
+
+Reproduces the paper's optimization recipe: SGD with initial learning rate
+1.0 halved at epoch 8, mini-batches (paper: 64), gradient clipping (OpenNMT
+default 5.0), dropout 0.3 inside the models, teacher forcing throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data.batching import Batch, BatchIterator
+from repro.models.base import QuestionGenerator
+from repro.nn.embedding import Embedding
+from repro.optim import SGD, HalveAtEpoch, clip_grad_norm
+from repro.optim.optimizers import Optimizer
+from repro.optim.schedules import Schedule
+from repro.tensor.core import no_grad
+from repro.training.history import EpochRecord, TrainingHistory
+
+__all__ = ["TrainerConfig", "Trainer", "TrainingDiverged"]
+
+
+class TrainingDiverged(RuntimeError):
+    """Raised when the loss or gradients become non-finite.
+
+    SGD at the paper's lr=1.0 can blow up on unlucky seeds/corpora; failing
+    loudly with context beats silently optimizing NaNs for ten epochs.
+    """
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Optimization hyperparameters (paper defaults)."""
+
+    epochs: int = 12
+    learning_rate: float = 1.0
+    halve_at_epoch: int = 8
+    clip_norm: float = 5.0
+    early_stopping_patience: int | None = None
+    """Stop after this many epochs without dev-loss improvement (None = off)."""
+    log_every: int = 0
+    """Print a progress line every N batches (0 = silent)."""
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.clip_norm <= 0:
+            raise ValueError(f"clip_norm must be positive, got {self.clip_norm}")
+
+
+class Trainer:
+    """Drives teacher-forced training of any :class:`QuestionGenerator`.
+
+    Parameters
+    ----------
+    model:
+        The model to train.
+    train_iterator:
+        Yields training batches each epoch (reshuffled internally).
+    dev_iterator:
+        Optional; enables per-epoch dev loss, early stopping, and
+        best-checkpoint tracking.
+    config:
+        Optimization settings.
+    optimizer, schedule:
+        Injectable for ablations; default to the paper's SGD + halve-at-8.
+    epoch_callback:
+        Optional hook called with each :class:`EpochRecord` (used by the
+        experiment harness for logging).
+    """
+
+    def __init__(
+        self,
+        model: QuestionGenerator,
+        train_iterator: BatchIterator,
+        dev_iterator: BatchIterator | None = None,
+        config: TrainerConfig | None = None,
+        optimizer: Optimizer | None = None,
+        schedule: Schedule | None = None,
+        epoch_callback: Callable[[EpochRecord], None] | None = None,
+    ) -> None:
+        self.model = model
+        self.train_iterator = train_iterator
+        self.dev_iterator = dev_iterator
+        self.config = config or TrainerConfig()
+        self.optimizer = optimizer or SGD(model.parameters(), lr=self.config.learning_rate)
+        self.schedule = schedule or HalveAtEpoch(self.optimizer, self.config.halve_at_epoch)
+        self.epoch_callback = epoch_callback
+        self.history = TrainingHistory()
+        self.best_state: dict | None = None
+        self._embeddings = [m for m in model.modules() if isinstance(m, Embedding)]
+
+    # ------------------------------------------------------------------
+    def train_batch(self, batch: Batch) -> tuple[float, float]:
+        """One optimization step; returns (loss, pre-clip gradient norm).
+
+        Raises
+        ------
+        TrainingDiverged
+            If the loss or the gradient norm is NaN/inf.
+        """
+        import math
+
+        self.model.train()
+        loss = self.model.loss(batch)
+        loss_value = loss.item()
+        if not math.isfinite(loss_value):
+            raise TrainingDiverged(
+                f"non-finite training loss {loss_value} "
+                f"(lr={self.optimizer.lr:g}, batch of {batch.size})"
+            )
+        loss.backward()
+        for embedding in self._embeddings:
+            embedding.zero_padding_grad()
+        norm = clip_grad_norm(self.optimizer.parameters, self.config.clip_norm)
+        if not math.isfinite(norm):
+            raise TrainingDiverged(
+                f"non-finite gradient norm (lr={self.optimizer.lr:g}); "
+                "consider a lower learning rate or tighter clip_norm"
+            )
+        self.optimizer.step()
+        self.model.zero_grad()
+        return loss_value, norm
+
+    def evaluate_loss(self, iterator: BatchIterator) -> float:
+        """Token-weighted mean dev loss (no dropout, no graph)."""
+        self.model.eval()
+        total_loss = 0.0
+        total_tokens = 0
+        with no_grad():
+            for batch in iterator:
+                tokens = batch.num_target_tokens
+                total_loss += self.model.loss(batch).item() * tokens
+                total_tokens += tokens
+        if total_tokens == 0:
+            raise ValueError("evaluation iterator produced no target tokens")
+        return total_loss / total_tokens
+
+    # ------------------------------------------------------------------
+    def train(self) -> TrainingHistory:
+        """Run the full schedule; returns (and stores) the history.
+
+        If a dev iterator is present, the parameters of the best-dev epoch
+        are kept in :attr:`best_state` and restored at the end, so the
+        trained model is the early-stopped one.
+        """
+        epochs_without_improvement = 0
+        best_dev = float("inf")
+
+        for epoch in range(1, self.config.epochs + 1):
+            lr = self.schedule.apply(epoch)
+            epoch_loss = 0.0
+            epoch_tokens = 0
+            norm_total = 0.0
+            batches = 0
+            for batch_index, batch in enumerate(self.train_iterator, start=1):
+                loss, norm = self.train_batch(batch)
+                epoch_loss += loss * batch.num_target_tokens
+                epoch_tokens += batch.num_target_tokens
+                norm_total += norm
+                batches += 1
+                if self.config.log_every and batch_index % self.config.log_every == 0:
+                    print(
+                        f"epoch {epoch} batch {batch_index}/{len(self.train_iterator)} "
+                        f"loss {loss:.4f} lr {lr:g}"
+                    )
+
+            dev_loss = self.evaluate_loss(self.dev_iterator) if self.dev_iterator else None
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=epoch_loss / max(1, epoch_tokens),
+                learning_rate=lr,
+                grad_norm=norm_total / max(1, batches),
+                dev_loss=dev_loss,
+            )
+            self.history.append(record)
+            if self.epoch_callback:
+                self.epoch_callback(record)
+
+            if dev_loss is not None:
+                if dev_loss < best_dev - 1e-6:
+                    best_dev = dev_loss
+                    self.best_state = self.model.state_dict()
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    patience = self.config.early_stopping_patience
+                    if patience is not None and epochs_without_improvement >= patience:
+                        break
+
+        if self.best_state is not None:
+            self.model.load_state_dict(self.best_state)
+        return self.history

@@ -1,0 +1,105 @@
+"""Tests for entity-renaming data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import QGExample, augment_examples, rename_entities
+
+
+def _example():
+    return QGExample(
+        sentence=tuple("zorvex was born in karlin in 1887 .".split()),
+        paragraph=tuple("the town . zorvex was born in karlin in 1887 .".split()),
+        question=tuple("where was zorvex born ?".split()),
+        answer=("karlin",),
+    )
+
+
+def test_shared_content_tokens_renamed():
+    renamed = rename_entities(_example(), np.random.default_rng(0))
+    assert "zorvex" not in renamed.sentence
+    assert "zorvex" not in renamed.question
+
+
+def test_renaming_is_consistent_across_fields():
+    renamed = rename_entities(_example(), np.random.default_rng(0))
+    new_name = renamed.question[2]  # "where was <X> born ?"
+    assert renamed.sentence[0] == new_name
+    assert new_name in renamed.paragraph
+
+
+def test_function_words_untouched():
+    renamed = rename_entities(_example(), np.random.default_rng(0))
+    assert renamed.question[0] == "where"
+    assert renamed.question[-1] == "?"
+    assert "was" in renamed.sentence
+    assert "born" in renamed.sentence
+
+
+def test_unshared_tokens_untouched():
+    """'karlin' is in the sentence but not the question: left alone."""
+    renamed = rename_entities(_example(), np.random.default_rng(0))
+    assert "karlin" in renamed.sentence
+
+
+def test_no_shared_content_returns_same_object():
+    example = QGExample(
+        sentence=("it", "is", "red", "."),
+        paragraph=("it", "is", "red", "."),
+        question=("what", "?"),
+    )
+    assert rename_entities(example, np.random.default_rng(0)) is example
+
+
+def test_renaming_preserves_structure():
+    original = _example()
+    renamed = rename_entities(original, np.random.default_rng(0))
+    assert len(renamed.sentence) == len(original.sentence)
+    assert len(renamed.question) == len(original.question)
+    assert len(renamed.paragraph) == len(original.paragraph)
+
+
+def test_digits_remapped_to_digits():
+    example = QGExample(
+        sentence=("opened", "in", "1887", "."),
+        paragraph=("opened", "in", "1887", "."),
+        question=("when", "did", "it", "open", "in", "1887", "?"),
+    )
+    renamed = rename_entities(example, np.random.default_rng(0))
+    new_year = renamed.sentence[2]
+    assert new_year.isdigit()
+    assert new_year != "1887"
+    assert renamed.question[5] == new_year
+
+
+def test_augment_examples_factor():
+    examples = [_example()]
+    doubled = augment_examples(examples, factor=1, seed=0)
+    tripled = augment_examples(examples, factor=2, seed=0)
+    assert len(doubled) == 2
+    assert len(tripled) == 3
+    assert doubled[0] is examples[0]
+
+
+def test_augment_deterministic():
+    examples = [_example()]
+    a = augment_examples(examples, factor=1, seed=4)
+    b = augment_examples(examples, factor=1, seed=4)
+    assert a[1] == b[1]
+
+
+def test_augment_factor_zero_is_identity():
+    examples = [_example()]
+    assert augment_examples(examples, factor=0) == examples
+
+
+def test_augment_negative_factor_rejected():
+    with pytest.raises(ValueError):
+        augment_examples([_example()], factor=-1)
+
+
+def test_augmented_examples_still_copyable():
+    """The renamed entity must still be copyable from the new source."""
+    renamed = rename_entities(_example(), np.random.default_rng(1))
+    entity = renamed.question[2]
+    assert entity in renamed.sentence

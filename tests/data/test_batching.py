@@ -1,0 +1,120 @@
+"""Tests for batch collation and the bucketing iterator."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, QGDataset, QGExample, Vocabulary, collate
+
+
+def _make_dataset(num=6):
+    examples = []
+    for i in range(num):
+        length = 3 + (i % 3) * 2
+        sentence = tuple(f"tok{j}" for j in range(length)) + ("entity%d" % i, ".")
+        question = ("what", "is", f"entity{i}", "?")
+        examples.append(QGExample(sentence=sentence, paragraph=sentence, question=question))
+    encoder = Vocabulary.build([ex.sentence for ex in examples])
+    decoder = Vocabulary(["what", "is", "?"])
+    return QGDataset(examples, encoder, decoder)
+
+
+def test_collate_empty_raises():
+    with pytest.raises(ValueError):
+        collate([], pad_id=0)
+
+
+def test_collate_shapes_are_consistent():
+    dataset = _make_dataset()
+    batch = collate(dataset.encoded[:3], pad_id=0)
+    assert batch.size == 3
+    B, S = batch.src.shape
+    _, T = batch.tgt_input.shape
+    assert batch.src_pad_mask.shape == (B, S)
+    assert batch.src_ext.shape == (B, S)
+    assert batch.tgt_output.shape == (B, T)
+    assert batch.tgt_pad_mask.shape == (B, T)
+    assert batch.att_allowed.shape == (B, T)
+    assert batch.copy_match.shape == (B, T, S)
+
+
+def test_collate_pads_with_pad_id():
+    dataset = _make_dataset()
+    batch = collate(dataset.encoded[:3], pad_id=0)
+    for row, ex in enumerate(batch.examples):
+        length = len(ex.src_ids)
+        assert np.all(batch.src[row, length:] == 0)
+        assert np.all(batch.src_pad_mask[row, length:])
+        assert not np.any(batch.src_pad_mask[row, :length])
+
+
+def test_collate_copy_match_marks_gold_positions():
+    dataset = _make_dataset()
+    batch = collate(dataset.encoded[:2], pad_id=0)
+    for row, ex in enumerate(batch.examples):
+        for step, positions in enumerate(ex.copy_positions):
+            expected = np.zeros(batch.src.shape[1])
+            for p in positions:
+                expected[p] = 1.0
+            assert np.allclose(batch.copy_match[row, step], expected)
+
+
+def test_num_target_tokens_counts_non_padding():
+    dataset = _make_dataset()
+    batch = collate(dataset.encoded[:2], pad_id=0)
+    expected = sum(len(ex.tgt_output_ids) for ex in batch.examples)
+    assert batch.num_target_tokens == expected
+
+
+def test_iterator_covers_every_example_once():
+    dataset = _make_dataset(10)
+    iterator = BatchIterator(dataset, batch_size=3, seed=0)
+    seen = []
+    for batch in iterator:
+        seen.extend(id(ex) for ex in batch.examples)
+    assert len(seen) == 10
+    assert len(set(seen)) == 10
+
+
+def test_iterator_len():
+    dataset = _make_dataset(10)
+    assert len(BatchIterator(dataset, batch_size=3)) == 4
+
+
+def test_iterator_deterministic_with_seed():
+    dataset = _make_dataset(10)
+    def collect(seed):
+        return [
+            tuple(tuple(ex.src_ids) for ex in batch.examples)
+            for batch in BatchIterator(dataset, batch_size=3, seed=seed)
+        ]
+    assert collect(5) == collect(5)
+
+
+def test_iterator_shuffles_across_epochs():
+    dataset = _make_dataset(30)
+    iterator = BatchIterator(dataset, batch_size=5, seed=0)
+    first = [tuple(id(ex) for ex in b.examples) for b in iterator]
+    second = [tuple(id(ex) for ex in b.examples) for b in iterator]
+    assert first != second
+
+
+def test_iterator_no_shuffle_is_stable():
+    dataset = _make_dataset(10)
+    iterator = BatchIterator(dataset, batch_size=3, shuffle=False)
+    first = [tuple(id(ex) for ex in b.examples) for b in iterator]
+    second = [tuple(id(ex) for ex in b.examples) for b in iterator]
+    assert first == second
+
+
+def test_iterator_buckets_by_length():
+    """Within a bucket pool, batches should be length-homogeneous."""
+    dataset = _make_dataset(64)
+    iterator = BatchIterator(dataset, batch_size=8, shuffle=False, bucket_multiplier=8)
+    for batch in iterator:
+        lengths = [len(ex.src_ids) for ex in batch.examples]
+        assert max(lengths) - min(lengths) <= 4
+
+
+def test_iterator_rejects_bad_batch_size():
+    with pytest.raises(ValueError):
+        BatchIterator(_make_dataset(), batch_size=0)

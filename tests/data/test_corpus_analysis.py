@@ -1,0 +1,90 @@
+"""Tests for corpus statistics and vocabulary coverage."""
+
+import pytest
+
+from repro.data import (
+    QGExample,
+    Vocabulary,
+    corpus_statistics,
+    generate_corpus,
+    vocabulary_coverage,
+)
+from repro.data.synthetic import SyntheticConfig
+
+
+def _examples():
+    return [
+        QGExample(
+            sentence=("zorvex", "was", "born", "in", "karlin", "."),
+            paragraph=("the", "town", ".", "zorvex", "was", "born", "in", "karlin", "."),
+            question=("where", "was", "zorvex", "born", "?"),
+        ),
+        QGExample(
+            sentence=("draxby", "is", "the", "capital", "."),
+            paragraph=("draxby", "is", "the", "capital", ".", "trade", "grew", "."),
+            question=("what", "is", "the", "capital", "?"),
+        ),
+    ]
+
+
+def test_statistics_basic_counts():
+    stats = corpus_statistics(_examples())
+    assert stats.num_examples == 2
+    assert stats.mean_sentence_length == pytest.approx((6 + 5) / 2)
+    assert stats.mean_question_length == pytest.approx(5.0)
+    assert stats.mean_paragraph_length == pytest.approx((9 + 8) / 2)
+
+
+def test_statistics_overlap():
+    stats = corpus_statistics(_examples())
+    # ex1: was, zorvex, born in source -> 3/5; ex2: is, the, capital -> ... plus '?'? no.
+    expected = ((3 / 5) + (3 / 5)) / 2
+    assert stats.question_source_overlap == pytest.approx(expected)
+
+
+def test_statistics_distinct_tokens():
+    stats = corpus_statistics(_examples())
+    assert stats.distinct_source_tokens == len(
+        {"zorvex", "was", "born", "in", "karlin", ".", "draxby", "is", "the", "capital"}
+    )
+
+
+def test_statistics_empty_raises():
+    with pytest.raises(ValueError):
+        corpus_statistics([])
+
+
+def test_statistics_render_contains_numbers():
+    text = corpus_statistics(_examples()).render()
+    assert "examples" in text
+    assert "overlap" in text
+
+
+def test_vocabulary_coverage_question_side():
+    vocab = Vocabulary(["where", "was", "born", "?", "what", "is", "the", "capital"])
+    coverage = vocabulary_coverage(_examples(), vocab, side="question")
+    # Missing only "zorvex" of 10 question tokens.
+    assert coverage == pytest.approx(9 / 10)
+
+
+def test_vocabulary_coverage_sentence_side():
+    vocab = Vocabulary(["was", "born", "in", ".", "is", "the", "capital"])
+    coverage = vocabulary_coverage(_examples(), vocab, side="sentence")
+    assert 0.0 < coverage < 1.0
+
+
+def test_vocabulary_coverage_rejects_bad_side():
+    with pytest.raises(ValueError):
+        vocabulary_coverage(_examples(), Vocabulary(), side="paragraph")
+
+
+def test_vocabulary_coverage_empty_raises():
+    with pytest.raises(ValueError):
+        vocabulary_coverage([], Vocabulary())
+
+
+def test_synthetic_corpus_overlap_is_high():
+    """Questions must share a lot with sources (the copy regime)."""
+    corpus = generate_corpus(SyntheticConfig(num_train=200, num_dev=20, num_test=20))
+    stats = corpus_statistics(list(corpus.train))
+    assert stats.question_source_overlap > 0.4

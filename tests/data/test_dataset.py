@@ -1,0 +1,159 @@
+"""Tests for QGDataset encoding (copy supervision, extended vocab, modes)."""
+
+import pytest
+
+from repro.data import QGDataset, QGExample, SourceMode, Vocabulary
+
+
+def _example():
+    return QGExample(
+        sentence=tuple("zorvex was born in karlin in 1887 .".split()),
+        paragraph=tuple(
+            "the town is old . zorvex was born in karlin in 1887 . trade grew fast .".split()
+        ),
+        question=tuple("where was zorvex born ?".split()),
+    )
+
+
+def _vocabs(decoder_tokens=("where", "was", "born", "?", "in", "the")):
+    encoder = Vocabulary.build([_example().paragraph])
+    decoder = Vocabulary(list(decoder_tokens))
+    return encoder, decoder
+
+
+def _dataset(**kwargs):
+    encoder, decoder = _vocabs()
+    return QGDataset([_example()], encoder, decoder, **kwargs)
+
+
+def test_sentence_mode_uses_sentence():
+    dataset = _dataset(source_mode=SourceMode.SENTENCE)
+    assert dataset[0].src_tokens == _example().sentence
+
+
+def test_paragraph_mode_truncates():
+    dataset = _dataset(source_mode=SourceMode.PARAGRAPH, paragraph_length=5)
+    assert dataset[0].src_tokens == _example().paragraph[:5]
+
+
+def test_invalid_source_mode_raises():
+    encoder, decoder = _vocabs()
+    with pytest.raises(ValueError):
+        QGDataset([_example()], encoder, decoder, source_mode="document")
+
+
+def test_target_shifted_by_bos_eos():
+    dataset = _dataset()
+    encoded = dataset[0]
+    decoder = dataset.decoder_vocab
+    assert encoded.tgt_input_ids[0] == decoder.bos_id
+    assert encoded.tgt_output_ids[-1] == decoder.eos_id
+    assert len(encoded.tgt_input_ids) == len(encoded.tgt_output_ids)
+
+
+def test_oov_question_token_becomes_unk_in_ids():
+    dataset = _dataset()
+    encoded = dataset[0]
+    decoder = dataset.decoder_vocab
+    # "zorvex" is not in the decoder vocab.
+    step = _example().question.index("zorvex")
+    assert encoded.tgt_output_ids[step] == decoder.unk_id
+
+
+def test_copy_positions_point_at_gold_token():
+    dataset = _dataset()
+    encoded = dataset[0]
+    step = _example().question.index("zorvex")
+    positions = encoded.copy_positions[step]
+    assert positions
+    assert all(encoded.src_tokens[p] == "zorvex" for p in positions)
+
+
+def test_copy_positions_include_repeats():
+    dataset = _dataset()
+    encoded = dataset[0]
+    # "was" appears once in the sentence; "in" twice.
+    in_steps = [i for i, t in enumerate(_example().question) if t == "was"]
+    assert len(encoded.copy_positions[in_steps[0]]) == 1
+
+
+def test_att_allowed_false_only_for_copyable_oov():
+    dataset = _dataset()
+    encoded = dataset[0]
+    question = _example().question
+    for step, token in enumerate(question):
+        allowed = encoded.att_allowed[step]
+        in_vocab = token in dataset.decoder_vocab
+        copyable = bool(encoded.copy_positions[step])
+        if in_vocab:
+            assert allowed
+        elif copyable:
+            assert not allowed
+        else:
+            assert allowed  # trained as literal <unk>
+
+
+def test_eos_step_is_att_allowed_with_no_copy():
+    encoded = _dataset()[0]
+    assert encoded.att_allowed[-1]
+    assert encoded.copy_positions[-1] == ()
+
+
+def test_extended_ids_use_vocab_id_when_known():
+    dataset = _dataset()
+    encoded = dataset[0]
+    decoder = dataset.decoder_vocab
+    for token, ext_id in zip(encoded.src_tokens, encoded.src_ext_ids):
+        if token in decoder:
+            assert ext_id == decoder.token_to_id(token)
+        else:
+            assert ext_id >= len(decoder)
+
+
+def test_extended_ids_reuse_oov_slots():
+    dataset = _dataset()
+    encoded = dataset[0]
+    # "in" ... both occurrences of an OOV token share one extended id.
+    token_to_ext = {}
+    for token, ext_id in zip(encoded.src_tokens, encoded.src_ext_ids):
+        if token in token_to_ext:
+            assert token_to_ext[token] == ext_id
+        token_to_ext[token] = ext_id
+
+
+def test_oov_tokens_in_first_occurrence_order():
+    dataset = _dataset()
+    encoded = dataset[0]
+    seen = []
+    for token in encoded.src_tokens:
+        if token not in dataset.decoder_vocab and token not in seen:
+            seen.append(token)
+    assert list(encoded.oov_tokens) == seen
+
+
+def test_max_question_length_clips():
+    encoder, decoder = _vocabs()
+    dataset = QGDataset([_example()], encoder, decoder, max_question_length=2)
+    encoded = dataset[0]
+    assert len(encoded.tgt_output_ids) == 3  # 2 tokens + EOS
+
+
+def test_build_vocabs_sizes():
+    examples = [_example()]
+    encoder, decoder = QGDataset.build_vocabs(examples, encoder_vocab_size=3, decoder_vocab_size=2)
+    assert len(encoder) == 4 + 3
+    assert len(decoder) == 4 + 2
+
+
+def test_build_vocabs_paragraph_mode_uses_paragraph_tokens():
+    examples = [_example()]
+    enc_sent, _ = QGDataset.build_vocabs(examples, source_mode=SourceMode.SENTENCE)
+    enc_para, _ = QGDataset.build_vocabs(examples, source_mode=SourceMode.PARAGRAPH)
+    assert "trade" not in enc_sent
+    assert "trade" in enc_para
+
+
+def test_len_and_iter():
+    dataset = _dataset()
+    assert len(dataset) == 1
+    assert list(dataset)[0] is dataset[0]

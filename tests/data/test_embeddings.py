@@ -1,0 +1,79 @@
+"""Tests for GloVe loading and the pseudo-GloVe substitute."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Vocabulary,
+    embedding_matrix_for_vocab,
+    load_glove_text,
+    pseudo_glove,
+)
+
+
+def test_load_glove_text(tmp_path):
+    path = tmp_path / "glove.txt"
+    path.write_text("hello 0.1 0.2 0.3\nworld -1 0 1\n")
+    vectors = load_glove_text(path, dim=3)
+    assert np.allclose(vectors["hello"], [0.1, 0.2, 0.3])
+    assert np.allclose(vectors["world"], [-1.0, 0.0, 1.0])
+
+
+def test_load_glove_text_dim_mismatch(tmp_path):
+    path = tmp_path / "glove.txt"
+    path.write_text("hello 0.1 0.2\n")
+    with pytest.raises(ValueError):
+        load_glove_text(path, dim=3)
+
+
+def test_pseudo_glove_is_deterministic():
+    a = pseudo_glove(["tower", "river"], dim=16)
+    b = pseudo_glove(["tower", "river"], dim=16)
+    assert np.allclose(a["tower"], b["tower"])
+    assert np.allclose(a["river"], b["river"])
+
+
+def test_pseudo_glove_vectors_are_unit_norm():
+    vectors = pseudo_glove(["alpha", "beta", "x"], dim=32)
+    for vector in vectors.values():
+        assert np.isclose(np.linalg.norm(vector), 1.0)
+
+
+def test_pseudo_glove_related_words_more_similar():
+    """Tokens sharing trigrams should correlate more than unrelated ones."""
+    vectors = pseudo_glove(["karlin", "karlina", "zob"], dim=64)
+    related = vectors["karlin"] @ vectors["karlina"]
+    unrelated = abs(vectors["karlin"] @ vectors["zob"])
+    assert related > unrelated
+
+
+def test_pseudo_glove_seed_changes_vectors():
+    a = pseudo_glove(["word"], dim=16, seed=0)["word"]
+    b = pseudo_glove(["word"], dim=16, seed=1)["word"]
+    assert not np.allclose(a, b)
+
+
+def test_pseudo_glove_rejects_bad_dim():
+    with pytest.raises(ValueError):
+        pseudo_glove(["x"], dim=0)
+
+
+def test_embedding_matrix_uses_pretrained_and_zeroes_pad():
+    vocab = Vocabulary(["tower", "mystery"])
+    vectors = {"tower": np.ones(8)}
+    rng = np.random.default_rng(0)
+    matrix = embedding_matrix_for_vocab(vocab, vectors, dim=8, rng=rng, scale=0.1)
+    assert matrix.shape == (len(vocab), 8)
+    assert np.allclose(matrix[vocab.token_to_id("tower")], 0.1)
+    assert np.allclose(matrix[vocab.pad_id], 0.0)
+    # Unknown words keep their random init within the scale bound.
+    row = matrix[vocab.token_to_id("mystery")]
+    assert np.abs(row).max() <= 0.1
+
+
+def test_embedding_matrix_rejects_wrong_vector_shape():
+    vocab = Vocabulary(["tower"])
+    with pytest.raises(ValueError):
+        embedding_matrix_for_vocab(
+            vocab, {"tower": np.ones(4)}, dim=8, rng=np.random.default_rng(0)
+        )

@@ -1,0 +1,58 @@
+"""Tests for the QGExample record type."""
+
+import pytest
+
+from repro.data import QGExample
+
+
+def _example(**overrides):
+    fields = dict(
+        sentence=("zorvex", "was", "born", "."),
+        paragraph=("intro", ".", "zorvex", "was", "born", ".", "outro", "."),
+        question=("where", "was", "zorvex", "born", "?"),
+    )
+    fields.update(overrides)
+    return QGExample(**fields)
+
+
+def test_empty_sentence_rejected():
+    with pytest.raises(ValueError):
+        _example(sentence=())
+
+
+def test_empty_question_rejected():
+    with pytest.raises(ValueError):
+        _example(question=())
+
+
+def test_empty_paragraph_defaults_to_sentence():
+    example = _example(paragraph=())
+    assert example.paragraph == example.sentence
+
+
+def test_source_sentence_mode():
+    example = _example()
+    assert example.source(use_paragraph=False) == example.sentence
+    # Truncation is a paragraph-mode concept; ignored for sentences.
+    assert example.source(use_paragraph=False, truncate=2) == example.sentence
+
+
+def test_source_paragraph_mode_truncates():
+    example = _example()
+    assert example.source(use_paragraph=True, truncate=3) == example.paragraph[:3]
+    assert example.source(use_paragraph=True) == example.paragraph
+
+
+def test_source_truncate_validation():
+    with pytest.raises(ValueError):
+        _example().source(use_paragraph=True, truncate=0)
+
+
+def test_examples_are_hashable_and_comparable():
+    assert _example() == _example()
+    assert hash(_example()) == hash(_example())
+    assert _example() != _example(question=("who", "?"))
+
+
+def test_answer_defaults_empty():
+    assert _example().answer == ()

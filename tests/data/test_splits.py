@@ -1,0 +1,89 @@
+"""Tests for deterministic corpus splitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import QGExample, split_examples
+
+
+def _examples(n):
+    return [
+        QGExample(
+            sentence=(f"tok{i}", "."),
+            paragraph=(f"tok{i}", "."),
+            question=("what", "?"),
+        )
+        for i in range(n)
+    ]
+
+
+def test_split_sizes():
+    train, dev, test = split_examples(_examples(100), dev_fraction=0.1, test_fraction=0.2)
+    assert len(dev) == 10
+    assert len(test) == 20
+    assert len(train) == 70
+
+
+def test_split_is_partition():
+    examples = _examples(50)
+    train, dev, test = split_examples(examples)
+    ids = [id(e) for e in train + dev + test]
+    assert len(ids) == 50
+    assert set(ids) == {id(e) for e in examples}
+
+
+def test_split_deterministic_per_seed():
+    examples = _examples(40)
+    a = split_examples(examples, seed=3)
+    b = split_examples(examples, seed=3)
+    assert [e.sentence for e in a[0]] == [e.sentence for e in b[0]]
+
+
+def test_split_seed_changes_assignment():
+    examples = _examples(40)
+    a = split_examples(examples, seed=1)
+    b = split_examples(examples, seed=2)
+    assert [e.sentence for e in a[0]] != [e.sentence for e in b[0]]
+
+
+def test_no_shuffle_keeps_order():
+    examples = _examples(10)
+    train, dev, test = split_examples(
+        examples, dev_fraction=0.2, test_fraction=0.2, shuffle=False
+    )
+    assert dev == examples[:2]
+    assert test == examples[2:4]
+    assert train == examples[4:]
+
+
+def test_zero_fractions():
+    train, dev, test = split_examples(_examples(10), dev_fraction=0.0, test_fraction=0.0)
+    assert len(train) == 10
+    assert dev == []
+    assert test == []
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        split_examples([])
+    with pytest.raises(ValueError):
+        split_examples(_examples(10), dev_fraction=-0.1)
+    with pytest.raises(ValueError):
+        split_examples(_examples(10), dev_fraction=0.5, test_fraction=0.5)
+
+
+@given(
+    st.integers(5, 60),
+    st.floats(0.0, 0.4),
+    st.floats(0.0, 0.4),
+    st.integers(0, 10),
+)
+@settings(max_examples=50, deadline=None)
+def test_split_partition_property(n, dev_fraction, test_fraction, seed):
+    examples = _examples(n)
+    train, dev, test = split_examples(
+        examples, dev_fraction=dev_fraction, test_fraction=test_fraction, seed=seed
+    )
+    assert len(train) + len(dev) + len(test) == n
+    assert len(train) >= 1

@@ -1,0 +1,125 @@
+"""Tests for the real-SQuAD loaders (JSON and Du-split formats)."""
+
+import json
+
+import pytest
+
+from repro.data import QGExample, load_du_split, load_squad_json, split_sentences
+
+
+def test_split_sentences_offsets():
+    text = "First one. Second here! Third?"
+    spans = split_sentences(text)
+    assert [s[2] for s in spans] == ["First one.", "Second here!", "Third?"]
+    for start, end, chunk in spans:
+        assert text[start:end] == chunk
+
+
+def test_split_sentences_single():
+    assert split_sentences("No boundary here") == [(0, 16, "No boundary here")]
+
+
+def _squad_payload():
+    context = (
+        "The Eiffel Tower was designed by Gustave Eiffel. "
+        "It opened in 1889 in Paris."
+    )
+    return {
+        "data": [
+            {
+                "title": "Eiffel",
+                "paragraphs": [
+                    {
+                        "context": context,
+                        "qas": [
+                            {
+                                "question": "Who designed the Eiffel Tower?",
+                                "answers": [
+                                    {"text": "Gustave Eiffel", "answer_start": context.index("Gustave")}
+                                ],
+                            },
+                            {
+                                "question": "When did it open?",
+                                "answers": [
+                                    {"text": "1889", "answer_start": context.index("1889")}
+                                ],
+                            },
+                            {"question": "Unanswerable?", "answers": []},
+                        ],
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def test_load_squad_json(tmp_path):
+    path = tmp_path / "squad.json"
+    path.write_text(json.dumps(_squad_payload()))
+    examples = load_squad_json(path)
+    assert len(examples) == 2  # the answerless question is skipped
+
+    first = examples[0]
+    assert isinstance(first, QGExample)
+    assert "gustave" in first.sentence
+    assert "eiffel" in first.question
+    assert first.answer == ("gustave", "eiffel")
+    # The second QA's answer is in the second sentence.
+    assert "1889" in examples[1].sentence
+    assert "designed" not in examples[1].sentence
+
+
+def test_load_squad_json_paragraph_covers_context(tmp_path):
+    path = tmp_path / "squad.json"
+    path.write_text(json.dumps(_squad_payload()))
+    examples = load_squad_json(path)
+    assert "paris" in examples[0].paragraph
+    assert "designed" in examples[0].paragraph
+
+
+def test_load_squad_json_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"rows": []}))
+    with pytest.raises(ValueError):
+        load_squad_json(path)
+
+
+def test_load_du_split(tmp_path):
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    src.write_text("the tower was designed by eiffel .\nthe museum opened in 1889 .\n")
+    tgt.write_text("who designed the tower ?\nwhen did the museum open ?\n")
+    examples = load_du_split(src, tgt)
+    assert len(examples) == 2
+    assert examples[0].sentence == tuple("the tower was designed by eiffel .".split())
+    assert examples[0].question == tuple("who designed the tower ?".split())
+    # Without a paragraph file, paragraph defaults to the sentence.
+    assert examples[0].paragraph == examples[0].sentence
+
+
+def test_load_du_split_with_paragraphs(tmp_path):
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    para = tmp_path / "para.txt"
+    src.write_text("a b c\n")
+    tgt.write_text("q ?\n")
+    para.write_text("a b c d e f\n")
+    examples = load_du_split(src, tgt, para)
+    assert examples[0].paragraph == ("a", "b", "c", "d", "e", "f")
+
+
+def test_load_du_split_mismatched_lines(tmp_path):
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    src.write_text("one line\n")
+    tgt.write_text("line a ?\nline b ?\n")
+    with pytest.raises(ValueError):
+        load_du_split(src, tgt)
+
+
+def test_load_du_split_skips_empty_lines(tmp_path):
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    src.write_text("a b\n\n")
+    tgt.write_text("q ?\nr ?\n")
+    assert len(load_du_split(src, tgt)) == 1

@@ -1,0 +1,110 @@
+"""Tests for the synthetic SQuAD-style corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import QGDataset, SyntheticConfig, generate_corpus
+from repro.data.vocabulary import Vocabulary
+
+
+def _small_config(**overrides):
+    defaults = dict(num_train=200, num_dev=30, num_test=30, seed=7)
+    defaults.update(overrides)
+    return SyntheticConfig(**defaults)
+
+
+def test_split_sizes_match_config():
+    corpus = generate_corpus(_small_config())
+    assert len(corpus.train) == 200
+    assert len(corpus.dev) == 30
+    assert len(corpus.test) == 30
+
+
+def test_generation_is_deterministic():
+    a = generate_corpus(_small_config())
+    b = generate_corpus(_small_config())
+    assert a.train == b.train
+    assert a.test == b.test
+
+
+def test_different_seeds_differ():
+    a = generate_corpus(_small_config(seed=1))
+    b = generate_corpus(_small_config(seed=2))
+    assert a.train != b.train
+
+
+def test_sentence_is_prefix_window_of_paragraph():
+    corpus = generate_corpus(_small_config())
+    for ex in corpus.train[:50]:
+        joined_para = " ".join(ex.paragraph)
+        joined_sent = " ".join(ex.sentence)
+        assert joined_sent in joined_para
+
+
+def test_paragraphs_exceed_largest_truncation_length():
+    """Table 2 sweeps truncation at 100/120/150; paragraphs must be longer."""
+    corpus = generate_corpus(_small_config())
+    lengths = [len(ex.paragraph) for ex in corpus.train]
+    assert min(lengths) >= 150
+
+
+def test_fact_sentence_inside_smallest_truncation_window():
+    """The answer-bearing sentence must survive truncation to 100 tokens."""
+    corpus = generate_corpus(_small_config())
+    for ex in corpus.train[:50]:
+        window = " ".join(ex.paragraph[:100])
+        assert " ".join(ex.sentence) in window
+
+
+def test_questions_copy_source_tokens():
+    """Every question shares at least one content token with its sentence."""
+    corpus = generate_corpus(_small_config())
+    for ex in corpus.train[:100]:
+        overlap = set(ex.question) & set(ex.sentence)
+        content_overlap = {t for t in overlap if len(t) > 3 or t.isdigit()}
+        assert content_overlap, f"no copied content in {ex.question}"
+
+
+def test_answers_come_from_sentence():
+    corpus = generate_corpus(_small_config())
+    for ex in corpus.train[:100]:
+        for token in ex.answer:
+            assert token in ex.sentence
+
+
+def test_questions_end_with_question_mark():
+    corpus = generate_corpus(_small_config())
+    assert all(ex.question[-1] == "?" for ex in corpus.train)
+
+
+def test_entity_distribution_has_long_tail():
+    """Most entities should be rare — the regime where copying matters."""
+    corpus = generate_corpus(_small_config(num_train=500))
+    counts = {}
+    for ex in corpus.train:
+        for token in ex.answer:
+            counts[token] = counts.get(token, 0) + 1
+    rare = sum(1 for c in counts.values() if c <= 3)
+    assert rare / len(counts) > 0.5
+
+
+def test_decoder_oov_copyable_rate_is_substantial():
+    """With a truncated decoder vocab, many gold tokens are copy-only."""
+    corpus = generate_corpus(_small_config(num_train=500))
+    enc_vocab, dec_vocab = QGDataset.build_vocabs(
+        corpus.train, encoder_vocab_size=800, decoder_vocab_size=120
+    )
+    dataset = QGDataset(corpus.test, enc_vocab, dec_vocab)
+    assert dataset.copyable_oov_rate() > 0.05
+
+
+def test_split_accessor():
+    corpus = generate_corpus(_small_config())
+    assert corpus.split("train") is corpus.train
+    with pytest.raises(KeyError):
+        corpus.split("validation")
+
+
+def test_total_property():
+    config = _small_config()
+    assert config.total == 260

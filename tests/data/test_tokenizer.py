@@ -1,0 +1,79 @@
+"""Tests for the regex tokenizer/detokenizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import detokenize, tokenize
+
+
+def test_basic_sentence():
+    assert tokenize("Who designed the Eiffel Tower?") == [
+        "who", "designed", "the", "eiffel", "tower", "?",
+    ]
+
+
+def test_lowercases():
+    assert tokenize("PARIS") == ["paris"]
+
+
+def test_numbers_kept_whole():
+    assert tokenize("in 1887 it cost 1,000 dollars") == [
+        "in", "1887", "it", "cost", "1,000", "dollars",
+    ]
+
+
+def test_decimal_numbers():
+    assert tokenize("pi is 3.14") == ["pi", "is", "3.14"]
+
+
+def test_punctuation_split():
+    assert tokenize("yes, really!") == ["yes", ",", "really", "!"]
+
+
+def test_clitics_stay_attached():
+    assert tokenize("it's Mary's book") == ["it's", "mary's", "book"]
+
+
+def test_empty_string():
+    assert tokenize("") == []
+
+
+def test_whitespace_only():
+    assert tokenize("   \t\n ") == []
+
+
+def test_detokenize_spaces_words():
+    assert detokenize(["the", "cat"]) == "the cat"
+
+
+def test_detokenize_attaches_closing_punctuation():
+    assert detokenize(["where", "is", "it", "?"]) == "where is it?"
+
+
+def test_detokenize_open_brackets():
+    assert detokenize(["see", "(", "fig", ".", "1", ")"]) == "see (fig. 1)"
+
+
+def test_detokenize_empty():
+    assert detokenize([]) == ""
+
+
+@given(st.lists(st.sampled_from(["who", "what", "city", "1887", "tower"]), min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_round_trip_on_plain_words(words):
+    assert tokenize(detokenize(words)) == words
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=100, deadline=None)
+def test_tokenize_never_raises_and_yields_nonempty_tokens(text):
+    tokens = tokenize(text)
+    assert all(tokens), "no empty tokens"
+    assert all(token == token.lower() for token in tokens)
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=50, deadline=None)
+def test_tokenize_is_idempotent_through_detokenize(text):
+    tokens = tokenize(text)
+    assert tokenize(detokenize(tokens)) == tokens

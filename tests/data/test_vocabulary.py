@@ -1,0 +1,115 @@
+"""Tests for Vocabulary construction, lookup, and persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BOS, EOS, PAD, UNK, Vocabulary
+
+
+def test_special_tokens_have_fixed_ids():
+    vocab = Vocabulary()
+    assert vocab.pad_id == 0
+    assert vocab.unk_id == 1
+    assert vocab.bos_id == 2
+    assert vocab.eos_id == 3
+    assert len(vocab) == 4
+
+
+def test_build_orders_by_frequency():
+    vocab = Vocabulary.build([["b", "a", "a"], ["a", "b", "c"]])
+    # a(3) > b(2) > c(1)
+    assert vocab.token_to_id("a") == 4
+    assert vocab.token_to_id("b") == 5
+    assert vocab.token_to_id("c") == 6
+
+
+def test_build_breaks_frequency_ties_alphabetically():
+    vocab = Vocabulary.build([["z", "a"]])
+    assert vocab.token_to_id("a") < vocab.token_to_id("z")
+
+
+def test_build_max_size_keeps_most_frequent():
+    vocab = Vocabulary.build([["a"] * 5 + ["b"] * 3 + ["c"]], max_size=2)
+    assert "a" in vocab
+    assert "b" in vocab
+    assert "c" not in vocab
+
+
+def test_build_min_freq_filters():
+    vocab = Vocabulary.build([["a", "a", "b"]], min_freq=2)
+    assert "a" in vocab
+    assert "b" not in vocab
+
+
+def test_build_ignores_special_tokens_in_data():
+    vocab = Vocabulary.build([[PAD, UNK, "word"]])
+    assert len(vocab) == 5  # specials + "word"
+
+
+def test_unknown_maps_to_unk():
+    vocab = Vocabulary.build([["known"]])
+    assert vocab.token_to_id("unknown") == vocab.unk_id
+
+
+def test_encode_decode_round_trip():
+    vocab = Vocabulary.build([["who", "wrote", "it", "?"]])
+    tokens = ["who", "wrote", "it", "?"]
+    assert vocab.decode(vocab.encode(tokens)) == tokens
+
+
+def test_decode_strips_specials_by_default():
+    vocab = Vocabulary.build([["hi"]])
+    ids = [vocab.bos_id, vocab.token_to_id("hi"), vocab.eos_id]
+    assert vocab.decode(ids) == ["hi"]
+    assert vocab.decode(ids, strip_special=False) == [BOS, "hi", EOS]
+
+
+def test_id_to_token_out_of_range_raises():
+    with pytest.raises(IndexError):
+        Vocabulary().id_to_token(99)
+
+
+def test_contains():
+    vocab = Vocabulary.build([["word"]])
+    assert "word" in vocab
+    assert "missing" not in vocab
+    assert PAD in vocab
+
+
+def test_save_load_round_trip(tmp_path):
+    vocab = Vocabulary.build([["alpha", "beta", "beta"]])
+    path = tmp_path / "vocab.json"
+    vocab.save(path)
+    loaded = Vocabulary.load(path)
+    assert loaded.tokens == vocab.tokens
+
+
+def test_load_rejects_non_vocab_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('["not", "a", "vocab"]')
+    with pytest.raises(ValueError):
+        Vocabulary.load(path)
+
+
+def test_build_is_deterministic_across_input_order():
+    a = Vocabulary.build([["x", "y"], ["y", "z"]])
+    b = Vocabulary.build([["y", "z"], ["x", "y"]])
+    assert a.tokens == b.tokens
+
+
+@given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_encode_ids_always_in_range(tokens):
+    vocab = Vocabulary.build([tokens], max_size=10)
+    ids = vocab.encode(tokens + ["definitely-not-here"])
+    assert all(0 <= i < len(vocab) for i in ids)
+
+
+@given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_in_vocab_tokens_round_trip(tokens):
+    vocab = Vocabulary.build([tokens])
+    for token in tokens:
+        assert vocab.id_to_token(vocab.token_to_id(token)) == token

@@ -1,0 +1,45 @@
+"""Tests for hypothesis scoring and extended-id detokenization."""
+
+import pytest
+
+from repro.data import Vocabulary
+from repro.decoding import Hypothesis, extended_ids_to_tokens
+
+
+def test_score_length_normalization():
+    hyp = Hypothesis((1, 2, 3, 4), -4.0)
+    assert hyp.score(0.0) == -4.0
+    assert hyp.score(1.0) == -1.0
+
+
+def test_score_of_empty_hypothesis_is_safe():
+    assert Hypothesis((), -1.0).score(1.0) == -1.0
+
+
+def test_extended_appends_and_accumulates():
+    hyp = Hypothesis((5,), -1.0)
+    new = hyp.extended(7, -0.5, finished=False)
+    assert new.token_ids == (5, 7)
+    assert new.log_prob == -1.5
+    assert not new.finished
+    # Original is immutable.
+    assert hyp.token_ids == (5,)
+
+
+def test_extended_ids_resolve_vocab_and_oov():
+    vocab = Vocabulary(["who", "designed", "?"])
+    vocab_size = len(vocab)
+    ids = [
+        vocab.token_to_id("who"),
+        vocab.token_to_id("designed"),
+        vocab_size + 0,
+        vocab.token_to_id("?"),
+    ]
+    tokens = extended_ids_to_tokens(ids, vocab, oov_tokens=("zorvex",))
+    assert tokens == ["who", "designed", "zorvex", "?"]
+
+
+def test_extended_ids_out_of_range_raises():
+    vocab = Vocabulary(["a"])
+    with pytest.raises(IndexError):
+        extended_ids_to_tokens([len(vocab) + 5], vocab, oov_tokens=("only-one",))

@@ -1,0 +1,85 @@
+"""Tests for the decode-and-score evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, QGDataset, QGExample, Vocabulary
+from repro.evaluation import METRIC_NAMES, evaluate_model
+from repro.models import ModelConfig, build_model
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    sentences = [
+        "zorvex was born in karlin .",
+        "mira designed the velkin tower .",
+        "draxby is the capital of ostavia .",
+        "the quen river flows through belcor .",
+    ]
+    questions = [
+        "where was zorvex born ?",
+        "who designed the velkin tower ?",
+        "what is the capital of ostavia ?",
+        "what river flows through belcor ?",
+    ]
+    examples = [
+        QGExample(sentence=tuple(s.split()), paragraph=tuple(s.split()), question=tuple(q.split()))
+        for s, q in zip(sentences, questions)
+    ]
+    encoder, decoder = QGDataset.build_vocabs(examples, 100, 100)
+    dataset = QGDataset(examples, encoder, decoder)
+    config = ModelConfig(embedding_dim=16, hidden_size=20, num_layers=1, dropout=0.0, seed=5)
+    model = build_model("acnn", config, len(encoder), len(decoder))
+    trainer = Trainer(
+        model,
+        BatchIterator(dataset, batch_size=2, seed=0),
+        None,
+        TrainerConfig(epochs=100, learning_rate=0.8, halve_at_epoch=80),
+    )
+    trainer.train()
+    return model, dataset
+
+
+def test_result_contains_all_metrics(trained_setup):
+    model, dataset = trained_setup
+    result = evaluate_model(model, dataset, beam_size=2, max_length=12)
+    assert set(result.scores) == set(METRIC_NAMES)
+
+
+def test_predictions_align_with_references(trained_setup):
+    model, dataset = trained_setup
+    result = evaluate_model(model, dataset, beam_size=2, max_length=12)
+    assert len(result.predictions) == len(dataset)
+    assert len(result.references) == len(dataset)
+    gold = {tuple(ex.example.question) for ex in dataset}
+    assert set(result.references) <= gold
+
+
+def test_overfit_model_scores_high(trained_setup):
+    model, dataset = trained_setup
+    result = evaluate_model(model, dataset, beam_size=3, max_length=12)
+    assert result["BLEU-1"] > 60.0
+    assert result["ROUGE-L"] > 60.0
+
+
+def test_greedy_path_used_for_beam_one(trained_setup):
+    model, dataset = trained_setup
+    result = evaluate_model(model, dataset, beam_size=1, max_length=12)
+    assert set(result.scores) == set(METRIC_NAMES)
+
+
+def test_indexing_and_summary(trained_setup):
+    model, dataset = trained_setup
+    result = evaluate_model(model, dataset, beam_size=2, max_length=12)
+    assert result["BLEU-1"] == result.scores["BLEU-1"]
+    text = result.summary()
+    for metric in METRIC_NAMES:
+        assert metric in text
+
+
+def test_scores_are_deterministic(trained_setup):
+    model, dataset = trained_setup
+    a = evaluate_model(model, dataset, beam_size=2, max_length=12)
+    b = evaluate_model(model, dataset, beam_size=2, max_length=12)
+    assert a.scores == b.scores

@@ -1,0 +1,96 @@
+"""Tests for prediction-level error analysis."""
+
+import math
+
+import pytest
+
+from repro.data import Vocabulary
+from repro.data.vocabulary import UNK
+from repro.evaluation import analyse_predictions
+
+
+def _vocab():
+    return Vocabulary(["where", "was", "born", "in", "?", "what", "is", "the", "capital"])
+
+
+def test_exact_match_rate():
+    gold = [("where", "was", "zorvex", "born", "?")]
+    analysis = analyse_predictions(gold, gold, _vocab())
+    assert analysis.exact_match_rate == 1.0
+    assert analysis.num_examples == 1
+
+
+def test_unk_rate_counts_predictions_with_unk():
+    predictions = [(UNK, "was"), ("where", "was")]
+    references = [("a", "b"), ("c", "d")]
+    analysis = analyse_predictions(predictions, references, _vocab())
+    assert analysis.unk_rate == 0.5
+
+
+def test_wh_word_accuracy():
+    predictions = [("where", "x"), ("what", "y"), ("the", "z")]
+    references = [("where", "a"), ("who", "b"), ("the", "c")]
+    analysis = analyse_predictions(predictions, references, _vocab())
+    # Gold wh-starts: "where" (hit), "who" (miss). "the" isn't a wh-word.
+    assert analysis.wh_word_accuracy == pytest.approx(0.5)
+
+
+def test_wh_word_accuracy_nan_without_wh_gold():
+    analysis = analyse_predictions([("a",)], [("b",)], _vocab())
+    assert math.isnan(analysis.wh_word_accuracy)
+
+
+def test_oov_entity_recall():
+    vocab = _vocab()
+    # "zorvex" and "karlin" are OOV; prediction recovers only "zorvex".
+    predictions = [("where", "was", "zorvex", "born", "?")]
+    references = [("where", "was", "zorvex", "born", "in", "karlin", "?")]
+    analysis = analyse_predictions(predictions, references, vocab)
+    assert analysis.oov_entity_recall == pytest.approx(0.5)
+
+
+def test_oov_recall_respects_multiplicity():
+    vocab = _vocab()
+    predictions = [("zorvex",)]
+    references = [("zorvex", "zorvex")]  # needs the token twice
+    analysis = analyse_predictions(predictions, references, vocab)
+    assert analysis.oov_entity_recall == pytest.approx(0.5)
+
+
+def test_oov_recall_nan_when_gold_fully_in_vocab():
+    analysis = analyse_predictions(
+        [("where", "?")], [("where", "?")], _vocab()
+    )
+    assert math.isnan(analysis.oov_entity_recall)
+
+
+def test_lengths():
+    analysis = analyse_predictions([("a", "b")], [("c", "d", "e")], _vocab())
+    assert analysis.mean_length == 2.0
+    assert analysis.mean_gold_length == 3.0
+
+
+def test_summary_renders_percentages():
+    text = analyse_predictions([("where", "?")], [("where", "?")], _vocab()).summary()
+    assert "exact=100.0%" in text
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        analyse_predictions([("a",)], [], _vocab())
+    with pytest.raises(ValueError):
+        analyse_predictions([], [], _vocab())
+
+
+def test_repeated_bigram_rate():
+    predictions = [("the", "the", "cat"), ("a", "clean", "question"), ("of", "of", "of")]
+    references = [("x",), ("y",), ("z",)]
+    analysis = analyse_predictions(predictions, references, _vocab())
+    # "the the" repeats? a repeated *bigram* needs the same pair twice:
+    # ("of","of") occurs twice in the third prediction only.
+    assert analysis.repeated_bigram_rate == pytest.approx(1 / 3)
+
+
+def test_no_repeats_in_clean_predictions():
+    analysis = analyse_predictions([("a", "b", "c")], [("a",)], _vocab())
+    assert analysis.repeated_bigram_rate == 0.0

@@ -1,0 +1,59 @@
+"""Tests for paper-style table rendering."""
+
+import pytest
+
+from repro.evaluation import format_markdown_table, format_table
+
+ROWS = {
+    "Seq2Seq": {"BLEU-1": 31.34, "BLEU-4": 4.26},
+    "ACNN-sent": {"BLEU-1": 44.78, "BLEU-4": 13.97},
+}
+METRICS = ("BLEU-1", "BLEU-4")
+
+
+def test_text_table_contains_all_rows_and_values():
+    table = format_table(ROWS, metrics=METRICS)
+    assert "Seq2Seq" in table
+    assert "ACNN-sent" in table
+    assert "31.34" in table
+    assert "13.97" in table
+
+
+def test_text_table_marks_best_with_asterisk():
+    table = format_table(ROWS, metrics=METRICS)
+    assert "44.78*" in table
+    assert "31.34*" not in table
+
+
+def test_text_table_title():
+    table = format_table(ROWS, metrics=METRICS, title="Table 1")
+    assert table.splitlines()[0] == "Table 1"
+
+
+def test_text_table_no_highlight():
+    table = format_table(ROWS, metrics=METRICS, highlight_best=False)
+    assert "*" not in table
+
+
+def test_text_table_empty_raises():
+    with pytest.raises(ValueError):
+        format_table({}, metrics=METRICS)
+
+
+def test_markdown_table_structure():
+    table = format_markdown_table(ROWS, metrics=METRICS)
+    lines = table.splitlines()
+    assert lines[0].startswith("| Model |")
+    assert lines[1].startswith("|---|")
+    assert len(lines) == 2 + len(ROWS)
+
+
+def test_markdown_table_bolds_best():
+    table = format_markdown_table(ROWS, metrics=METRICS)
+    assert "**44.78**" in table
+    assert "**31.34**" not in table
+
+
+def test_markdown_table_empty_raises():
+    with pytest.raises(ValueError):
+        format_markdown_table({}, metrics=METRICS)

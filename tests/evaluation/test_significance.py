@@ -1,0 +1,76 @@
+"""Tests for the paired bootstrap significance test."""
+
+import pytest
+
+from repro.evaluation import paired_bootstrap
+
+
+REFS = [
+    ("where", "was", "zorvex", "born", "?"),
+    ("who", "designed", "the", "tower", "?"),
+    ("what", "is", "the", "capital", "?"),
+    ("when", "did", "it", "open", "?"),
+]
+PERFECT = list(REFS)
+BAD = [("nothing", "matches", "here") for _ in REFS]
+
+
+def test_clear_winner_is_significant():
+    result = paired_bootstrap(PERFECT, BAD, REFS, metric="BLEU-1", samples=200, seed=0)
+    assert result.wins_a == 200
+    assert result.p_value == 0.0
+    assert result.significant
+    assert result.score_a > result.score_b
+
+
+def test_identical_systems_tie():
+    result = paired_bootstrap(PERFECT, PERFECT, REFS, metric="BLEU-1", samples=100, seed=0)
+    assert result.ties == 100
+    assert result.wins_a == 0
+    assert not result.significant
+
+
+def test_reverse_direction_not_significant():
+    result = paired_bootstrap(BAD, PERFECT, REFS, metric="BLEU-1", samples=100, seed=0)
+    assert result.wins_a == 0
+    assert result.p_value == 1.0
+
+
+def test_rouge_metric_supported():
+    result = paired_bootstrap(PERFECT, BAD, REFS, metric="ROUGE-L", samples=50, seed=0)
+    assert result.significant
+
+
+@pytest.mark.parametrize("metric", ["BLEU-1", "BLEU-2", "BLEU-3", "BLEU-4"])
+def test_all_bleu_orders_supported(metric):
+    result = paired_bootstrap(PERFECT, BAD, REFS, metric=metric, samples=20, seed=0)
+    assert result.metric == metric
+
+
+def test_unknown_metric_rejected():
+    with pytest.raises(KeyError):
+        paired_bootstrap(PERFECT, BAD, REFS, metric="METEOR")
+    with pytest.raises(KeyError):
+        paired_bootstrap(PERFECT, BAD, REFS, metric="BLEU-7")
+    with pytest.raises(KeyError):
+        paired_bootstrap(PERFECT, BAD, REFS, metric="BLEU-x")
+
+
+def test_misaligned_inputs_rejected():
+    with pytest.raises(ValueError):
+        paired_bootstrap(PERFECT[:2], BAD, REFS)
+    with pytest.raises(ValueError):
+        paired_bootstrap([], [], [])
+    with pytest.raises(ValueError):
+        paired_bootstrap(PERFECT, BAD, REFS, samples=0)
+
+
+def test_deterministic_given_seed():
+    a = paired_bootstrap(PERFECT, BAD, REFS, samples=50, seed=5)
+    b = paired_bootstrap(PERFECT, BAD, REFS, samples=50, seed=5)
+    assert a == b
+
+
+def test_render_mentions_p_value():
+    text = paired_bootstrap(PERFECT, BAD, REFS, samples=20, seed=0).render()
+    assert "p=" in text

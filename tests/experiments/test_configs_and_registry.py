@@ -1,0 +1,79 @@
+"""Tests for experiment scales, the registry, and the CLI."""
+
+import pytest
+
+from repro.experiments.configs import DEFAULT, PAPER, SCALES, SMOKE
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.__main__ import main
+
+
+def test_paper_scale_documents_original_constants():
+    assert PAPER.num_train == 70484
+    assert PAPER.num_dev == 10570
+    assert PAPER.num_test == 11877
+    assert PAPER.encoder_vocab_size == 45000
+    assert PAPER.decoder_vocab_size == 28000
+    assert PAPER.hidden_size == 600
+    assert PAPER.num_layers == 2
+    assert PAPER.dropout == 0.3
+    assert PAPER.embedding_dim == 300
+    assert PAPER.batch_size == 64
+    assert PAPER.learning_rate == 1.0
+    assert PAPER.halve_at_epoch == 8
+    assert PAPER.beam_size == 3
+    assert PAPER.paragraph_length == 100
+
+
+def test_scales_registry():
+    assert set(SCALES) == {"smoke", "default", "paper"}
+    assert SCALES["default"] is DEFAULT
+
+
+def test_scale_helpers_produce_valid_configs():
+    for scale in (SMOKE, DEFAULT):
+        model_config = scale.model_config()
+        assert model_config.hidden_size == scale.hidden_size
+        trainer_config = scale.trainer_config()
+        assert trainer_config.epochs == scale.epochs
+        synth = scale.synthetic_config()
+        assert synth.num_train == scale.num_train
+
+
+def test_scaled_override():
+    modified = DEFAULT.scaled(epochs=3)
+    assert modified.epochs == 3
+    assert modified.num_train == DEFAULT.num_train
+
+
+def test_registry_covers_every_paper_artifact():
+    artifacts = {e.paper_artifact for e in EXPERIMENTS.values()}
+    assert "Table 1" in artifacts
+    assert "Table 2" in artifacts
+    assert "Figure 1" in artifacts
+
+
+def test_registry_bench_targets_exist():
+    import os
+
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    for experiment in EXPERIMENTS.values():
+        assert os.path.exists(os.path.join(root, experiment.bench_target)), experiment.bench_target
+
+
+def test_cli_list():
+    assert main(["list"]) == 0
+
+
+def test_cli_unknown_experiment():
+    assert main(["not-an-experiment"]) == 2
+
+
+def test_cli_rejects_paper_scale():
+    assert main(["table1", "--scale", "paper"]) == 2
+
+
+def test_cli_figure1_runs(capsys):
+    assert main(["figure1", "--scale", "smoke", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "copy" in out

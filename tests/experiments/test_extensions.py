@@ -1,0 +1,87 @@
+"""Smoke-scale integration tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments.ablations import run_coverage_ablation
+from repro.experiments.configs import SMOKE
+from repro.experiments.domain_transfer import (
+    SOURCE_DOMAIN,
+    TARGET_DOMAIN,
+    run_domain_transfer,
+)
+from repro.experiments.learning_curve import run_learning_curve
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_domains_are_disjoint():
+    assert not set(SOURCE_DOMAIN) & set(TARGET_DOMAIN)
+
+
+def test_domain_transfer_smoke():
+    result = run_domain_transfer(SMOKE)
+    assert set(result.in_domain) == {"Du-attention", "ACNN"}
+    assert set(result.out_of_domain) == {"Du-attention", "ACNN"}
+    for recalls in result.oov_recall.values():
+        assert set(recalls) == {"in", "out"}
+    text = result.render()
+    assert "In-domain" in text
+    assert "Out-of-domain" in text
+    # copy_transfers() is a boolean either way at smoke scale.
+    assert result.copy_transfers() in (True, False)
+
+
+def test_learning_curve_smoke():
+    result = run_learning_curve(SMOKE, sizes=(16, 32))
+    assert result.sizes == (16, 32)
+    assert len(result.runs) == 4
+    assert len(result.series("ACNN")) == 2
+    assert len(result.gaps()) == 2
+    text = result.render()
+    assert "BLEU-4" in text
+    assert "gap" in text
+
+
+def test_learning_curve_sizes_sorted():
+    result = run_learning_curve(SMOKE, sizes=(32, 16))
+    assert result.sizes == (16, 32)
+
+
+def test_coverage_ablation_smoke():
+    result = run_coverage_ablation(SMOKE)
+    assert set(result.scores) == {"ACNN", "ACNN + coverage"}
+    assert set(result.repetition_rates) == {"ACNN", "ACNN + coverage"}
+    assert "repeated-bigram" in result.render()
+
+
+def test_registry_includes_extensions():
+    for key in ("ablation-coverage", "ablation-answer", "learning-curve", "domain-transfer"):
+        assert key in EXPERIMENTS
+
+
+def test_all_registry_runners_accept_scale():
+    """Every registered runner must at least be callable at smoke scale for
+    the cheap ones; the expensive ones are covered by dedicated tests."""
+    cheap = EXPERIMENTS["figure1"]
+    result = cheap.runner(SMOKE)
+    assert hasattr(result, "render")
+
+
+def test_variance_study_smoke():
+    from repro.experiments.variance import run_variance_study
+
+    result = run_variance_study(SMOKE, seeds=(0, 1))
+    assert len(result.runs) == 2
+    spread = result.spread("BLEU-1")
+    assert spread["max"] >= spread["min"]
+    assert "std" in spread
+    text = result.render()
+    assert "Seed-variance" in text
+    assert "BLEU-4" in text
+
+
+def test_variance_study_requires_seeds():
+    import pytest
+    from repro.experiments.variance import run_variance_study
+
+    with pytest.raises(ValueError):
+        run_variance_study(SMOKE, seeds=())

@@ -1,0 +1,73 @@
+"""Unit tests for runner helpers (no training)."""
+
+import numpy as np
+
+from repro.data.dataset import SourceMode
+from repro.data.synthetic import generate_corpus
+from repro.experiments.configs import SMOKE
+from repro.experiments.runner import (
+    TABLE1_SYSTEMS,
+    _apply_pretrained_embeddings,
+    prepare_datasets,
+)
+from repro.models import build_model
+
+
+def _corpus():
+    return generate_corpus(SMOKE.synthetic_config())
+
+
+def test_prepare_datasets_sentence_mode():
+    train, dev, test = prepare_datasets(_corpus(), SMOKE, SourceMode.SENTENCE)
+    assert len(train) == SMOKE.num_train
+    assert len(dev) == SMOKE.num_dev
+    assert len(test) == SMOKE.num_test
+    assert train.encoder_vocab is dev.encoder_vocab is test.encoder_vocab
+
+
+def test_prepare_datasets_paragraph_truncation_override():
+    short, _, _ = prepare_datasets(_corpus(), SMOKE, SourceMode.PARAGRAPH, paragraph_length=20)
+    long, _, _ = prepare_datasets(_corpus(), SMOKE, SourceMode.PARAGRAPH, paragraph_length=150)
+    assert max(len(e.src_tokens) for e in short) <= 20
+    assert max(len(e.src_tokens) for e in long) > 20
+    # Different truncation exposes different vocabulary.
+    assert len(long.encoder_vocab) >= len(short.encoder_vocab)
+
+
+def test_table1_systems_cover_paper_rows():
+    labels = [spec.label for spec in TABLE1_SYSTEMS]
+    assert labels == ["Seq2Seq", "Du-sent", "Du-para", "ACNN-sent", "ACNN-para"]
+    modes = {spec.label: spec.source_mode for spec in TABLE1_SYSTEMS}
+    assert modes["Du-para"] == SourceMode.PARAGRAPH
+    assert modes["ACNN-sent"] == SourceMode.SENTENCE
+
+
+def test_seed_offsets_distinct():
+    offsets = [spec.seed_offset for spec in TABLE1_SYSTEMS]
+    assert len(set(offsets)) == len(offsets)
+
+
+def test_apply_pretrained_embeddings_changes_tables():
+    train, _, _ = prepare_datasets(_corpus(), SMOKE, SourceMode.SENTENCE)
+    model = build_model(
+        "acnn", SMOKE.model_config(), len(train.encoder_vocab), len(train.decoder_vocab)
+    )
+    before = model.encoder_embedding.weight.data.copy()
+    _apply_pretrained_embeddings(model, train, SMOKE)
+    after = model.encoder_embedding.weight.data
+    assert not np.allclose(before, after)
+    assert np.allclose(after[0], 0.0)  # PAD row stays zero
+
+
+def test_apply_pretrained_embeddings_deterministic():
+    train, _, _ = prepare_datasets(_corpus(), SMOKE, SourceMode.SENTENCE)
+    models = []
+    for _ in range(2):
+        model = build_model(
+            "acnn", SMOKE.model_config(), len(train.encoder_vocab), len(train.decoder_vocab)
+        )
+        _apply_pretrained_embeddings(model, train, SMOKE)
+        models.append(model)
+    assert np.allclose(
+        models[0].encoder_embedding.weight.data, models[1].encoder_embedding.weight.data
+    )

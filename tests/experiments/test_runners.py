@@ -1,0 +1,86 @@
+"""Integration tests: the experiment runners at smoke scale.
+
+These exercise the full pipeline (corpus → vocabs → model → training →
+beam decoding → metrics → table rendering) end to end; score *values* are
+meaningless at this scale and are not asserted beyond type/structure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import METRIC_NAMES
+from repro.experiments.configs import SMOKE
+from repro.experiments.figure1 import EXPECTED_COMPONENTS, run_figure1
+from repro.experiments.runner import TABLE1_SYSTEMS, run_system
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+
+
+@pytest.fixture(scope="module")
+def table1_smoke():
+    # Two systems keep this test fast while covering both model families
+    # and both source modes.
+    systems = (TABLE1_SYSTEMS[1], TABLE1_SYSTEMS[4])  # Du-sent, ACNN-para
+    return run_table1(SMOKE, systems=systems)
+
+
+def test_table1_produces_scores_for_each_system(table1_smoke):
+    assert set(table1_smoke.scores) == {"Du-sent", "ACNN-para"}
+    for scores in table1_smoke.scores.values():
+        assert set(scores) == set(METRIC_NAMES)
+        for value in scores.values():
+            assert 0.0 <= value <= 100.0
+
+
+def test_table1_render_shows_measured_and_paper(table1_smoke):
+    text = table1_smoke.render()
+    assert "measured" in text
+    assert "paper" in text
+    assert "44.78" in text  # paper's ACNN-sent BLEU-1
+
+
+def test_table1_histories_recorded(table1_smoke):
+    for run in table1_smoke.runs.values():
+        assert len(run.history) >= 1
+        assert run.train_seconds > 0
+
+
+def test_paper_table1_matches_publication():
+    assert PAPER_TABLE1["ACNN-sent"]["BLEU-4"] == 13.97
+    assert PAPER_TABLE1["Seq2Seq"]["ROUGE-L"] == 29.75
+    assert len(PAPER_TABLE1) == 5
+
+
+def test_paper_table2_matches_publication():
+    assert PAPER_TABLE2["ACNN-para-100"]["BLEU-4"] == 13.49
+    assert PAPER_TABLE2["ACNN-para-150"]["ROUGE-L"] == 39.95
+    assert len(PAPER_TABLE2) == 3
+
+
+def test_table2_runs_each_length():
+    result = run_table2(SMOKE, lengths=(100, 150))
+    assert set(result.scores) == {"ACNN-para-100", "ACNN-para-150"}
+    text = result.render()
+    assert "ACNN-para-100" in text
+
+
+def test_run_system_deterministic_given_seeds():
+    spec = TABLE1_SYSTEMS[3]  # ACNN-sent
+    a = run_system(spec, SMOKE)
+    b = run_system(spec, SMOKE)
+    assert a.scores == b.scores
+    assert a.result.predictions == b.result.predictions
+
+
+def test_figure1_component_inventory():
+    result = run_figure1(SMOKE)
+    for component in EXPECTED_COMPONENTS:
+        assert component in result.component_names, component
+    assert result.num_parameters > 0
+    assert "Eq. 2" in result.description
+
+
+def test_figure1_render_mentions_architecture_pieces():
+    text = run_figure1(SMOKE).render()
+    for keyword in ("bidirectional", "attention", "copy", "switch"):
+        assert keyword in text

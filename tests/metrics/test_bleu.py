@@ -1,0 +1,144 @@
+"""Tests for the BLEU implementation, incl. hand-computed reference values."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import bleu_n_scores, corpus_bleu, ngrams, sentence_bleu
+
+
+def test_ngrams_basic():
+    assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+
+def test_ngrams_too_short_returns_empty():
+    assert ngrams(["a"], 2) == []
+
+
+def test_ngrams_rejects_bad_order():
+    with pytest.raises(ValueError):
+        ngrams(["a"], 0)
+
+
+def test_perfect_match_scores_100():
+    hyp = ["the", "cat", "sat", "on", "the", "mat"]
+    assert corpus_bleu([hyp], [[hyp]], max_n=4) == pytest.approx(100.0)
+
+
+def test_no_overlap_scores_zero():
+    assert corpus_bleu([["x", "y"]], [[["a", "b"]]], max_n=1) == 0.0
+
+
+def test_hand_computed_unigram_precision():
+    """hyp: 4 tokens, 3 matched -> p1 = 3/4, no brevity penalty."""
+    hyp = ["the", "cat", "sat", "quickly"]
+    ref = ["the", "cat", "sat", "down"]
+    score = corpus_bleu([hyp], [[ref]], max_n=1)
+    assert score == pytest.approx(75.0)
+
+
+def test_clipping_limits_repeated_words():
+    """Papineni's classic: hyp 'the the the...' clipped by ref counts."""
+    hyp = ["the"] * 7
+    ref = ["the", "cat", "is", "on", "the", "mat"]  # 'the' appears twice
+    score = corpus_bleu([hyp], [[ref]], max_n=1)
+    # p1 = 2/7; hypothesis (7) longer than reference (6) -> no brevity penalty.
+    assert score == pytest.approx(100.0 * 2 / 7)
+
+
+def test_brevity_penalty_applied_when_short():
+    hyp = ["the", "cat"]
+    ref = ["the", "cat", "sat", "on", "the", "mat"]
+    score = corpus_bleu([hyp], [[ref]], max_n=1)
+    expected = 100.0 * math.exp(1 - 6 / 2) * 1.0
+    assert score == pytest.approx(expected)
+
+
+def test_no_brevity_penalty_when_longer():
+    hyp = ["the", "cat", "sat", "on", "the", "red", "mat"]
+    ref = ["the", "cat", "sat"]
+    score = corpus_bleu([hyp], [[ref]], max_n=1)
+    assert score == pytest.approx(100.0 * 3 / 7)
+
+
+def test_multiple_references_takes_max_clip():
+    hyp = ["the", "fast", "cat"]
+    refs = [["the", "cat"], ["a", "fast", "dog"]]
+    score = corpus_bleu([hyp], [refs], max_n=1)
+    # All three unigrams covered across the two references; closest ref len = 3.
+    assert score == pytest.approx(100.0)
+
+
+def test_closest_reference_length_used_for_brevity():
+    hyp = ["a", "b", "c", "d"]
+    refs = [["a", "b", "c", "x"], ["a"] * 10]
+    # closest length is 4 -> no penalty.
+    score = corpus_bleu([hyp], [refs], max_n=1)
+    assert score == pytest.approx(75.0)
+
+
+def test_cumulative_bleu4_geometric_mean():
+    hyp = ["the", "cat", "sat", "on", "the", "mat"]
+    score4 = corpus_bleu([hyp], [[hyp]], max_n=4)
+    score1 = corpus_bleu([hyp], [[hyp]], max_n=1)
+    assert score4 == pytest.approx(score1) == pytest.approx(100.0)
+
+
+def test_zero_higher_order_zeroes_unsmoothed_bleu():
+    hyp = ["a", "c", "b"]  # shares unigrams with ref, but no bigrams
+    ref = ["b", "x", "a"]
+    assert corpus_bleu([hyp], [[ref]], max_n=2) == 0.0
+    assert corpus_bleu([hyp], [[ref]], max_n=2, smooth_epsilon=0.1) > 0.0
+
+
+def test_bleu_n_scores_returns_all_orders():
+    hyp = ["the", "cat", "sat", "down"]
+    scores = bleu_n_scores([hyp], [[hyp]])
+    assert set(scores) == {"BLEU-1", "BLEU-2", "BLEU-3", "BLEU-4"}
+    assert all(v == pytest.approx(100.0) for v in scores.values())
+
+
+def test_bleu_orders_are_monotone_nonincreasing():
+    hyp = ["the", "black", "cat", "sat", "on", "a", "mat"]
+    ref = ["the", "cat", "sat", "on", "the", "mat"]
+    scores = bleu_n_scores([hyp], [[ref]], smooth_epsilon=0.01)
+    assert scores["BLEU-1"] >= scores["BLEU-2"] >= scores["BLEU-3"] >= scores["BLEU-4"]
+
+
+def test_corpus_pools_counts_not_scores():
+    """Corpus BLEU pools n-gram counts across segments (not mean of BLEUs)."""
+    hyp1, ref1 = ["a", "b"], ["a", "b"]
+    hyp2, ref2 = ["x", "y"], ["p", "q"]
+    pooled = corpus_bleu([hyp1, hyp2], [[ref1], [ref2]], max_n=1)
+    assert pooled == pytest.approx(100.0 * 2 / 4)
+
+
+def test_mismatched_lengths_raise():
+    with pytest.raises(ValueError):
+        corpus_bleu([["a"]], [])
+    with pytest.raises(ValueError):
+        corpus_bleu([], [])
+    with pytest.raises(ValueError):
+        corpus_bleu([["a"]], [[]])
+
+
+def test_sentence_bleu_smoothing_default():
+    assert sentence_bleu(["a", "q"], [["a", "b"]]) > 0.0
+
+
+words = st.sampled_from(["the", "cat", "sat", "mat", "dog", "ran"])
+
+
+@given(st.lists(words, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_self_bleu_is_100(tokens):
+    assert corpus_bleu([tokens], [[list(tokens)]], max_n=min(4, len(tokens))) == pytest.approx(100.0)
+
+
+@given(st.lists(words, min_size=1, max_size=8), st.lists(words, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_bleu_bounded(hyp, ref):
+    score = corpus_bleu([hyp], [[ref]], max_n=2, smooth_epsilon=0.01)
+    assert 0.0 <= score <= 100.0 + 1e-9

@@ -1,0 +1,65 @@
+"""Tests for distinct-n and unique-output diversity metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import distinct_n, unique_output_ratio
+
+
+def test_distinct_n_all_unique():
+    outputs = [["a", "b"], ["c", "d"]]
+    assert distinct_n(outputs, n=2) == 1.0
+
+
+def test_distinct_n_fully_repetitive():
+    outputs = [["a", "a", "a", "a"]]
+    # 3 bigrams, all ("a","a") -> 1 unique / 3 total.
+    assert distinct_n(outputs, n=2) == pytest.approx(1 / 3)
+
+
+def test_distinct_n_across_outputs():
+    outputs = [["a", "b"], ["a", "b"]]
+    assert distinct_n(outputs, n=2) == pytest.approx(0.5)
+
+
+def test_distinct_1():
+    outputs = [["a", "b", "a"]]
+    assert distinct_n(outputs, n=1) == pytest.approx(2 / 3)
+
+
+def test_distinct_n_short_outputs_skipped():
+    assert distinct_n([["a"]], n=2) == 0.0
+    assert distinct_n([], n=2) == 0.0
+
+
+def test_distinct_n_validates_order():
+    with pytest.raises(ValueError):
+        distinct_n([["a"]], n=0)
+
+
+def test_unique_output_ratio():
+    outputs = [("a", "b"), ("a", "b"), ("c",)]
+    assert unique_output_ratio(outputs) == pytest.approx(2 / 3)
+
+
+def test_unique_output_ratio_empty_raises():
+    with pytest.raises(ValueError):
+        unique_output_ratio([])
+
+
+words = st.sampled_from(["a", "b", "c"])
+
+
+@given(st.lists(st.lists(words, min_size=1, max_size=5), min_size=1, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_distinct_n_bounded(outputs):
+    value = distinct_n(outputs, n=1)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.lists(st.lists(words, min_size=1, max_size=5), min_size=1, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_unique_ratio_bounded(outputs):
+    value = unique_output_ratio(outputs)
+    assert 0.0 < value <= 1.0

@@ -1,0 +1,94 @@
+"""Tests for ROUGE-L and the LCS kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import corpus_rouge_l, lcs_length, rouge_l_sentence
+
+
+def test_lcs_identical():
+    assert lcs_length(["a", "b", "c"], ["a", "b", "c"]) == 3
+
+
+def test_lcs_empty():
+    assert lcs_length([], ["a"]) == 0
+    assert lcs_length(["a"], []) == 0
+
+
+def test_lcs_classic_example():
+    # ABCBDAB vs BDCABA -> LCS length 4 (e.g. BCAB)
+    a = list("abcbdab")
+    b = list("bdcaba")
+    assert lcs_length(a, b) == 4
+
+
+def test_lcs_subsequence_not_substring():
+    assert lcs_length(["a", "x", "b", "y", "c"], ["a", "b", "c"]) == 3
+
+
+def test_rouge_perfect_match_is_one():
+    hyp = ["what", "is", "the", "capital", "?"]
+    assert rouge_l_sentence(hyp, [hyp]) == pytest.approx(1.0)
+
+
+def test_rouge_no_overlap_is_zero():
+    assert rouge_l_sentence(["a"], [["b"]]) == 0.0
+
+
+def test_rouge_hand_computed():
+    hyp = ["the", "cat", "sat"]          # len 3
+    ref = ["the", "cat", "sat", "down"]  # len 4, lcs 3
+    precision, recall, beta = 1.0, 0.75, 1.2
+    expected = (1 + beta ** 2) * precision * recall / (recall + beta ** 2 * precision)
+    assert rouge_l_sentence(hyp, [ref]) == pytest.approx(expected)
+
+
+def test_rouge_takes_best_reference():
+    hyp = ["a", "b", "c"]
+    weak = ["x", "y"]
+    strong = ["a", "b", "c"]
+    assert rouge_l_sentence(hyp, [weak, strong]) == pytest.approx(1.0)
+
+
+def test_rouge_requires_reference():
+    with pytest.raises(ValueError):
+        rouge_l_sentence(["a"], [])
+
+
+def test_corpus_rouge_is_mean_of_segments():
+    hyp1 = ["a", "b"]
+    hyp2 = ["x"]
+    refs1 = [["a", "b"]]
+    refs2 = [["y"]]
+    score = corpus_rouge_l([hyp1, hyp2], [refs1, refs2])
+    assert score == pytest.approx(100.0 * (1.0 + 0.0) / 2)
+
+
+def test_corpus_rouge_validates_lengths():
+    with pytest.raises(ValueError):
+        corpus_rouge_l([["a"]], [])
+    with pytest.raises(ValueError):
+        corpus_rouge_l([], [])
+
+
+words = st.sampled_from(["the", "cat", "sat", "mat", "dog"])
+
+
+@given(st.lists(words, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_rouge_self_is_one(tokens):
+    assert rouge_l_sentence(tokens, [list(tokens)]) == pytest.approx(1.0)
+
+
+@given(st.lists(words, min_size=1, max_size=8), st.lists(words, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_rouge_bounded(hyp, ref):
+    assert 0.0 <= rouge_l_sentence(hyp, [ref]) <= 1.0
+
+
+@given(st.lists(words, min_size=1, max_size=8), st.lists(words, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_lcs_symmetric_and_bounded(a, b):
+    assert lcs_length(a, b) == lcs_length(b, a)
+    assert lcs_length(a, b) <= min(len(a), len(b))

@@ -1,0 +1,58 @@
+"""Shared fixtures for model tests: a tiny corpus, vocabs, and batches."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, QGDataset, QGExample, Vocabulary, collate
+from repro.models import ModelConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_examples():
+    sentences = [
+        "zorvex was born in karlin in 1887 .",
+        "the velkin tower was designed by mirosta .",
+        "quenlib acquired fenora for 250 million dollars in 1999 .",
+        "draxby is the capital and largest city of ostavia .",
+    ]
+    questions = [
+        "where was zorvex born ?",
+        "who designed the velkin tower ?",
+        "how much did quenlib pay to acquire fenora ?",
+        "what is the capital of ostavia ?",
+    ]
+    return [
+        QGExample(
+            sentence=tuple(s.split()),
+            paragraph=tuple((s + " trade grew along the coast . the town is very old .").split()),
+            question=tuple(q.split()),
+        )
+        for s, q in zip(sentences, questions)
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_vocabs(tiny_examples):
+    encoder = Vocabulary.build([ex.paragraph for ex in tiny_examples])
+    # Keep entity names OUT of the decoder vocab so copying is required.
+    decoder = Vocabulary(
+        ["where", "was", "born", "?", "who", "designed", "the", "how", "much",
+         "did", "pay", "to", "acquire", "what", "is", "capital", "of", "tower"]
+    )
+    return encoder, decoder
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_examples, tiny_vocabs):
+    encoder, decoder = tiny_vocabs
+    return QGDataset(tiny_examples, encoder, decoder)
+
+
+@pytest.fixture(scope="session")
+def tiny_batch(tiny_dataset):
+    return collate(list(tiny_dataset), pad_id=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return ModelConfig(embedding_dim=12, hidden_size=10, num_layers=2, dropout=0.0, seed=3)

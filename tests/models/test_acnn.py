@@ -1,0 +1,213 @@
+"""ACNN-specific tests: copy distribution, switch gate, mixture, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.data import collate
+from repro.data.vocabulary import BOS_ID
+from repro.models import ACNN, build_model
+from repro.tensor import Tensor, check_gradients, no_grad
+
+
+def _acnn(tiny_config, tiny_vocabs, **kwargs):
+    encoder, decoder = tiny_vocabs
+    return build_model("acnn", tiny_config, len(encoder), len(decoder), **kwargs)
+
+
+def test_copy_distribution_sums_to_one_over_valid_positions(tiny_config, tiny_vocabs, tiny_batch):
+    model = _acnn(tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        d = Tensor(np.random.default_rng(0).standard_normal((tiny_batch.size, tiny_config.hidden_size)))
+        c = Tensor(np.random.default_rng(1).standard_normal((tiny_batch.size, 2 * tiny_config.hidden_size)))
+        p_cop = model.copy_distribution(d, c, context.encoder_states, context.src_pad_mask).data
+    assert np.allclose(p_cop.sum(axis=1), 1.0)
+    assert np.allclose(p_cop[tiny_batch.src_pad_mask], 0.0)
+
+
+def test_switch_gate_in_unit_interval(tiny_config, tiny_vocabs, tiny_batch):
+    model = _acnn(tiny_config, tiny_vocabs).eval()
+    rng = np.random.default_rng(2)
+    d = Tensor(rng.standard_normal((4, tiny_config.hidden_size)))
+    c = Tensor(rng.standard_normal((4, 2 * tiny_config.hidden_size)))
+    y = Tensor(rng.standard_normal((4, tiny_config.embedding_dim)))
+    z = model.switch(d, c, y).data
+    assert z.shape == (4,)
+    assert np.all((z > 0) & (z < 1))
+
+
+def test_fixed_switch_returns_constant(tiny_config, tiny_vocabs):
+    model = _acnn(tiny_config, tiny_vocabs, switch_mode="fixed", fixed_switch=0.25)
+    rng = np.random.default_rng(3)
+    d = Tensor(rng.standard_normal((2, tiny_config.hidden_size)))
+    c = Tensor(rng.standard_normal((2, 2 * tiny_config.hidden_size)))
+    y = Tensor(rng.standard_normal((2, tiny_config.embedding_dim)))
+    assert np.allclose(model.switch(d, c, y).data, 0.25)
+
+
+def test_invalid_switch_mode_rejected(tiny_config, tiny_vocabs):
+    with pytest.raises(ValueError):
+        _acnn(tiny_config, tiny_vocabs, switch_mode="sometimes")
+    with pytest.raises(ValueError):
+        _acnn(tiny_config, tiny_vocabs, switch_mode="fixed", fixed_switch=1.5)
+
+
+def test_extended_distribution_covers_oov_slots(tiny_config, tiny_vocabs, tiny_batch):
+    """The copy path must put real probability on source OOV words."""
+    model = _acnn(tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        state = model.initial_decoder_state(context)
+        prev = np.full(context.batch_size, BOS_ID, dtype=np.int64)
+        log_probs, _ = model.step_log_probs(prev, state, context)
+    vocab_size = model.decoder_vocab_size
+    oov_mass = np.exp(log_probs[:, vocab_size:]).sum(axis=1)
+    # Each example has source OOVs, and an untrained gate is near 0.5,
+    # so the OOV slots must carry non-trivial mass.
+    assert np.all(oov_mass > 1e-4)
+
+
+def test_pure_attention_fixed_switch_puts_no_mass_on_oov(tiny_config, tiny_vocabs, tiny_batch):
+    model = _acnn(tiny_config, tiny_vocabs, switch_mode="fixed", fixed_switch=0.0).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        prev = np.full(context.batch_size, BOS_ID, dtype=np.int64)
+        log_probs, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+    oov_mass = np.exp(log_probs[:, model.decoder_vocab_size:]).sum(axis=1)
+    assert np.allclose(oov_mass, 0.0, atol=1e-9)
+
+
+def test_pure_copy_fixed_switch_puts_all_mass_on_source(tiny_config, tiny_vocabs, tiny_batch):
+    model = _acnn(tiny_config, tiny_vocabs, switch_mode="fixed", fixed_switch=1.0).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        prev = np.full(context.batch_size, BOS_ID, dtype=np.int64)
+        log_probs, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+    probs = np.exp(log_probs)
+    for row in range(tiny_batch.size):
+        source_ids = set(tiny_batch.src_ext[row][~tiny_batch.src_pad_mask[row]])
+        non_source = [i for i in range(probs.shape[1]) if i not in source_ids]
+        assert probs[row, non_source].sum() < 1e-6
+
+
+def test_mixture_equals_manual_combination(tiny_config, tiny_vocabs, tiny_batch):
+    """Eq. 2 check: extended distribution = (1-z) P_att scattered + z P_cop."""
+    model = _acnn(tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        state = model.initial_decoder_state(context)
+        prev = np.full(context.batch_size, BOS_ID, dtype=np.int64)
+
+        embedded = model.decoder_embedding(prev)
+        d, c, _, logits, _ = model._decode_step(
+            embedded, state.lstm_states, context.encoder_states, context.src_pad_mask
+        )
+        from repro.tensor.ops import softmax
+
+        p_att = softmax(logits, axis=-1).data
+        p_cop = model.copy_distribution(d, c, context.encoder_states, context.src_pad_mask).data
+        z = model.switch(d, c, embedded).data[:, None]
+
+        log_probs, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+        probs = np.exp(log_probs)
+
+    manual = np.zeros_like(probs)
+    manual[:, : model.decoder_vocab_size] = (1 - z) * p_att
+    for row in range(tiny_batch.size):
+        for position, ext_id in enumerate(tiny_batch.src_ext[row]):
+            if not tiny_batch.src_pad_mask[row, position]:
+                manual[row, ext_id] += z[row, 0] * p_cop[row, position]
+    assert np.allclose(probs, manual, atol=1e-9)
+
+
+def test_loss_gradcheck_small_acnn(tiny_vocabs, tiny_dataset):
+    """Full end-to-end gradient check of the ACNN training loss."""
+    from repro.models import ModelConfig
+
+    encoder, decoder = tiny_vocabs
+    config = ModelConfig(embedding_dim=4, hidden_size=3, num_layers=1, dropout=0.0, seed=11)
+    model = ACNN(config, len(encoder), len(decoder))
+    batch = collate(list(tiny_dataset)[:2], pad_id=0)
+
+    parameters = model.parameters()
+    check_gradients(lambda: model.loss(batch), parameters, rtol=2e-3, atol=1e-6)
+
+
+def test_loss_decreases_over_several_steps(tiny_config, tiny_vocabs, tiny_batch):
+    from repro.optim import SGD, clip_grad_norm
+
+    model = _acnn(tiny_config, tiny_vocabs)
+    optimizer = SGD(model.parameters(), lr=1.0)
+    losses = []
+    for _ in range(40):
+        loss = model.loss(tiny_batch)
+        losses.append(loss.item())
+        loss.backward()
+        clip_grad_norm(model.parameters(), 5.0)
+        optimizer.step()
+        model.zero_grad()
+    assert losses[-1] < losses[0] * 0.85
+
+
+def test_trained_acnn_copies_entities(tiny_config, tiny_vocabs, tiny_batch, tiny_dataset):
+    """After overfitting the tiny corpus, greedy decoding must copy OOVs."""
+    from repro.decoding import extended_ids_to_tokens, greedy_decode
+    from repro.optim import SGD, clip_grad_norm
+
+    model = _acnn(tiny_config.scaled(hidden_size=24, embedding_dim=16), tiny_vocabs)
+    optimizer = SGD(model.parameters(), lr=0.7)
+    for _ in range(120):
+        model.train()
+        loss = model.loss(tiny_batch)
+        loss.backward()
+        clip_grad_norm(model.parameters(), 5.0)
+        optimizer.step()
+        model.zero_grad()
+
+    hypotheses = greedy_decode(model, tiny_batch, max_length=12)
+    _, decoder = tiny_vocabs
+    copied_any = False
+    for hyp, encoded in zip(hypotheses, tiny_batch.examples):
+        tokens = extended_ids_to_tokens(hyp.token_ids, decoder, encoded.oov_tokens)
+        gold_oov = [t for t in encoded.example.question if t not in decoder]
+        if any(t in tokens for t in gold_oov):
+            copied_any = True
+    assert copied_any, "overfit ACNN never copied an out-of-vocabulary entity"
+
+
+def test_scheduled_sampling_validation(tiny_config, tiny_vocabs):
+    with pytest.raises(ValueError):
+        _acnn(tiny_config, tiny_vocabs, scheduled_sampling_rate=1.0)
+
+
+def test_scheduled_sampling_loss_trains(tiny_config, tiny_vocabs, tiny_batch):
+    from repro.optim import SGD
+
+    model = _acnn(tiny_config, tiny_vocabs, scheduled_sampling_rate=0.3)
+    optimizer = SGD(model.parameters(), lr=0.5)
+    first = model.loss(tiny_batch)
+    assert np.isfinite(first.item())
+    first.backward()
+    optimizer.step()
+    model.zero_grad()
+    assert np.isfinite(model.loss(tiny_batch).item())
+
+
+def test_scheduled_sampling_disabled_in_eval(tiny_config, tiny_vocabs, tiny_batch):
+    """In eval mode the loss must be the deterministic teacher-forced one."""
+    model = _acnn(tiny_config, tiny_vocabs, scheduled_sampling_rate=0.5)
+    model.eval()
+    with no_grad():
+        a = model.loss(tiny_batch).item()
+        b = model.loss(tiny_batch).item()
+    assert a == b
+
+
+def test_scheduled_sampling_zero_matches_teacher_forcing(tiny_config, tiny_vocabs, tiny_batch):
+    plain = _acnn(tiny_config, tiny_vocabs)
+    sampled = _acnn(tiny_config, tiny_vocabs, scheduled_sampling_rate=0.0)
+    sampled.load_state_dict(plain.state_dict())
+    plain.eval()
+    sampled.eval()
+    with no_grad():
+        assert np.isclose(plain.loss(tiny_batch).item(), sampled.loss(tiny_batch).item())

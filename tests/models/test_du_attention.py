@@ -1,0 +1,67 @@
+"""Du-attention-baseline-specific tests."""
+
+import numpy as np
+
+from repro.models import DuAttentionModel, build_model
+from repro.tensor import no_grad
+
+
+def _model(tiny_config, tiny_vocabs):
+    encoder, decoder = tiny_vocabs
+    return build_model("du-attention", tiny_config, len(encoder), len(decoder))
+
+
+def test_bridge_produces_decoder_sized_states(tiny_config, tiny_vocabs, tiny_batch):
+    model = _model(tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+    assert len(context.initial_states) == tiny_config.num_layers
+    for h, c in context.initial_states:
+        assert h.shape == (tiny_batch.size, tiny_config.hidden_size)
+        assert c.shape == (tiny_batch.size, tiny_config.hidden_size)
+        # tanh bridge keeps states bounded.
+        assert np.all(np.abs(h.data) <= 1.0)
+        assert np.all(np.abs(c.data) <= 1.0)
+
+
+def test_encoder_states_are_bidirectional_width(tiny_config, tiny_vocabs, tiny_batch):
+    model = _model(tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+    assert context.encoder_states.shape == (
+        tiny_batch.size,
+        tiny_batch.src.shape[1],
+        2 * tiny_config.hidden_size,
+    )
+
+
+def test_source_content_changes_distribution(tiny_config, tiny_vocabs, tiny_batch):
+    """Unlike the Seq2Seq baseline, attention reads the encoder states."""
+    model = _model(tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        prev = np.full(context.batch_size, 2, dtype=np.int64)
+        lp1, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+        context.encoder_states.data[...] *= 2.0
+        lp2, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+    assert not np.allclose(lp1, lp2)
+
+
+def test_no_copy_parameters(tiny_config, tiny_vocabs):
+    names = {name for name, _ in _model(tiny_config, tiny_vocabs).named_parameters()}
+    assert not any("copy" in name for name in names)
+    assert not any("switch" in name for name in names)
+    assert any(name.startswith("attention") for name in names)
+
+
+def test_bridge_parameters_per_layer(tiny_config, tiny_vocabs):
+    names = {name for name, _ in _model(tiny_config, tiny_vocabs).named_parameters()}
+    for layer in range(tiny_config.num_layers):
+        assert f"bridge_h_{layer}.weight" in names
+        assert f"bridge_c_{layer}.weight" in names
+
+
+def test_is_du_class(tiny_config, tiny_vocabs):
+    model = _model(tiny_config, tiny_vocabs)
+    assert isinstance(model, DuAttentionModel)
+    assert type(model) is DuAttentionModel  # not the ACNN subclass

@@ -1,0 +1,109 @@
+"""Hypothesis property tests on model-level invariants.
+
+Across randomly drawn tiny architectures and corpora:
+
+- every model's step distribution is a proper probability distribution over
+  the extended vocabulary;
+- the ACNN mixture respects the switch gate's bounds;
+- losses are finite and positive;
+- encoding is deterministic in eval mode.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import QGDataset, QGExample, Vocabulary, collate
+from repro.data.vocabulary import BOS_ID
+from repro.models import ModelConfig, build_model
+from repro.tensor import no_grad
+
+_WORDS = ["alpha", "bravo", "ostavia", "karlin", "zorvex", "tower", "river", "1887"]
+_QWORDS = ["where", "what", "who", "is", "was", "the", "?"]
+
+
+@st.composite
+def tiny_problem(draw):
+    """A random tiny (model config, batch) pair."""
+    num_examples = draw(st.integers(1, 3))
+    examples = []
+    for _ in range(num_examples):
+        sent_len = draw(st.integers(2, 6))
+        q_len = draw(st.integers(2, 5))
+        sentence = tuple(draw(st.sampled_from(_WORDS)) for _ in range(sent_len))
+        question = tuple(draw(st.sampled_from(_WORDS + _QWORDS)) for _ in range(q_len))
+        examples.append(QGExample(sentence=sentence, paragraph=sentence, question=question))
+    encoder = Vocabulary.build([e.sentence for e in examples])
+    decoder = Vocabulary(_QWORDS + [draw(st.sampled_from(_WORDS))])
+    dataset = QGDataset(examples, encoder, decoder)
+    batch = collate(list(dataset), pad_id=0)
+    config = ModelConfig(
+        embedding_dim=draw(st.integers(2, 8)),
+        hidden_size=draw(st.integers(2, 8)),
+        num_layers=draw(st.integers(1, 2)),
+        dropout=0.0,
+        seed=draw(st.integers(0, 100)),
+    )
+    family = draw(st.sampled_from(["seq2seq", "du-attention", "acnn"]))
+    return family, config, len(encoder), len(decoder), batch
+
+
+@given(tiny_problem())
+@settings(max_examples=25, deadline=None)
+def test_step_distribution_is_normalized(problem):
+    family, config, enc_size, dec_size, batch = problem
+    model = build_model(family, config, enc_size, dec_size).eval()
+    with no_grad():
+        context = model.encode(batch)
+        prev = np.full(context.batch_size, BOS_ID, dtype=np.int64)
+        log_probs, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+    probs = np.exp(log_probs)
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-6)
+
+
+@given(tiny_problem())
+@settings(max_examples=25, deadline=None)
+def test_loss_is_finite_positive(problem):
+    family, config, enc_size, dec_size, batch = problem
+    model = build_model(family, config, enc_size, dec_size)
+    value = model.loss(batch).item()
+    assert np.isfinite(value)
+    assert value > 0
+
+
+@given(tiny_problem())
+@settings(max_examples=15, deadline=None)
+def test_eval_mode_deterministic(problem):
+    family, config, enc_size, dec_size, batch = problem
+    model = build_model(family, config, enc_size, dec_size).eval()
+    with no_grad():
+        a = model.loss(batch).item()
+        b = model.loss(batch).item()
+    assert a == b
+
+
+@given(tiny_problem(), st.floats(0.0, 1.0))
+@settings(max_examples=15, deadline=None)
+def test_acnn_oov_mass_bounded_by_gate(problem, fixed_z):
+    """With a frozen gate z, the total copy-region mass can never exceed z."""
+    _, config, enc_size, dec_size, batch = problem
+    model = build_model(
+        "acnn", config, enc_size, dec_size, switch_mode="fixed", fixed_switch=fixed_z
+    ).eval()
+    with no_grad():
+        context = model.encode(batch)
+        prev = np.full(context.batch_size, BOS_ID, dtype=np.int64)
+        log_probs, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+    oov_mass = np.exp(log_probs[:, dec_size:]).sum(axis=1)
+    assert np.all(oov_mass <= fixed_z + 1e-9)
+
+
+@given(tiny_problem())
+@settings(max_examples=10, deadline=None)
+def test_backward_populates_all_gradients(problem):
+    family, config, enc_size, dec_size, batch = problem
+    model = build_model(family, config, enc_size, dec_size)
+    model.loss(batch).backward()
+    missing = [name for name, p in model.named_parameters() if p.grad is None]
+    assert not missing, missing

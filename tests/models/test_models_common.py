@@ -1,0 +1,124 @@
+"""Behaviour every model family must share: loss, encode, stepping, factory."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ACNN,
+    DuAttentionModel,
+    ModelConfig,
+    Seq2SeqBaseline,
+    build_model,
+)
+from repro.data.vocabulary import BOS_ID
+from repro.optim import SGD
+from repro.tensor import no_grad
+
+FAMILIES = ["seq2seq", "du-attention", "acnn"]
+
+
+def _build(family, tiny_config, tiny_vocabs):
+    encoder, decoder = tiny_vocabs
+    return build_model(family, tiny_config, len(encoder), len(decoder))
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_loss_is_finite_positive_scalar(family, tiny_config, tiny_vocabs, tiny_batch):
+    model = _build(family, tiny_config, tiny_vocabs)
+    loss = model.loss(tiny_batch)
+    value = loss.item()
+    assert np.isfinite(value)
+    assert value > 0
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_loss_backward_populates_gradients(family, tiny_config, tiny_vocabs, tiny_batch):
+    model = _build(family, tiny_config, tiny_vocabs)
+    model.loss(tiny_batch).backward()
+    with_grad = [name for name, p in model.named_parameters() if p.grad is not None]
+    # Every parameter should participate in a full teacher-forced pass.
+    missing = [name for name, p in model.named_parameters() if p.grad is None]
+    assert not missing, f"no gradient for: {missing}"
+    assert with_grad
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_one_sgd_step_reduces_loss(family, tiny_config, tiny_vocabs, tiny_batch):
+    model = _build(family, tiny_config, tiny_vocabs)
+    optimizer = SGD(model.parameters(), lr=0.2)
+    first = model.loss(tiny_batch)
+    first.backward()
+    optimizer.step()
+    model.zero_grad()
+    second = model.loss(tiny_batch).item()
+    assert second < first.item()
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_step_log_probs_shape_and_normalization(family, tiny_config, tiny_vocabs, tiny_batch):
+    model = _build(family, tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        state = model.initial_decoder_state(context)
+        prev = np.full(context.batch_size, BOS_ID, dtype=np.int64)
+        log_probs, _ = model.step_log_probs(prev, state, context)
+    assert log_probs.shape == (context.batch_size, model.extended_vocab_size(context))
+    sums = np.exp(log_probs).sum(axis=1)
+    assert np.allclose(sums, 1.0, atol=1e-6)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_decoding_is_deterministic_in_eval(family, tiny_config, tiny_vocabs, tiny_batch):
+    model = _build(family, tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        prev = np.full(context.batch_size, BOS_ID, dtype=np.int64)
+        lp1, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+        lp2, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+    assert np.allclose(lp1, lp2)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_state_dict_round_trip_preserves_loss(family, tiny_config, tiny_vocabs, tiny_batch):
+    encoder, decoder = tiny_vocabs
+    source = _build(family, tiny_config, tiny_vocabs)
+    target = build_model(family, tiny_config.scaled(seed=99), len(encoder), len(decoder))
+    target.load_state_dict(source.state_dict())
+    assert np.isclose(source.loss(tiny_batch).item(), target.loss(tiny_batch).item())
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_describe_mentions_family_specifics(family, tiny_config, tiny_vocabs):
+    model = _build(family, tiny_config, tiny_vocabs)
+    text = model.describe()
+    assert "encoder" in text
+    assert "decoder" in text
+
+
+def test_factory_rejects_unknown_family(tiny_config):
+    with pytest.raises(KeyError):
+        build_model("transformer", tiny_config, 10, 10)
+
+
+def test_factory_returns_expected_classes(tiny_config, tiny_vocabs):
+    encoder, decoder = tiny_vocabs
+    assert isinstance(build_model("seq2seq", tiny_config, len(encoder), len(decoder)), Seq2SeqBaseline)
+    assert isinstance(build_model("du-attention", tiny_config, len(encoder), len(decoder)), DuAttentionModel)
+    assert isinstance(build_model("acnn", tiny_config, len(encoder), len(decoder)), ACNN)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ModelConfig(hidden_size=0)
+    with pytest.raises(ValueError):
+        ModelConfig(dropout=1.0)
+    with pytest.raises(ValueError):
+        ModelConfig(num_layers=0)
+    with pytest.raises(ValueError):
+        ModelConfig(embedding_dim=0)
+
+
+def test_config_scaled_replaces_fields():
+    config = ModelConfig().scaled(hidden_size=32)
+    assert config.hidden_size == 32
+    assert config.embedding_dim == 300

@@ -1,0 +1,61 @@
+"""Seq2Seq-baseline-specific tests."""
+
+import numpy as np
+
+from repro.models import Seq2SeqBaseline, build_model
+from repro.tensor import no_grad
+
+
+def _model(tiny_config, tiny_vocabs):
+    encoder, decoder = tiny_vocabs
+    return build_model("seq2seq", tiny_config, len(encoder), len(decoder))
+
+
+def test_decoder_initialized_from_encoder_final_states(tiny_config, tiny_vocabs, tiny_batch):
+    model = _model(tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        # Initial decoder states are exactly the encoder's final states.
+        embedded = model.encoder_embedding(tiny_batch.src)
+        _, final_states = model.encoder(embedded, pad_mask=tiny_batch.src_pad_mask)
+    for (h_ctx, c_ctx), (h_ref, c_ref) in zip(context.initial_states, final_states):
+        assert np.allclose(h_ctx.data, h_ref.data)
+        assert np.allclose(c_ctx.data, c_ref.data)
+
+
+def test_no_attention_parameters(tiny_config, tiny_vocabs):
+    model = _model(tiny_config, tiny_vocabs)
+    names = {name for name, _ in model.named_parameters()}
+    assert not any("attention" in name for name in names)
+    assert not any("copy" in name for name in names)
+
+
+def test_output_depends_only_on_prefix_not_source_content(tiny_config, tiny_vocabs, tiny_batch):
+    """Without attention, two sources with equal final encoder state behave
+    identically — here we just verify the distribution ignores source
+    padding beyond the final state (sanity of the architecture)."""
+    model = _model(tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        prev = np.full(context.batch_size, 2, dtype=np.int64)
+        lp1, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+        # Mutating encoder_states must not change the step (no attention).
+        context.encoder_states.data[...] = 0.0
+        lp2, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+    assert np.allclose(lp1, lp2)
+
+
+def test_oov_slots_get_zero_probability(tiny_config, tiny_vocabs, tiny_batch):
+    model = _model(tiny_config, tiny_vocabs).eval()
+    with no_grad():
+        context = model.encode(tiny_batch)
+        prev = np.full(context.batch_size, 2, dtype=np.int64)
+        log_probs, _ = model.step_log_probs(prev, model.initial_decoder_state(context), context)
+    if context.max_oov:
+        assert np.all(np.exp(log_probs[:, model.decoder_vocab_size:]) == 0.0)
+
+
+def test_describe_mentions_no_attention(tiny_config, tiny_vocabs):
+    text = _model(tiny_config, tiny_vocabs).describe()
+    assert "attention: none" in text
+    assert isinstance(_model(tiny_config, tiny_vocabs), Seq2SeqBaseline)

@@ -1,0 +1,86 @@
+"""Tests for the paper's global attention (Section 3.1)."""
+
+import numpy as np
+
+from repro.nn import GlobalAttention
+from repro.tensor import Tensor, check_gradients
+
+
+def _attention(dec=3, enc=4, seed=0):
+    return GlobalAttention(dec, enc, np.random.default_rng(seed))
+
+
+def test_weights_form_distribution():
+    attn = _attention()
+    d = Tensor(np.random.default_rng(1).standard_normal((2, 3)))
+    h = Tensor(np.random.default_rng(2).standard_normal((2, 5, 4)))
+    context, weights = attn(d, h)
+    assert context.shape == (2, 4)
+    assert weights.shape == (2, 5)
+    assert np.allclose(weights.data.sum(axis=1), 1.0)
+    assert np.all(weights.data >= 0)
+
+
+def test_scores_match_paper_formula():
+    """e_{k,t} = tanh(d_k^T W_h h_t), verified element by element."""
+    attn = _attention()
+    d = np.random.default_rng(3).standard_normal((2, 3))
+    h = np.random.default_rng(4).standard_normal((2, 5, 4))
+    scores = attn.scores(Tensor(d), Tensor(h)).data
+    for b in range(2):
+        for t in range(5):
+            expected = np.tanh(d[b] @ attn.weight.data @ h[b, t])
+            assert np.isclose(scores[b, t], expected)
+
+
+def test_context_is_weighted_average():
+    attn = _attention()
+    d = Tensor(np.random.default_rng(5).standard_normal((1, 3)))
+    h_data = np.random.default_rng(6).standard_normal((1, 4, 4))
+    context, weights = attn(d, Tensor(h_data))
+    expected = (weights.data[0][:, None] * h_data[0]).sum(axis=0)
+    assert np.allclose(context.data[0], expected)
+
+
+def test_pad_mask_zeroes_attention():
+    attn = _attention()
+    d = Tensor(np.random.default_rng(7).standard_normal((1, 3)))
+    h = Tensor(np.random.default_rng(8).standard_normal((1, 5, 4)))
+    pad_mask = np.array([[False, False, True, True, True]])
+    _, weights = attn(d, h, pad_mask=pad_mask)
+    assert np.allclose(weights.data[0, 2:], 0.0)
+    assert np.allclose(weights.data[0, :2].sum(), 1.0)
+
+
+def test_fully_valid_mask_equals_no_mask():
+    attn = _attention()
+    d = Tensor(np.random.default_rng(9).standard_normal((1, 3)))
+    h = Tensor(np.random.default_rng(10).standard_normal((1, 5, 4)))
+    _, w_none = attn(d, h)
+    _, w_mask = attn(d, h, pad_mask=np.zeros((1, 5), dtype=bool))
+    assert np.allclose(w_none.data, w_mask.data)
+
+
+def test_attention_gradcheck():
+    attn = GlobalAttention(2, 3, np.random.default_rng(11))
+    d = Tensor(np.random.default_rng(12).standard_normal((2, 2)), requires_grad=True)
+    h = Tensor(np.random.default_rng(13).standard_normal((2, 4, 3)), requires_grad=True)
+
+    def loss():
+        context, _ = attn(d, h)
+        return (context * context).sum()
+
+    check_gradients(loss, [d, h, attn.weight], rtol=1e-3, atol=1e-5)
+
+
+def test_attention_gradcheck_with_mask():
+    attn = GlobalAttention(2, 3, np.random.default_rng(14))
+    d = Tensor(np.random.default_rng(15).standard_normal((1, 2)), requires_grad=True)
+    h = Tensor(np.random.default_rng(16).standard_normal((1, 4, 3)), requires_grad=True)
+    pad = np.array([[False, False, False, True]])
+
+    def loss():
+        context, _ = attn(d, h, pad_mask=pad)
+        return context.sum()
+
+    check_gradients(loss, [d, h, attn.weight], rtol=1e-3, atol=1e-5)

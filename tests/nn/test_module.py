@@ -1,0 +1,101 @@
+"""Tests for the Module/Parameter registration and serialization system."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter
+
+
+class Block(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.inner = Linear(2, 3, rng)
+
+    def forward(self, x):
+        return self.inner(x)
+
+
+def _block():
+    return Block(np.random.default_rng(0))
+
+
+def test_named_parameters_are_dotted():
+    names = {name for name, _ in _block().named_parameters()}
+    assert names == {"weight", "inner.weight", "inner.bias"}
+
+
+def test_parameters_require_grad():
+    assert all(p.requires_grad for p in _block().parameters())
+
+
+def test_num_parameters_counts_scalars():
+    block = _block()
+    assert block.num_parameters() == 4 + 6 + 3
+
+
+def test_train_eval_propagates():
+    block = _block()
+    block.eval()
+    assert not block.training
+    assert not block.inner.training
+    block.train()
+    assert block.inner.training
+
+
+def test_zero_grad_clears_all():
+    block = _block()
+    for p in block.parameters():
+        p.grad = np.ones_like(p.data)
+    block.zero_grad()
+    assert all(p.grad is None for p in block.parameters())
+
+
+def test_state_dict_round_trip():
+    source = _block()
+    target = Block(np.random.default_rng(99))
+    assert not np.allclose(source.inner.weight.data, target.inner.weight.data)
+    target.load_state_dict(source.state_dict())
+    assert np.allclose(source.inner.weight.data, target.inner.weight.data)
+
+
+def test_state_dict_returns_copies():
+    block = _block()
+    state = block.state_dict()
+    state["weight"][...] = 42.0
+    assert not np.allclose(block.weight.data, 42.0)
+
+
+def test_load_state_dict_rejects_missing_keys():
+    block = _block()
+    state = block.state_dict()
+    del state["weight"]
+    with pytest.raises(KeyError):
+        block.load_state_dict(state)
+
+
+def test_load_state_dict_rejects_unexpected_keys():
+    block = _block()
+    state = block.state_dict()
+    state["ghost"] = np.zeros(1)
+    with pytest.raises(KeyError):
+        block.load_state_dict(state)
+
+
+def test_load_state_dict_rejects_shape_mismatch():
+    block = _block()
+    state = block.state_dict()
+    state["weight"] = np.zeros((3, 3))
+    with pytest.raises(ValueError):
+        block.load_state_dict(state)
+
+
+def test_modules_iterates_subtree():
+    block = _block()
+    kinds = [type(m).__name__ for m in block.modules()]
+    assert kinds == ["Block", "Linear"]
+
+
+def test_forward_not_implemented_on_base():
+    with pytest.raises(NotImplementedError):
+        Module()(1)

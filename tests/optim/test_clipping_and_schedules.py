@@ -1,0 +1,95 @@
+"""Tests for gradient clipping and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    ConstantSchedule,
+    DecayAfterEpoch,
+    HalveAtEpoch,
+    clip_grad_norm,
+    grad_norm,
+)
+
+
+def _param_with_grad(grad):
+    p = Parameter(np.zeros_like(np.asarray(grad, dtype=float)))
+    p.grad = np.asarray(grad, dtype=float)
+    return p
+
+
+def test_grad_norm_is_global_l2():
+    a = _param_with_grad([3.0])
+    b = _param_with_grad([4.0])
+    assert np.isclose(grad_norm([a, b]), 5.0)
+
+
+def test_grad_norm_ignores_missing_grads():
+    a = _param_with_grad([3.0])
+    b = Parameter(np.zeros(2))
+    assert np.isclose(grad_norm([a, b]), 3.0)
+
+
+def test_clip_rescales_when_above_threshold():
+    a = _param_with_grad([3.0])
+    b = _param_with_grad([4.0])
+    returned = clip_grad_norm([a, b], max_norm=1.0)
+    assert np.isclose(returned, 5.0)
+    assert np.isclose(grad_norm([a, b]), 1.0, atol=1e-6)
+
+
+def test_clip_noop_when_below_threshold():
+    a = _param_with_grad([0.3])
+    clip_grad_norm([a], max_norm=1.0)
+    assert np.allclose(a.grad, [0.3])
+
+
+def test_clip_rejects_nonpositive_max_norm():
+    with pytest.raises(ValueError):
+        clip_grad_norm([_param_with_grad([1.0])], max_norm=0.0)
+
+
+def _optimizer():
+    return SGD([_param_with_grad([1.0])], lr=1.0)
+
+
+def test_constant_schedule_never_changes():
+    schedule = ConstantSchedule(_optimizer())
+    assert schedule.apply(1) == 1.0
+    assert schedule.apply(100) == 1.0
+
+
+def test_halve_at_epoch_matches_paper_rule():
+    """Paper: lr = 1.0, halved at epoch 8."""
+    schedule = HalveAtEpoch(_optimizer(), halve_epoch=8)
+    assert schedule.apply(1) == 1.0
+    assert schedule.apply(7) == 1.0
+    assert schedule.apply(8) == 0.5
+    assert schedule.apply(12) == 0.5
+
+
+def test_halve_updates_optimizer_lr():
+    opt = _optimizer()
+    HalveAtEpoch(opt, halve_epoch=2).apply(3)
+    assert opt.lr == 0.5
+
+
+def test_decay_after_epoch_compounds():
+    schedule = DecayAfterEpoch(_optimizer(), decay=0.5, start_epoch=3)
+    assert schedule.apply(2) == 1.0
+    assert schedule.apply(3) == 0.5
+    assert schedule.apply(4) == 0.25
+    assert schedule.apply(5) == 0.125
+
+
+def test_schedules_reject_bad_arguments():
+    with pytest.raises(ValueError):
+        HalveAtEpoch(_optimizer(), halve_epoch=0)
+    with pytest.raises(ValueError):
+        DecayAfterEpoch(_optimizer(), decay=0.0)
+    with pytest.raises(ValueError):
+        DecayAfterEpoch(_optimizer(), start_epoch=0)
+    with pytest.raises(ValueError):
+        ConstantSchedule(_optimizer()).apply(0)

@@ -1,0 +1,86 @@
+"""Tests for SGD, Adam, and base optimizer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, Adam
+
+
+def _param(values):
+    p = Parameter(np.array(values, dtype=float))
+    p.grad = np.ones_like(p.data)
+    return p
+
+
+def test_sgd_takes_gradient_step():
+    p = _param([1.0, 2.0])
+    SGD([p], lr=0.5).step()
+    assert np.allclose(p.data, [0.5, 1.5])
+
+
+def test_sgd_skips_parameters_without_grad():
+    p = Parameter(np.array([1.0]))
+    SGD([p], lr=0.5).step()
+    assert np.allclose(p.data, [1.0])
+
+
+def test_sgd_momentum_accumulates():
+    p = _param([0.0])
+    opt = SGD([p], lr=1.0, momentum=0.9)
+    opt.step()  # v = 1, x = -1
+    p.grad = np.ones(1)
+    opt.step()  # v = 1.9, x = -2.9
+    assert np.allclose(p.data, [-2.9])
+
+
+def test_sgd_rejects_bad_momentum():
+    with pytest.raises(ValueError):
+        SGD([_param([1.0])], lr=0.1, momentum=1.0)
+
+
+def test_optimizer_rejects_nonpositive_lr():
+    with pytest.raises(ValueError):
+        SGD([_param([1.0])], lr=0.0)
+
+
+def test_optimizer_rejects_empty_parameter_list():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_zero_grad_clears_gradients():
+    p = _param([1.0])
+    opt = SGD([p], lr=0.1)
+    opt.zero_grad()
+    assert p.grad is None
+
+
+def test_adam_first_step_magnitude_is_lr():
+    """With constant unit gradient, Adam's first update is ~lr."""
+    p = _param([0.0])
+    Adam([p], lr=0.01).step()
+    assert np.allclose(p.data, [-0.01], atol=1e-6)
+
+
+def test_adam_converges_on_quadratic():
+    p = Parameter(np.array([5.0]))
+    opt = Adam([p], lr=0.1)
+    for _ in range(500):
+        p.grad = 2.0 * p.data  # d/dx x^2
+        opt.step()
+    assert abs(p.data[0]) < 1e-2
+
+
+def test_sgd_converges_on_quadratic():
+    p = Parameter(np.array([5.0]))
+    opt = SGD([p], lr=0.1)
+    for _ in range(100):
+        p.grad = 2.0 * p.data
+        opt.step()
+    assert abs(p.data[0]) < 1e-3
+
+
+def test_adam_rejects_bad_betas():
+    with pytest.raises(ValueError):
+        Adam([_param([1.0])], betas=(1.0, 0.999))

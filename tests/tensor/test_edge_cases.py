@@ -1,0 +1,118 @@
+"""Edge-case tests for the tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor import Tensor, check_gradients
+
+
+def test_reshape_with_minus_one():
+    x = Tensor(np.arange(12.0), requires_grad=True)
+    y = x.reshape(3, -1)
+    assert y.shape == (3, 4)
+    y.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+def test_getitem_with_negative_index():
+    x = Tensor(np.arange(5.0), requires_grad=True)
+    x[-1].backward()
+    assert np.allclose(x.grad, [0, 0, 0, 0, 1])
+
+
+def test_getitem_with_step_slice():
+    x = Tensor(np.arange(6.0), requires_grad=True)
+    x[::2].sum().backward()
+    assert np.allclose(x.grad, [1, 0, 1, 0, 1, 0])
+
+
+def test_chained_transposes_cancel():
+    x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+    y = x.T.T
+    assert np.allclose(y.data, x.data)
+    y.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+def test_sum_over_all_axes_tuple():
+    x = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+    out = x.sum(axis=(0, 2))
+    assert out.shape == (3,)
+    out.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+def test_mean_with_axis_tuple():
+    x = Tensor(np.ones((2, 4)), requires_grad=True)
+    out = x.mean(axis=(0, 1))
+    assert np.isclose(out.item(), 1.0)
+
+
+def test_scalar_tensor_arithmetic():
+    a = Tensor(3.0, requires_grad=True)
+    b = Tensor(4.0, requires_grad=True)
+    (a * b + a).backward()
+    assert np.allclose(a.grad, 5.0)
+    assert np.allclose(b.grad, 3.0)
+
+
+def test_zero_size_slice_is_harmless():
+    x = Tensor(np.arange(4.0), requires_grad=True)
+    y = x[2:2]
+    assert y.shape == (0,)
+
+
+def test_softmax_on_single_element_axis():
+    x = Tensor(np.array([[3.0], [7.0]]))
+    out = T.softmax(x, axis=1)
+    assert np.allclose(out.data, 1.0)
+
+
+def test_log_softmax_extreme_values_finite():
+    x = Tensor(np.array([[1e4, -1e4, 0.0]]))
+    out = T.log_softmax(x, axis=1)
+    assert np.all(np.isfinite(out.data))
+
+
+def test_masked_fill_everything():
+    x = Tensor(np.ones(3), requires_grad=True)
+    out = T.masked_fill(x, np.ones(3, dtype=bool), -5.0)
+    assert np.allclose(out.data, -5.0)
+    out.sum().backward()
+    assert np.allclose(x.grad, 0.0)
+
+
+def test_concat_single_tensor():
+    x = Tensor(np.ones(3), requires_grad=True)
+    out = T.concat([x], axis=0)
+    out.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+def test_deep_chain_backward_iterative():
+    """A 500-op chain must not hit Python recursion limits."""
+    x = Tensor(np.ones(2), requires_grad=True)
+    y = x
+    for _ in range(500):
+        y = y * 1.001
+    y.sum().backward()
+    assert np.allclose(x.grad, 1.001 ** 500)
+
+
+def test_broadcast_three_way_gradcheck():
+    a = Tensor(np.random.default_rng(0).standard_normal((2, 1, 3)), requires_grad=True)
+    b = Tensor(np.random.default_rng(1).standard_normal((1, 4, 1)), requires_grad=True)
+    check_gradients(lambda: (a * b).sum(), [a, b])
+
+
+def test_pow_negative_base_integer_exponent():
+    x = Tensor(np.array([-2.0]), requires_grad=True)
+    (x ** 2).backward()
+    assert np.allclose(x.grad, [-4.0])
+
+
+def test_pow_type_error_on_tensor_exponent():
+    x = Tensor(np.ones(2))
+    with pytest.raises(TypeError):
+        x ** Tensor(np.ones(2))

@@ -1,0 +1,222 @@
+"""Gradient and forward checks for every op in repro.tensor.ops."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor import Tensor, check_gradients
+
+
+def _randn(shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+def test_tanh_forward_and_gradcheck():
+    x = Tensor(_randn((3, 4)), requires_grad=True)
+    assert np.allclose(T.tanh(x).data, np.tanh(x.data))
+    check_gradients(lambda: T.tanh(x).sum(), [x])
+
+
+def test_sigmoid_matches_reference_and_gradcheck():
+    x = Tensor(_randn((3, 4), seed=1), requires_grad=True)
+    expected = 1.0 / (1.0 + np.exp(-x.data))
+    assert np.allclose(T.sigmoid(x).data, expected)
+    check_gradients(lambda: T.sigmoid(x).sum(), [x])
+
+
+def test_sigmoid_stable_for_large_magnitudes():
+    x = Tensor([-1000.0, 1000.0])
+    out = T.sigmoid(x).data
+    assert np.all(np.isfinite(out))
+    assert out[0] == pytest.approx(0.0)
+    assert out[1] == pytest.approx(1.0)
+
+
+def test_relu_forward_and_gradcheck():
+    x = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+    assert np.allclose(T.relu(x).data, [0.0, 0.5, 2.0])
+    check_gradients(lambda: T.relu(x).sum(), [x])
+
+
+def test_exp_log_inverse_and_gradchecks():
+    x = Tensor([0.5, 1.0, 2.0], requires_grad=True)
+    assert np.allclose(T.log(T.exp(x)).data, x.data)
+    check_gradients(lambda: T.exp(x).sum(), [x])
+    check_gradients(lambda: T.log(x).sum(), [x])
+
+
+def test_sqrt_gradcheck():
+    x = Tensor([0.25, 1.0, 4.0], requires_grad=True)
+    check_gradients(lambda: T.sqrt(x).sum(), [x])
+
+
+def test_clip_forward_and_zero_gradient_outside():
+    x = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+    out = T.clip(x, 0.0, 1.0)
+    assert np.allclose(out.data, [0.0, 0.5, 1.0])
+    out.sum().backward()
+    assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+def test_abs_gradcheck_away_from_zero():
+    x = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+    check_gradients(lambda: T.abs_(x).sum(), [x])
+
+
+def test_maximum_routes_gradient_to_winner():
+    a = Tensor([1.0, 5.0], requires_grad=True)
+    b = Tensor([2.0, 3.0], requires_grad=True)
+    T.maximum(a, b).sum().backward()
+    assert np.allclose(a.grad, [0.0, 1.0])
+    assert np.allclose(b.grad, [1.0, 0.0])
+
+
+def test_softmax_rows_sum_to_one():
+    x = Tensor(_randn((4, 7), seed=2))
+    out = T.softmax(x, axis=-1)
+    assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+
+def test_softmax_shift_invariance():
+    x = _randn((2, 5), seed=3)
+    a = T.softmax(Tensor(x)).data
+    b = T.softmax(Tensor(x + 100.0)).data
+    assert np.allclose(a, b)
+
+
+def test_softmax_gradcheck():
+    x = Tensor(_randn((3, 4), seed=4), requires_grad=True)
+    weights = Tensor(_randn((3, 4), seed=5))
+    check_gradients(lambda: (T.softmax(x, axis=-1) * weights).sum(), [x])
+
+
+def test_log_softmax_consistent_with_softmax():
+    x = Tensor(_randn((3, 6), seed=6))
+    assert np.allclose(T.log_softmax(x).data, np.log(T.softmax(x).data))
+
+
+def test_log_softmax_gradcheck():
+    x = Tensor(_randn((2, 5), seed=7), requires_grad=True)
+    weights = Tensor(_randn((2, 5), seed=8))
+    check_gradients(lambda: (T.log_softmax(x, axis=-1) * weights).sum(), [x])
+
+
+def test_concat_forward_and_gradient_split():
+    a = Tensor(np.ones((2, 3)), requires_grad=True)
+    b = Tensor(np.ones((2, 2)), requires_grad=True)
+    out = T.concat([a, b], axis=1)
+    assert out.shape == (2, 5)
+    (out * 2.0).sum().backward()
+    assert np.allclose(a.grad, 2.0)
+    assert np.allclose(b.grad, 2.0)
+
+
+def test_concat_gradcheck():
+    a = Tensor(_randn((2, 3), seed=9), requires_grad=True)
+    b = Tensor(_randn((2, 2), seed=10), requires_grad=True)
+    weights = Tensor(_randn((2, 5), seed=11))
+    check_gradients(lambda: (T.concat([a, b], axis=1) * weights).sum(), [a, b])
+
+
+def test_stack_creates_new_axis_and_gradcheck():
+    a = Tensor(_randn(3, seed=12), requires_grad=True)
+    b = Tensor(_randn(3, seed=13), requires_grad=True)
+    out = T.stack([a, b], axis=0)
+    assert out.shape == (2, 3)
+    weights = Tensor(_randn((2, 3), seed=14))
+    check_gradients(lambda: (T.stack([a, b], axis=0) * weights).sum(), [a, b])
+
+
+def test_squeeze_expand_dims_round_trip():
+    x = Tensor(_randn((2, 1, 3), seed=15), requires_grad=True)
+    out = T.expand_dims(T.squeeze(x, axis=1), axis=1)
+    assert out.shape == x.shape
+    out.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+def test_max_forward_and_tie_splitting():
+    x = Tensor([[1.0, 3.0, 3.0]], requires_grad=True)
+    out = T.max_(x, axis=1)
+    assert np.allclose(out.data, [3.0])
+    out.sum().backward()
+    assert np.allclose(x.grad, [[0.0, 0.5, 0.5]])
+
+
+def test_max_gradcheck_distinct_values():
+    x = Tensor(np.array([[1.0, 4.0, 2.0], [7.0, 0.0, 3.0]]), requires_grad=True)
+    check_gradients(lambda: T.max_(x, axis=1).sum(), [x])
+
+
+def test_dropout_disabled_in_eval_mode():
+    x = Tensor(np.ones((4, 4)))
+    out = T.dropout(x, 0.5, np.random.default_rng(0), training=False)
+    assert out is x
+
+
+def test_dropout_scales_survivors():
+    rng = np.random.default_rng(0)
+    x = Tensor(np.ones((1000,)))
+    out = T.dropout(x, 0.3, rng, training=True).data
+    survivors = out[out != 0.0]
+    assert np.allclose(survivors, 1.0 / 0.7)
+    # Expected keep fraction near 70%.
+    assert 0.6 < (out != 0).mean() < 0.8
+
+
+def test_dropout_gradient_matches_mask():
+    rng = np.random.default_rng(1)
+    x = Tensor(np.ones(100), requires_grad=True)
+    out = T.dropout(x, 0.4, rng, training=True)
+    out.sum().backward()
+    assert np.allclose(x.grad, out.data)
+
+
+def test_dropout_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        T.dropout(Tensor([1.0]), 1.0, np.random.default_rng(0))
+
+
+def test_embedding_lookup_forward_and_grad_accumulation():
+    weight = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+    indices = np.array([[0, 1], [1, 3]])
+    out = T.embedding_lookup(weight, indices)
+    assert out.shape == (2, 2, 3)
+    assert np.allclose(out.data[1, 1], [9.0, 10.0, 11.0])
+    out.sum().backward()
+    # Row 1 appears twice, rows 0 and 3 once, row 2 never.
+    assert np.allclose(weight.grad, np.array([[1.0] * 3, [2.0] * 3, [0.0] * 3, [1.0] * 3]))
+
+
+def test_embedding_lookup_rejects_float_indices():
+    weight = Tensor(np.zeros((4, 3)))
+    with pytest.raises(TypeError):
+        T.embedding_lookup(weight, np.array([0.5]))
+
+
+def test_masked_fill_blocks_gradient():
+    x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+    mask = np.array([False, True, False])
+    out = T.masked_fill(x, mask, -1e9)
+    assert out.data[1] == -1e9
+    out.sum().backward()
+    assert np.allclose(x.grad, [1.0, 0.0, 1.0])
+
+
+def test_where_selects_and_routes_gradients():
+    cond = np.array([True, False, True])
+    a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+    b = Tensor([10.0, 20.0, 30.0], requires_grad=True)
+    out = T.where(cond, a, b)
+    assert np.allclose(out.data, [1.0, 20.0, 3.0])
+    out.sum().backward()
+    assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+    assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+def test_gather_rows_forward_and_gradcheck():
+    x = Tensor(_randn((4, 5), seed=16), requires_grad=True)
+    indices = np.array([0, 4, 2, 2])
+    out = T.gather_rows(x, indices)
+    assert np.allclose(out.data, x.data[np.arange(4), indices])
+    check_gradients(lambda: T.gather_rows(x, indices).sum(), [x])

@@ -1,0 +1,126 @@
+"""Hypothesis property tests for the autodiff engine.
+
+These verify algebraic identities of the tape (linearity of backward,
+broadcasting correctness, softmax invariants) over randomly generated
+shapes and values, and machine-check gradients of composed expressions.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro import tensor as T
+from repro.tensor import Tensor, check_gradients
+
+floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+def small_arrays(max_dims=2, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=floats,
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_sum_gradient_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(data))
+
+
+@given(small_arrays(), floats)
+@settings(max_examples=50, deadline=None)
+def test_scalar_mul_gradient_is_scalar(data, scalar):
+    x = Tensor(data, requires_grad=True)
+    (x * scalar).sum().backward()
+    assert np.allclose(x.grad, np.full_like(data, scalar))
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_add_self_doubles_gradient(data):
+    x = Tensor(data, requires_grad=True)
+    (x + x).sum().backward()
+    assert np.allclose(x.grad, np.full_like(data, 2.0))
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_tanh_gradcheck_random_shapes(data):
+    x = Tensor(data, requires_grad=True)
+    check_gradients(lambda: T.tanh(x).sum(), [x], rtol=1e-3, atol=1e-5)
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_softmax_output_is_probability_distribution(data):
+    out = T.softmax(Tensor(data), axis=-1).data
+    assert np.all(out >= 0.0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@given(small_arrays(), floats)
+@settings(max_examples=30, deadline=None)
+def test_softmax_shift_invariance(data, shift):
+    base = T.softmax(Tensor(data), axis=-1).data
+    shifted = T.softmax(Tensor(data + shift), axis=-1).data
+    assert np.allclose(base, shifted, atol=1e-10)
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_log_softmax_upper_bounded_by_zero(data):
+    out = T.log_softmax(Tensor(data), axis=-1).data
+    assert np.all(out <= 1e-12)
+
+
+@given(
+    arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(1, 4)), elements=floats),
+    arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(1, 4)), elements=floats),
+)
+@settings(max_examples=30, deadline=None)
+def test_matmul_matches_numpy(a_data, b_data):
+    if a_data.shape[1] != b_data.shape[0]:
+        b_data = np.resize(b_data, (a_data.shape[1], b_data.shape[1]))
+    out = Tensor(a_data) @ Tensor(b_data)
+    assert np.allclose(out.data, a_data @ b_data)
+
+
+@given(st.integers(1, 5), st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_backward_linearity_in_seed(rows, cols):
+    rng = np.random.default_rng(rows * 10 + cols)
+    data = rng.standard_normal((rows, cols))
+    seed = rng.standard_normal((rows, cols))
+
+    x1 = Tensor(data, requires_grad=True)
+    T.tanh(x1).backward(seed)
+    x2 = Tensor(data, requires_grad=True)
+    T.tanh(x2).backward(2.0 * seed)
+    assert np.allclose(2.0 * x1.grad, x2.grad)
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_composed_expression_gradcheck(data):
+    x = Tensor(data, requires_grad=True)
+    check_gradients(
+        lambda: (T.sigmoid(x) * T.tanh(x) + x * 0.5).sum(),
+        [x],
+        rtol=1e-3,
+        atol=1e-5,
+    )
+
+
+@given(small_arrays(max_dims=1, max_side=6))
+@settings(max_examples=30, deadline=None)
+def test_concat_then_split_is_identity(data):
+    x = Tensor(data, requires_grad=True)
+    y = Tensor(data.copy(), requires_grad=True)
+    joined = T.concat([x, y], axis=0)
+    assert np.allclose(joined.data[: len(data)], data)
+    assert np.allclose(joined.data[len(data):], data)

@@ -1,0 +1,46 @@
+"""Tests for npz save/load of named arrays."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import load_arrays, save_arrays
+
+
+def test_round_trip(tmp_path):
+    arrays = {
+        "weights": np.arange(6.0).reshape(2, 3),
+        "bias": np.zeros(3),
+        "scalarish": np.array([7.5]),
+    }
+    path = tmp_path / "ckpt.npz"
+    save_arrays(path, arrays)
+    loaded = load_arrays(path)
+    assert set(loaded) == set(arrays)
+    for key in arrays:
+        assert np.allclose(loaded[key], arrays[key])
+        assert loaded[key].dtype == arrays[key].dtype
+
+
+def test_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "ckpt.npz"
+    save_arrays(path, {"x": np.ones(2)})
+    assert np.allclose(load_arrays(path)["x"], 1.0)
+
+
+def test_dotted_parameter_names(tmp_path):
+    """state_dict keys contain dots; the archive must preserve them."""
+    path = tmp_path / "ckpt.npz"
+    save_arrays(path, {"encoder.cell_0.weight_ih": np.ones((2, 2))})
+    loaded = load_arrays(path)
+    assert "encoder.cell_0.weight_ih" in loaded
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_arrays(tmp_path / "absent.npz")
+
+
+def test_integer_arrays_preserved(tmp_path):
+    path = tmp_path / "ckpt.npz"
+    save_arrays(path, {"ids": np.array([1, 2, 3], dtype=np.int64)})
+    assert load_arrays(path)["ids"].dtype == np.int64

@@ -1,0 +1,151 @@
+"""End-to-end tests for the ``acnn`` CLI (stats/train/evaluate/generate)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_stats_synthetic(capsys):
+    assert main(["stats", "--train-size", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "examples:" in out
+    assert "overlap" in out
+
+
+def test_stats_with_vocab_coverage(capsys):
+    assert main(["stats", "--train-size", "60", "--decoder-vocab-size", "50"]) == 0
+    assert "coverage" in capsys.readouterr().out
+
+
+def test_stats_squad_json(tmp_path, capsys):
+    context = "The tower was designed by Eiffel. It opened in 1889."
+    payload = {
+        "data": [
+            {
+                "paragraphs": [
+                    {
+                        "context": context,
+                        "qas": [
+                            {
+                                "question": "Who designed the tower?",
+                                "answers": [{"text": "Eiffel", "answer_start": context.index("Eiffel")}],
+                            }
+                        ],
+                    }
+                ]
+            }
+        ]
+    }
+    path = tmp_path / "squad.json"
+    path.write_text(json.dumps(payload))
+    assert main(["stats", "--squad-json", str(path)]) == 0
+    assert "examples:                 1" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def trained_bundle(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bundle") / "run"
+    code = main(
+        [
+            "train",
+            "--train-size", "120",
+            "--epochs", "2",
+            "--hidden-size", "12",
+            "--embedding-dim", "10",
+            "--num-layers", "1",
+            "--dropout", "0.0",
+            "--encoder-vocab-size", "300",
+            "--decoder-vocab-size", "80",
+            "--batch-size", "16",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+def test_train_writes_bundle(trained_bundle):
+    assert (trained_bundle / "config.json").exists()
+    assert (trained_bundle / "model.npz").exists()
+
+
+def test_evaluate_bundle(trained_bundle, capsys):
+    code = main(
+        [
+            "evaluate",
+            "--bundle", str(trained_bundle),
+            "--train-size", "120",
+            "--num-examples", "20",
+            "--beam-size", "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "BLEU-1" in out
+    assert "exact=" in out
+
+
+def test_generate_from_file(trained_bundle, tmp_path, capsys):
+    sentences = tmp_path / "sentences.txt"
+    sentences.write_text("velkorim was born in porzana in 1873 .\n")
+    code = main(["generate", "--bundle", str(trained_bundle), "--input", str(sentences)])
+    assert code == 0
+    out = capsys.readouterr().out.strip()
+    assert out, "generate produced no output"
+
+
+def test_train_with_coverage_flag(tmp_path):
+    out = tmp_path / "cov"
+    code = main(
+        [
+            "train",
+            "--train-size", "60",
+            "--epochs", "1",
+            "--hidden-size", "8",
+            "--embedding-dim", "8",
+            "--num-layers", "1",
+            "--dropout", "0.0",
+            "--coverage",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    config = json.loads((out / "config.json").read_text())
+    assert config["model_kwargs"] == {"use_coverage": True}
+
+
+def test_stats_du_split(tmp_path, capsys):
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    src.write_text("the tower was designed by eiffel .\n")
+    tgt.write_text("who designed the tower ?\n")
+    assert main(["stats", "--du-src", str(src), "--du-tgt", str(tgt)]) == 0
+    assert "examples:                 1" in capsys.readouterr().out
+
+
+def test_train_on_du_split(tmp_path):
+    lines_src = [f"entity{i} was born in town{i} .\n" for i in range(40)]
+    lines_tgt = [f"where was entity{i} born ?\n" for i in range(40)]
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    src.write_text("".join(lines_src))
+    tgt.write_text("".join(lines_tgt))
+    out = tmp_path / "du-bundle"
+    code = main(
+        [
+            "train",
+            "--du-src", str(src),
+            "--du-tgt", str(tgt),
+            "--epochs", "1",
+            "--hidden-size", "8",
+            "--embedding-dim", "8",
+            "--num-layers", "1",
+            "--dropout", "0.0",
+            "--batch-size", "8",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    assert (out / "model.npz").exists()

@@ -1,0 +1,100 @@
+"""One end-to-end integration test across the whole library surface.
+
+synthetic corpus → augmentation → vocabularies → ACNN training (with the
+paper's schedule) → bundle save/reload → beam evaluation → error analysis →
+significance test against the attention baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchIterator,
+    QGDataset,
+    SyntheticConfig,
+    augment_examples,
+    generate_corpus,
+)
+from repro.evaluation import analyse_predictions, evaluate_model, paired_bootstrap
+from repro.models import ModelConfig, build_model
+from repro.training import ModelBundle, Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    corpus = generate_corpus(SyntheticConfig(num_train=200, num_dev=40, num_test=40, seed=21))
+    train_examples = augment_examples(list(corpus.train), factor=1, seed=2)
+    encoder_vocab, decoder_vocab = QGDataset.build_vocabs(
+        train_examples, encoder_vocab_size=800, decoder_vocab_size=110
+    )
+    train_set = QGDataset(train_examples, encoder_vocab, decoder_vocab)
+    dev_set = QGDataset(corpus.dev, encoder_vocab, decoder_vocab)
+    test_set = QGDataset(corpus.test, encoder_vocab, decoder_vocab)
+
+    config = ModelConfig(embedding_dim=16, hidden_size=24, num_layers=1, dropout=0.1, seed=4)
+    results = {}
+    for family in ("acnn", "du-attention"):
+        model = build_model(family, config, len(encoder_vocab), len(decoder_vocab))
+        Trainer(
+            model,
+            BatchIterator(train_set, batch_size=32, seed=4),
+            BatchIterator(dev_set, batch_size=32, shuffle=False),
+            TrainerConfig(epochs=5, learning_rate=1.0, halve_at_epoch=4),
+        ).train()
+        results[family] = (model, evaluate_model(model, test_set, beam_size=2, max_length=18))
+
+    bundle_dir = tmp_path_factory.mktemp("pipeline") / "bundle"
+    acnn_model, acnn_result = results["acnn"]
+    ModelBundle(
+        model=acnn_model,
+        encoder_vocab=encoder_vocab,
+        decoder_vocab=decoder_vocab,
+        family="acnn",
+        model_config=config,
+        model_kwargs={},
+        metadata={"mode": "sentence"},
+    ).save(bundle_dir)
+
+    return {
+        "decoder_vocab": decoder_vocab,
+        "test_set": test_set,
+        "results": results,
+        "bundle_dir": bundle_dir,
+    }
+
+
+def test_acnn_beats_baseline_end_to_end(pipeline):
+    acnn = pipeline["results"]["acnn"][1]
+    baseline = pipeline["results"]["du-attention"][1]
+    assert acnn["ROUGE-L"] > baseline["ROUGE-L"]
+    assert acnn["BLEU-1"] > baseline["BLEU-1"]
+
+
+def test_acnn_recovers_oov_entities_baseline_cannot(pipeline):
+    decoder_vocab = pipeline["decoder_vocab"]
+    acnn = pipeline["results"]["acnn"][1]
+    baseline = pipeline["results"]["du-attention"][1]
+    acnn_analysis = analyse_predictions(acnn.predictions, acnn.references, decoder_vocab)
+    base_analysis = analyse_predictions(baseline.predictions, baseline.references, decoder_vocab)
+    assert acnn_analysis.oov_entity_recall > 0.1
+    assert base_analysis.oov_entity_recall == 0.0  # no copy path, no entities
+
+
+def test_significance_of_the_gap(pipeline):
+    acnn = pipeline["results"]["acnn"][1]
+    baseline = pipeline["results"]["du-attention"][1]
+    outcome = paired_bootstrap(
+        acnn.predictions, baseline.predictions, acnn.references,
+        metric="ROUGE-L", samples=200, seed=0,
+    )
+    assert outcome.score_a > outcome.score_b
+    # 40 test segments after 5 epochs is too small for a hard p-value
+    # threshold, but the resampled wins must clearly favour the ACNN.
+    assert outcome.wins_a > 2 * outcome.wins_b
+
+
+def test_bundle_reload_reproduces_scores(pipeline):
+    bundle = ModelBundle.load(pipeline["bundle_dir"])
+    reloaded = evaluate_model(bundle.model, pipeline["test_set"], beam_size=2, max_length=18)
+    original = pipeline["results"]["acnn"][1]
+    assert reloaded.scores == original.scores

@@ -1,0 +1,83 @@
+"""Tests for the self-contained model bundle."""
+
+import numpy as np
+import pytest
+
+from repro.data import QGDataset, QGExample, Vocabulary, collate
+from repro.models import ModelConfig, build_model
+from repro.training.bundle import ModelBundle
+
+
+def _bundle(family="acnn", **model_kwargs):
+    encoder = Vocabulary(["zorvex", "was", "born", "in", "karlin", "."])
+    decoder = Vocabulary(["where", "was", "born", "?"])
+    config = ModelConfig(embedding_dim=6, hidden_size=5, num_layers=1, dropout=0.0, seed=1)
+    model = build_model(family, config, len(encoder), len(decoder), **model_kwargs)
+    return ModelBundle(
+        model=model,
+        encoder_vocab=encoder,
+        decoder_vocab=decoder,
+        family=family,
+        model_config=config,
+        model_kwargs=model_kwargs,
+        metadata={"mode": "sentence"},
+    )
+
+
+def test_round_trip_preserves_parameters(tmp_path):
+    bundle = _bundle()
+    bundle.save(tmp_path / "run")
+    loaded = ModelBundle.load(tmp_path / "run")
+    for (name_a, p_a), (name_b, p_b) in zip(
+        bundle.model.named_parameters(), loaded.model.named_parameters()
+    ):
+        assert name_a == name_b
+        assert np.allclose(p_a.data, p_b.data)
+
+
+def test_round_trip_preserves_vocabs_and_metadata(tmp_path):
+    bundle = _bundle()
+    bundle.save(tmp_path / "run")
+    loaded = ModelBundle.load(tmp_path / "run")
+    assert loaded.encoder_vocab.tokens == bundle.encoder_vocab.tokens
+    assert loaded.decoder_vocab.tokens == bundle.decoder_vocab.tokens
+    assert loaded.metadata == {"mode": "sentence"}
+    assert loaded.family == "acnn"
+    assert loaded.model_config == bundle.model_config
+
+
+def test_round_trip_preserves_model_kwargs(tmp_path):
+    bundle = _bundle(family="acnn", use_coverage=True)
+    bundle.save(tmp_path / "run")
+    loaded = ModelBundle.load(tmp_path / "run")
+    assert loaded.model_kwargs == {"use_coverage": True}
+    assert loaded.model.use_coverage
+
+
+def test_loaded_model_produces_same_loss(tmp_path):
+    bundle = _bundle()
+    example = QGExample(
+        sentence=("zorvex", "was", "born", "in", "karlin", "."),
+        paragraph=("zorvex", "was", "born", "in", "karlin", "."),
+        question=("where", "was", "zorvex", "born", "?"),
+    )
+    dataset = QGDataset([example], bundle.encoder_vocab, bundle.decoder_vocab)
+    batch = collate(list(dataset), pad_id=0)
+    expected = bundle.model.loss(batch).item()
+    bundle.save(tmp_path / "run")
+    loaded = ModelBundle.load(tmp_path / "run")
+    assert np.isclose(loaded.model.loss(batch).item(), expected)
+
+
+def test_load_missing_directory_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        ModelBundle.load(tmp_path / "nope")
+
+
+def test_save_creates_expected_files(tmp_path):
+    bundle = _bundle()
+    bundle.save(tmp_path / "run")
+    names = {p.name for p in (tmp_path / "run").iterdir()}
+    assert names == {
+        "config.json", "encoder.vocab.json", "decoder.vocab.json", "model.npz", "model.json",
+    }

@@ -1,0 +1,54 @@
+"""Failure-injection tests: the trainer must fail loudly on divergence."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, QGDataset, QGExample, Vocabulary
+from repro.models import ModelConfig, build_model
+from repro.training import Trainer, TrainerConfig, TrainingDiverged
+
+
+def _setup():
+    example = QGExample(
+        sentence=("zorvex", "was", "born", "."),
+        paragraph=("zorvex", "was", "born", "."),
+        question=("where", "was", "zorvex", "born", "?"),
+    )
+    encoder = Vocabulary.build([example.sentence])
+    decoder = Vocabulary(["where", "was", "born", "?"])
+    dataset = QGDataset([example], encoder, decoder)
+    config = ModelConfig(embedding_dim=6, hidden_size=5, num_layers=1, dropout=0.0, seed=0)
+    model = build_model("acnn", config, len(encoder), len(decoder))
+    iterator = BatchIterator(dataset, batch_size=1, shuffle=False)
+    return model, iterator
+
+
+def test_nan_parameter_raises_diverged():
+    model, iterator = _setup()
+    model.readout.weight.data[0, 0] = np.nan
+    trainer = Trainer(model, iterator, None, TrainerConfig(epochs=1))
+    with pytest.raises(TrainingDiverged, match="non-finite training loss"):
+        trainer.train()
+
+
+def test_inf_parameter_raises_diverged():
+    model, iterator = _setup()
+    model.attention.weight.data[...] = np.inf
+    trainer = Trainer(model, iterator, None, TrainerConfig(epochs=1))
+    with pytest.raises(TrainingDiverged):
+        trainer.train()
+
+
+def test_error_message_contains_learning_rate():
+    model, iterator = _setup()
+    model.readout.weight.data[0, 0] = np.nan
+    trainer = Trainer(model, iterator, None, TrainerConfig(epochs=1, learning_rate=0.25))
+    with pytest.raises(TrainingDiverged, match="lr=0.25"):
+        trainer.train()
+
+
+def test_healthy_training_does_not_raise():
+    model, iterator = _setup()
+    trainer = Trainer(model, iterator, None, TrainerConfig(epochs=2))
+    history = trainer.train()
+    assert len(history) == 2

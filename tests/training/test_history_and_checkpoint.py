@@ -1,0 +1,109 @@
+"""Tests for history tracking and checkpoint persistence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models import ModelConfig, build_model
+from repro.training import (
+    EpochRecord,
+    TrainingHistory,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def _record(epoch, train=2.0, dev=None, lr=1.0):
+    return EpochRecord(epoch=epoch, train_loss=train, learning_rate=lr, grad_norm=1.0, dev_loss=dev)
+
+
+def test_history_appends_in_order():
+    history = TrainingHistory()
+    history.append(_record(1))
+    history.append(_record(2))
+    assert len(history) == 2
+
+
+def test_history_rejects_out_of_order_epochs():
+    history = TrainingHistory()
+    history.append(_record(2))
+    with pytest.raises(ValueError):
+        history.append(_record(1))
+
+
+def test_history_best_dev_tracking():
+    history = TrainingHistory()
+    history.append(_record(1, dev=3.0))
+    history.append(_record(2, dev=2.0))
+    history.append(_record(3, dev=2.5))
+    assert history.best_dev_loss == 2.0
+    assert history.best_dev_epoch == 2
+
+
+def test_history_best_dev_none_without_dev():
+    history = TrainingHistory()
+    history.append(_record(1))
+    assert history.best_dev_loss is None
+    assert history.best_dev_epoch is None
+
+
+def test_history_final_train_loss():
+    history = TrainingHistory()
+    with pytest.raises(ValueError):
+        _ = history.final_train_loss
+    history.append(_record(1, train=1.5))
+    assert history.final_train_loss == 1.5
+
+
+def test_perplexity_is_exp_of_loss():
+    record = _record(1, train=2.0, dev=1.0)
+    assert record.train_perplexity == pytest.approx(math.exp(2.0))
+    assert record.dev_perplexity == pytest.approx(math.exp(1.0))
+    assert _record(1).dev_perplexity is None
+
+
+def test_history_save_load_round_trip(tmp_path):
+    history = TrainingHistory()
+    history.append(_record(1, dev=3.0))
+    history.append(_record(2, dev=2.5))
+    path = tmp_path / "history.json"
+    history.save(path)
+    loaded = TrainingHistory.load(path)
+    assert len(loaded) == 2
+    assert loaded.records[1].dev_loss == 2.5
+
+
+def _model(seed=0):
+    config = ModelConfig(embedding_dim=6, hidden_size=5, num_layers=1, dropout=0.0, seed=seed)
+    return build_model("du-attention", config, 20, 15)
+
+
+def test_checkpoint_round_trip(tmp_path):
+    model = _model(seed=0)
+    other = _model(seed=9)
+    save_checkpoint(tmp_path / "ckpt", model, metadata={"epoch": 3})
+    meta = load_checkpoint(tmp_path / "ckpt", other)
+    assert meta == {"epoch": 3}
+    for (name_a, p_a), (name_b, p_b) in zip(model.named_parameters(), other.named_parameters()):
+        assert name_a == name_b
+        assert np.allclose(p_a.data, p_b.data)
+
+
+def test_checkpoint_wrong_architecture_fails(tmp_path):
+    model = _model()
+    save_checkpoint(tmp_path / "ckpt", model)
+    wrong = build_model(
+        "du-attention",
+        ModelConfig(embedding_dim=6, hidden_size=7, num_layers=1, dropout=0.0),
+        20,
+        15,
+    )
+    with pytest.raises(ValueError):
+        load_checkpoint(tmp_path / "ckpt", wrong)
+
+
+def test_checkpoint_without_metadata(tmp_path):
+    model = _model()
+    save_checkpoint(tmp_path / "ckpt", model)
+    assert load_checkpoint(tmp_path / "ckpt", _model(seed=4)) == {}

@@ -1,0 +1,145 @@
+"""Tests for the Trainer: schedule, early stopping, best-state restore."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, QGDataset, QGExample, Vocabulary
+from repro.models import ModelConfig, build_model
+from repro.optim import Adam, ConstantSchedule
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture()
+def small_setup():
+    sentences = [
+        "zorvex was born in karlin .",
+        "mira designed the velkin tower .",
+        "draxby is the capital of ostavia .",
+        "the quen river flows through belcor .",
+    ]
+    questions = [
+        "where was zorvex born ?",
+        "who designed the velkin tower ?",
+        "what is the capital of ostavia ?",
+        "what river flows through belcor ?",
+    ]
+    examples = [
+        QGExample(sentence=tuple(s.split()), paragraph=tuple(s.split()), question=tuple(q.split()))
+        for s, q in zip(sentences, questions)
+    ]
+    encoder, decoder = QGDataset.build_vocabs(examples, 100, 100)
+    dataset = QGDataset(examples, encoder, decoder)
+    train_it = BatchIterator(dataset, batch_size=2, seed=0)
+    dev_it = BatchIterator(dataset, batch_size=2, shuffle=False)
+    config = ModelConfig(embedding_dim=8, hidden_size=8, num_layers=1, dropout=0.0, seed=0)
+    model = build_model("acnn", config, len(encoder), len(decoder))
+    return model, train_it, dev_it
+
+
+def test_trainer_config_validation():
+    with pytest.raises(ValueError):
+        TrainerConfig(epochs=0)
+    with pytest.raises(ValueError):
+        TrainerConfig(learning_rate=0)
+    with pytest.raises(ValueError):
+        TrainerConfig(clip_norm=0)
+
+
+def test_training_reduces_loss(small_setup):
+    model, train_it, dev_it = small_setup
+    trainer = Trainer(model, train_it, dev_it, TrainerConfig(epochs=4, learning_rate=0.8))
+    history = trainer.train()
+    assert len(history) == 4
+    assert history.records[-1].train_loss < history.records[0].train_loss
+
+
+def test_learning_rate_halves_at_configured_epoch(small_setup):
+    model, train_it, dev_it = small_setup
+    trainer = Trainer(
+        model, train_it, None, TrainerConfig(epochs=4, learning_rate=1.0, halve_at_epoch=3)
+    )
+    history = trainer.train()
+    rates = [r.learning_rate for r in history]
+    assert rates == [1.0, 1.0, 0.5, 0.5]
+
+
+def test_dev_loss_recorded(small_setup):
+    model, train_it, dev_it = small_setup
+    trainer = Trainer(model, train_it, dev_it, TrainerConfig(epochs=2))
+    history = trainer.train()
+    assert all(r.dev_loss is not None for r in history)
+
+
+def test_no_dev_iterator_leaves_dev_none(small_setup):
+    model, train_it, _ = small_setup
+    trainer = Trainer(model, train_it, None, TrainerConfig(epochs=1))
+    history = trainer.train()
+    assert history.records[0].dev_loss is None
+    assert trainer.best_state is None
+
+
+def test_early_stopping_halts(small_setup):
+    model, train_it, dev_it = small_setup
+
+    class ExplodingSchedule(ConstantSchedule):
+        """Keeps lr huge so dev loss cannot keep improving."""
+
+    trainer = Trainer(
+        model,
+        train_it,
+        dev_it,
+        TrainerConfig(epochs=30, learning_rate=20.0, early_stopping_patience=2),
+    )
+    history = trainer.train()
+    assert len(history) < 30
+
+
+def test_best_state_restored_after_training(small_setup):
+    model, train_it, dev_it = small_setup
+    trainer = Trainer(
+        model, train_it, dev_it, TrainerConfig(epochs=3, learning_rate=0.5)
+    )
+    trainer.train()
+    assert trainer.best_state is not None
+    # Model parameters equal the stored best state.
+    for name, param in model.named_parameters():
+        assert np.allclose(param.data, trainer.best_state[name])
+
+
+def test_epoch_callback_invoked(small_setup):
+    model, train_it, _ = small_setup
+    seen = []
+    trainer = Trainer(
+        model, train_it, None, TrainerConfig(epochs=2), epoch_callback=seen.append
+    )
+    trainer.train()
+    assert [r.epoch for r in seen] == [1, 2]
+
+
+def test_custom_optimizer_and_schedule(small_setup):
+    model, train_it, _ = small_setup
+    optimizer = Adam(model.parameters(), lr=0.01)
+    trainer = Trainer(
+        model,
+        train_it,
+        None,
+        TrainerConfig(epochs=2, learning_rate=0.01),
+        optimizer=optimizer,
+        schedule=ConstantSchedule(optimizer),
+    )
+    history = trainer.train()
+    assert [r.learning_rate for r in history] == [0.01, 0.01]
+
+
+def test_padding_embedding_rows_stay_zero(small_setup):
+    model, train_it, _ = small_setup
+    Trainer(model, train_it, None, TrainerConfig(epochs=2, learning_rate=1.0)).train()
+    assert np.allclose(model.encoder_embedding.weight.data[0], 0.0)
+    assert np.allclose(model.decoder_embedding.weight.data[0], 0.0)
+
+
+def test_grad_norm_recorded_positive(small_setup):
+    model, train_it, _ = small_setup
+    trainer = Trainer(model, train_it, None, TrainerConfig(epochs=1))
+    history = trainer.train()
+    assert history.records[0].grad_norm > 0
