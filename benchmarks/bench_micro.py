@@ -2,20 +2,28 @@
 
 These give pytest-benchmark stable per-operation timings: the fused LSTM
 step (forward and forward+backward), the attention layer, a full ACNN
-training step, one beam-search decode, and the corpus metrics.
+training step, beam-search decode throughput (batched engine vs the
+per-example baseline, at batch sizes 1/8/32), and the corpus metrics.
+The decode-throughput comparison is also written to
+``results/decode_throughput.txt`` so regressions are visible in the
+committed artifacts.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from conftest import write_result
+
 from repro.data import BatchIterator, QGDataset, collate, generate_corpus
 from repro.data.synthetic import SyntheticConfig
-from repro.decoding import beam_decode
+from repro.decoding import batched_beam_decode, beam_decode, beam_decode_example
 from repro.metrics import corpus_bleu, corpus_rouge_l
 from repro.models import ModelConfig, build_model
 from repro.nn import GlobalAttention, LSTMCell
 from repro.nn.functional import lstm_cell_step
-from repro.tensor import Tensor
+from repro.tensor import Tensor, no_grad
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +98,77 @@ def test_beam_decode_batch(benchmark, micro_setup):
     model, dataset, _ = micro_setup
     small = collate(dataset.encoded[:8], pad_id=0)
     benchmark(lambda: beam_decode(model, small, beam_size=3, max_length=12))
+
+
+def _per_example_beam(model, batch, beam_size, max_length):
+    """The pre-engine decode strategy: one independent beam per example."""
+    model.eval()
+    with no_grad():
+        context = model.encode(batch)
+        return [
+            beam_decode_example(
+                model, context, index, beam_size=beam_size, max_length=max_length
+            )
+            for index in range(context.batch_size)
+        ]
+
+
+@pytest.mark.parametrize("batch_size", [1, 8, 32])
+def test_batched_beam_decode_throughput(benchmark, micro_setup, batch_size):
+    model, dataset, _ = micro_setup
+    batch = collate(dataset.encoded[:batch_size], pad_id=0)
+    benchmark(lambda: batched_beam_decode(model, batch, beam_size=3, max_length=12))
+
+
+def test_decode_throughput_report(micro_setup, results_dir):
+    """Batched engine vs per-example baseline, written to results/.
+
+    The acceptance bar for the engine: >= 2x throughput over the
+    per-example baseline at batch 32, beam 3.
+    """
+    model, dataset, _ = micro_setup
+    beam_size, max_length, repeats = 3, 12, 3
+
+    lines = [
+        "decode throughput: batched beam engine vs per-example baseline",
+        f"beam_size={beam_size} max_length={max_length} best-of-{repeats}",
+        "",
+        f"{'batch':>5} {'per-example (s)':>16} {'batched (s)':>12} {'speedup':>8}",
+    ]
+    speedups = {}
+    for batch_size in (1, 8, 32):
+        batch = collate(dataset.encoded[:batch_size], pad_id=0)
+
+        def best_of(fn):
+            timings = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                timings.append(time.perf_counter() - start)
+            return min(timings)
+
+        baseline = best_of(
+            lambda: _per_example_beam(model, batch, beam_size, max_length)
+        )
+        batched = best_of(
+            lambda: batched_beam_decode(
+                model, batch, beam_size=beam_size, max_length=max_length
+            )
+        )
+        speedups[batch_size] = baseline / batched
+        lines.append(
+            f"{batch_size:>5} {baseline:>16.4f} {batched:>12.4f} "
+            f"{speedups[batch_size]:>7.2f}x"
+        )
+
+    # Both paths must still agree on what they decode.
+    batch = collate(dataset.encoded[:8], pad_id=0)
+    per_example = _per_example_beam(model, batch, beam_size, max_length)
+    batched = batched_beam_decode(model, batch, beam_size=beam_size, max_length=max_length)
+    assert [h.token_ids for h in per_example] == [h.token_ids for h in batched]
+
+    write_result(results_dir, "decode_throughput.txt", "\n".join(lines) + "\n")
+    assert speedups[32] >= 2.0
 
 
 def test_corpus_bleu_speed(benchmark):

@@ -1,0 +1,299 @@
+"""Batch-parallel beam search engine.
+
+The paper decodes everything with beam size 3, so beam search is the hot
+path of the whole evaluation pipeline. The classic per-example beam
+(:func:`repro.decoding.beam.beam_decode_example`) calls ``step_log_probs``
+with only ``beam_size`` rows per step, leaving the numpy backend's batched
+matmuls idle. This engine decodes all ``B`` examples of a batch at once:
+
+- the hypothesis frontier is a flattened ``(B * beam_size,)`` row block —
+  frontier row ``i`` belongs to example ``i // beam_size`` and beam slot
+  ``i % beam_size``; live hypotheses always occupy the *leading* slots of
+  their example's block, dead slots are masked to ``-inf``;
+- encoder tensors are expanded **once** via
+  :func:`repro.models.base.expand_encoder_context` instead of re-gathered
+  with ``row_indices`` on every step;
+- top-k candidate selection runs as a single ``argpartition`` over the
+  ``(B, beam_size * V_ext)`` score matrix for all examples at once;
+- recurrent state is reordered with one
+  :meth:`~repro.models.base.DecoderStepState.select` per step;
+- each example keeps its own finished pool and early-stop flag, so short
+  examples stop expanding while long ones continue.
+
+The candidate walk and the stopping rule live here as the *canonical*
+definitions (:func:`select_step_candidates`, :func:`should_stop_row`) and
+are shared with the per-example beam, which guarantees the two paths return
+identical hypotheses. Two decode-path fixes are part of these definitions:
+
+1. **Optimistic early stop.** Under length normalization
+   (``score = log_prob / len**penalty``) a live hypothesis's score can
+   still *rise* as it grows, so comparing the best finished score against
+   the best live *current* score prunes prematurely. The stop rule instead
+   uses the standard OpenNMT/GNMT-style optimistic bound: the live raw
+   log-probability normalized at whichever future length maximizes it.
+2. **Adaptive candidate scan.** The scan over ranked candidates widens past
+   the initial ``2 * beam_size`` window whenever it has not yet found
+   ``beam_size`` viable continuations, so a window full of EOS finishes or
+   non-viable junk (``-inf`` control tokens, unreachable OOV slots at
+   :data:`~repro.models.base.OOV_LOG_FLOOR`) no longer kills the beam while
+   expandable candidates remain further down the ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.data.vocabulary import BOS_ID, EOS_ID, PAD_ID
+from repro.decoding.hypothesis import Hypothesis
+from repro.models.base import OOV_LOG_FLOOR, QuestionGenerator, expand_encoder_context
+from repro.tensor.core import no_grad
+
+__all__ = [
+    "NON_VIABLE_FLOOR",
+    "batched_beam_decode",
+    "batched_beam_search",
+    "select_step_candidates",
+    "should_stop_row",
+]
+
+NON_VIABLE_FLOOR = OOV_LOG_FLOOR / 10
+"""Step log-probabilities at or below this are never selected as
+candidates: they mark unreachable slots (models without a copy path stamp
+their OOV columns with :data:`~repro.models.base.OOV_LOG_FLOOR`), not real
+probability mass."""
+
+
+def select_step_candidates(
+    totals: np.ndarray,
+    step_lp: np.ndarray,
+    beam_size: int,
+    order: np.ndarray | None = None,
+) -> tuple[list[tuple[int, float]], list[tuple[int, int, float]]]:
+    """Pick one step's EOS finishes and live continuations for one example.
+
+    Parameters
+    ----------
+    totals:
+        ``(width, V_ext)`` cumulative candidate scores (step log-probs plus
+        the source hypothesis's log-prob).
+    step_lp:
+        ``(width, V_ext)`` this step's log-probs (used for viability and for
+        the per-token increment).
+    beam_size:
+        Number of live continuations to collect.
+    order:
+        Optional precomputed candidate ranking (flat indices into
+        ``totals``, best first) — the batched engine passes the slice of its
+        shared vectorized top-k. Must cover at least the top
+        ``min(2 * beam_size, totals.size)`` candidates.
+
+    Returns
+    -------
+    finished, live:
+        ``finished`` is ``[(source, token_log_prob), ...]`` for every EOS
+        candidate ranked above the point where the walk stopped; ``live`` is
+        ``[(source, token, token_log_prob), ...]``, at most ``beam_size``
+        long. Both lists are in descending candidate-score order, ties
+        broken by flat candidate index (deterministic).
+
+    The walk widens its scan past the initial ``2 * beam_size`` window until
+    it has ``beam_size`` live continuations or has ranked every candidate —
+    a window monopolized by EOS/non-viable entries cannot starve the beam.
+    """
+    flat = totals.reshape(-1)
+    v_ext = totals.shape[1]
+    total = flat.size
+    scan = min(2 * beam_size, total)
+
+    while True:
+        if order is not None and order.size >= scan:
+            ranked = order[:scan]
+        elif scan >= total:
+            ranked = np.argsort(-flat, kind="stable")
+        else:
+            window = np.argpartition(-flat, scan - 1)[:scan]
+            ranked = window[np.lexsort((window, -flat[window]))]
+
+        finished: list[tuple[int, float]] = []
+        live: list[tuple[int, int, float]] = []
+        for flat_index in ranked:
+            source, token = divmod(int(flat_index), v_ext)
+            token_lp = float(step_lp[source, token])
+            if not np.isfinite(token_lp) or token_lp <= NON_VIABLE_FLOOR:
+                continue
+            if token == EOS_ID:
+                finished.append((source, token_lp))
+                continue
+            live.append((source, token, token_lp))
+            if len(live) == beam_size:
+                break
+        if len(live) == beam_size or scan >= total:
+            return finished, live
+        # Not enough viable continuations in this window: widen and redo the
+        # walk from scratch (restarting keeps the result independent of the
+        # window sequence, so per-example and batched paths agree).
+        scan = min(2 * scan, total)
+        order = None
+
+
+def should_stop_row(
+    finished: list[Hypothesis],
+    live_log_probs: list[float],
+    current_length: int,
+    beam_size: int,
+    max_length: int,
+    length_penalty: float,
+) -> bool:
+    """Early-stop rule for one example's beam.
+
+    Stops only when the finished pool is full *and* the best finished
+    normalized score beats every live hypothesis's **optimistic bound**: its
+    raw log-probability normalized at whichever reachable length maximizes
+    the score. Raw log-probs only decrease, but under a positive length
+    penalty the normalizer grows with length, so a live (negative) score can
+    still rise — comparing against the live *current* score (the old rule)
+    prunes hypotheses that would have won.
+    """
+    if len(finished) < beam_size or not live_log_probs:
+        return False
+    best_finished = max(h.score(length_penalty) for h in finished)
+    norm_now = max(1, current_length) ** length_penalty
+    norm_max = max(1, max_length) ** length_penalty
+    best_bound = max(
+        max(lp / norm_now, lp / norm_max) for lp in live_log_probs
+    )
+    return best_finished >= best_bound
+
+
+def batched_beam_search(
+    model: QuestionGenerator,
+    batch: Batch,
+    beam_size: int = 3,
+    max_length: int = 30,
+    length_penalty: float = 1.0,
+) -> list[list[Hypothesis]]:
+    """Beam-decode every example simultaneously; returns ranked pools.
+
+    The result has one list per example, sorted best-first by normalized
+    score (ties keep finish order). Pools hold the finished hypotheses the
+    beam collected; an example whose beam hit ``max_length`` without
+    finishing returns its live hypotheses unfinished, like the per-example
+    beam.
+    """
+    if beam_size < 1:
+        raise ValueError(f"beam_size must be >= 1, got {beam_size}")
+
+    model.eval()
+    with no_grad():
+        context = model.encode(batch)
+        num_examples = context.batch_size
+        expanded = expand_encoder_context(context, beam_size)
+        state = model.initial_decoder_state(expanded)
+
+        live: list[list[Hypothesis]] = [[Hypothesis((), 0.0)] for _ in range(num_examples)]
+        finished: list[list[Hypothesis]] = [[] for _ in range(num_examples)]
+        done = np.zeros(num_examples, dtype=bool)
+        # Frontier bookkeeping: slot j of example r is frontier row
+        # r * beam_size + j; only the first len(live[r]) slots are alive.
+        prev = np.full(num_examples * beam_size, BOS_ID, dtype=np.int64)
+        live_lp = np.full((num_examples, beam_size), -np.inf)
+        live_lp[:, 0] = 0.0
+
+        for step in range(max_length):
+            if done.all():
+                break
+            step_lp, new_state = model.step_log_probs(prev, state, expanded)
+            step_lp[:, PAD_ID] = -np.inf
+            step_lp[:, BOS_ID] = -np.inf
+            v_ext = step_lp.shape[1]
+            step_rows = step_lp.reshape(num_examples, beam_size, v_ext)
+            totals = step_rows + live_lp[:, :, None]
+
+            # One vectorized top-k over (B, beam_size * V_ext) for all rows;
+            # the python walk below only touches these few candidates.
+            flat = totals.reshape(num_examples, beam_size * v_ext)
+            scan = min(2 * beam_size, flat.shape[1])
+            window = np.argpartition(-flat, scan - 1, axis=1)[:, :scan]
+            window_vals = np.take_along_axis(flat, window, axis=1)
+            rank = np.lexsort((window, -window_vals), axis=1)
+            ranked = np.take_along_axis(window, rank, axis=1)
+
+            select = np.arange(num_examples * beam_size, dtype=np.int64)
+            next_prev = np.full(num_examples * beam_size, EOS_ID, dtype=np.int64)
+            next_lp = np.full((num_examples, beam_size), -np.inf)
+            for r in range(num_examples):
+                if done[r]:
+                    continue
+                width = len(live[r])
+                # Restrict the shared ranking to the example's live slots:
+                # their flat indices coincide with the (width, V_ext)
+                # candidate matrix the per-example beam builds, so the walk
+                # sees identical candidates. If dead -inf slots crowded the
+                # window (possible only while width < beam_size), the walk
+                # recomputes its own ranking over the live slice.
+                order = ranked[r]
+                if width < beam_size:
+                    order = order[order < width * v_ext]
+                eos_picks, continuations = select_step_candidates(
+                    totals[r, :width],
+                    step_rows[r, :width],
+                    beam_size,
+                    order=order,
+                )
+                for source, token_lp in eos_picks:
+                    grown = live[r][source].extended(EOS_ID, token_lp, finished=True)
+                    # The EOS token scores but never surfaces.
+                    finished[r].append(
+                        Hypothesis(grown.token_ids[:-1], grown.log_prob, finished=True)
+                    )
+                if not continuations:
+                    done[r] = True
+                    continue
+                base = r * beam_size
+                new_live: list[Hypothesis] = []
+                for j, (source, token, token_lp) in enumerate(continuations):
+                    grown = live[r][source].extended(token, token_lp, finished=False)
+                    new_live.append(grown)
+                    select[base + j] = base + source
+                    next_prev[base + j] = token
+                    next_lp[r, j] = grown.log_prob
+                live[r] = new_live
+                if should_stop_row(
+                    finished[r],
+                    [h.log_prob for h in new_live],
+                    step + 1,
+                    beam_size,
+                    max_length,
+                    length_penalty,
+                ):
+                    done[r] = True
+            state = new_state.select(select)
+            prev = next_prev
+            live_lp = next_lp
+
+        pools: list[list[Hypothesis]] = []
+        for r in range(num_examples):
+            pool = finished[r] or [
+                Hypothesis(h.token_ids, h.log_prob, finished=False) for h in live[r]
+            ]
+            pools.append(sorted(pool, key=lambda h: -h.score(length_penalty)))
+        return pools
+
+
+def batched_beam_decode(
+    model: QuestionGenerator,
+    batch: Batch,
+    beam_size: int = 3,
+    max_length: int = 30,
+    length_penalty: float = 1.0,
+) -> list[Hypothesis]:
+    """Best hypothesis per example, via the batch-parallel engine."""
+    pools = batched_beam_search(
+        model,
+        batch,
+        beam_size=beam_size,
+        max_length=max_length,
+        length_penalty=length_penalty,
+    )
+    return [pool[0] for pool in pools]

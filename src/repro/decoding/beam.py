@@ -1,10 +1,20 @@
 """Beam search decoding.
 
-The paper sets the beam size to 3 at test time. This implementation follows
-OpenNMT's classic beam: expand every live hypothesis by the full extended
-vocabulary, keep the top ``beam_size`` continuations, move EOS-terminated
-hypotheses to the finished pool, and stop when the pool is full or the best
-live score cannot beat the best finished one.
+The paper sets the beam size to 3 at test time. Batch-level decoding
+(:func:`beam_decode`) delegates to the batch-parallel engine in
+:mod:`repro.decoding.batched_beam`, which decodes every example of the
+batch simultaneously. :func:`beam_decode_example` remains for single-example
+use (interactive generation, introspection); it drives the *same* canonical
+candidate walk and stopping rule as the engine, so the two paths return
+identical hypotheses:
+
+- expand every live hypothesis by the full extended vocabulary;
+- keep the top ``beam_size`` viable continuations, widening the candidate
+  scan past ``2 * beam_size`` if EOS finishes or non-viable entries crowd
+  the window;
+- move EOS-terminated hypotheses to the finished pool;
+- stop when the pool is full and the best finished normalized score beats
+  every live hypothesis's optimistic (GNMT-style) bound.
 """
 
 from __future__ import annotations
@@ -13,6 +23,11 @@ import numpy as np
 
 from repro.data.batching import Batch
 from repro.data.vocabulary import BOS_ID, EOS_ID, PAD_ID
+from repro.decoding.batched_beam import (
+    batched_beam_decode,
+    select_step_candidates,
+    should_stop_row,
+)
 from repro.decoding.hypothesis import Hypothesis
 from repro.models.base import EncoderContext, QuestionGenerator
 from repro.tensor.core import no_grad
@@ -27,21 +42,18 @@ def beam_decode(
     max_length: int = 30,
     length_penalty: float = 1.0,
 ) -> list[Hypothesis]:
-    """Beam-decode every example in the batch; returns the best hypothesis each."""
-    model.eval()
-    with no_grad():
-        context = model.encode(batch)
-        return [
-            beam_decode_example(
-                model,
-                context,
-                example_index,
-                beam_size=beam_size,
-                max_length=max_length,
-                length_penalty=length_penalty,
-            )
-            for example_index in range(context.batch_size)
-        ]
+    """Beam-decode every example in the batch; returns the best hypothesis each.
+
+    Runs the batch-parallel engine: one ``step_log_probs`` call per step for
+    the whole ``(B * beam_size,)`` frontier instead of a per-example loop.
+    """
+    return batched_beam_decode(
+        model,
+        batch,
+        beam_size=beam_size,
+        max_length=max_length,
+        length_penalty=length_penalty,
+    )
 
 
 def beam_decode_example(
@@ -78,7 +90,7 @@ def beam_decode_example(
         state = base_state.select(np.array([example_index]))
         finished: list[Hypothesis] = []
 
-        for _ in range(max_length):
+        for step in range(max_length):
             width = len(live)
             prev = np.array(
                 [hyp.token_ids[-1] if hyp.token_ids else BOS_ID for hyp in live],
@@ -91,40 +103,31 @@ def beam_decode_example(
 
             # Candidate scores: (width, V_ext) cumulative log-probs.
             totals = step_lp + np.array([hyp.log_prob for hyp in live])[:, None]
-            flat = totals.reshape(-1)
-            top = np.argpartition(-flat, min(2 * beam_size, flat.size - 1))[: 2 * beam_size]
-            top = top[np.argsort(-flat[top])]
+            eos_picks, continuations = select_step_candidates(totals, step_lp, beam_size)
 
-            next_live: list[Hypothesis] = []
-            next_sources: list[int] = []
-            for flat_index in top:
-                source = int(flat_index // totals.shape[1])
-                token = int(flat_index % totals.shape[1])
-                token_lp = float(step_lp[source, token])
-                if not np.isfinite(token_lp):
-                    continue
-                candidate = live[source].extended(token, token_lp, finished=token == EOS_ID)
-                if candidate.finished:
-                    # Drop the EOS token itself from the surface sequence.
-                    finished.append(
-                        Hypothesis(candidate.token_ids[:-1], candidate.log_prob, finished=True)
-                    )
-                else:
-                    next_live.append(candidate)
-                    next_sources.append(source)
-                if len(next_live) == beam_size:
-                    break
-
-            if not next_live:
+            for source, token_lp in eos_picks:
+                grown = live[source].extended(EOS_ID, token_lp, finished=True)
+                # Drop the EOS token itself from the surface sequence.
+                finished.append(
+                    Hypothesis(grown.token_ids[:-1], grown.log_prob, finished=True)
+                )
+            if not continuations:
                 break
-            state = new_state.select(np.array(next_sources))
-            live = next_live
+            state = new_state.select(np.array([source for source, _, _ in continuations]))
+            live = [
+                live[source].extended(token, token_lp, finished=False)
+                for source, token, token_lp in continuations
+            ]
 
-            if len(finished) >= beam_size:
-                best_finished = max(h.score(length_penalty) for h in finished)
-                best_live_possible = max(h.score(length_penalty) for h in live)
-                if best_finished >= best_live_possible:
-                    break
+            if should_stop_row(
+                finished,
+                [hyp.log_prob for hyp in live],
+                step + 1,
+                beam_size,
+                max_length,
+                length_penalty,
+            ):
+                break
 
         if not finished:
             finished = [Hypothesis(h.token_ids, h.log_prob, finished=False) for h in live]

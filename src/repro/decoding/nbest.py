@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.data.batching import Batch
 from repro.data.vocabulary import BOS_ID, EOS_ID, PAD_ID
+from repro.decoding.batched_beam import select_step_candidates, should_stop_row
 from repro.decoding.hypothesis import Hypothesis
 from repro.models.base import EncoderContext, QuestionGenerator
 from repro.tensor.core import no_grad
@@ -61,7 +62,7 @@ def _nbest_for_example(
     state = model.initial_decoder_state(context).select(np.array([example_index]))
     finished: list[Hypothesis] = []
 
-    for _ in range(max_length):
+    for step in range(max_length):
         width = len(live)
         prev = np.array(
             [hyp.token_ids[-1] if hyp.token_ids else BOS_ID for hyp in live],
@@ -73,41 +74,31 @@ def _nbest_for_example(
         step_lp[:, BOS_ID] = -np.inf
 
         totals = step_lp + np.array([hyp.log_prob for hyp in live])[:, None]
-        flat = totals.reshape(-1)
-        take = min(2 * beam_size, flat.size - 1)
-        top = np.argpartition(-flat, take)[: 2 * beam_size]
-        top = top[np.argsort(-flat[top])]
+        eos_picks, continuations = select_step_candidates(totals, step_lp, beam_size)
+        for source, token_lp in eos_picks:
+            grown = live[source].extended(EOS_ID, token_lp, finished=True)
+            finished.append(
+                Hypothesis(grown.token_ids[:-1], grown.log_prob, finished=True)
+            )
 
-        next_live: list[Hypothesis] = []
-        next_sources: list[int] = []
-        for flat_index in top:
-            source = int(flat_index // totals.shape[1])
-            token = int(flat_index % totals.shape[1])
-            token_lp = float(step_lp[source, token])
-            if not np.isfinite(token_lp):
-                continue
-            candidate = live[source].extended(token, token_lp, finished=token == EOS_ID)
-            if candidate.finished:
-                finished.append(
-                    Hypothesis(candidate.token_ids[:-1], candidate.log_prob, finished=True)
-                )
-            else:
-                next_live.append(candidate)
-                next_sources.append(source)
-            if len(next_live) == beam_size:
-                break
-
-        if not next_live:
+        if not continuations:
             break
-        state = new_state.select(np.array(next_sources))
-        live = next_live
-        # Same stopping rule as beam_decode: enough finished hypotheses and
-        # no live hypothesis can still win.
-        if len(finished) >= max(n_best, beam_size):
-            best_finished = max(h.score(length_penalty) for h in finished)
-            best_live = max(h.score(length_penalty) for h in live)
-            if best_finished >= best_live:
-                break
+        state = new_state.select(np.array([source for source, _, _ in continuations]))
+        live = [
+            live[source].extended(token, token_lp, finished=False)
+            for source, token, token_lp in continuations
+        ]
+        # Same stopping rule as beam_decode (optimistic live bound), but the
+        # pool must cover the requested n-best depth before stopping.
+        if should_stop_row(
+            finished,
+            [hyp.log_prob for hyp in live],
+            step + 1,
+            max(n_best, beam_size),
+            max_length,
+            length_penalty,
+        ):
+            break
 
     if not finished:
         finished = [Hypothesis(h.token_ids, h.log_prob, finished=False) for h in live]

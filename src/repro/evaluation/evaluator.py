@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.data.batching import BatchIterator
 from repro.data.dataset import QGDataset
-from repro.decoding import beam_decode, extended_ids_to_tokens, greedy_decode
+from repro.decoding import batched_beam_decode, extended_ids_to_tokens, greedy_decode
 from repro.metrics import bleu_n_scores, corpus_rouge_l
 from repro.models.base import QuestionGenerator
 
@@ -51,7 +51,9 @@ def evaluate_model(
         if beam_size == 1:
             hypotheses = greedy_decode(model, batch, max_length=max_length)
         else:
-            hypotheses = beam_decode(
+            # Batch-parallel engine: every evaluation decodes the whole
+            # batch's hypothesis frontier per step.
+            hypotheses = batched_beam_decode(
                 model,
                 batch,
                 beam_size=beam_size,

@@ -139,6 +139,48 @@ class ACNN(DuAttentionModel):
         scores = masked_fill(scores, src_pad_mask, _MASK_VALUE)
         return softmax(scores, axis=1)
 
+    def _extended_mixture(
+        self,
+        p_att: np.ndarray,
+        p_cop: np.ndarray,
+        z: np.ndarray,
+        src_ext: np.ndarray,
+        max_oov: int,
+    ) -> np.ndarray:
+        """Eq. 2 over the extended vocabulary, as a plain probability array.
+
+        Scatters the copy distribution (over source positions) onto extended
+        token ids and mixes it with the generation distribution:
+        ``(B, decoder_vocab + max_oov)``.
+        """
+        batch_size = p_att.shape[0]
+        z = z.reshape(-1, 1)
+        extended = np.zeros((batch_size, self.decoder_vocab_size + max_oov))
+        extended[:, : self.decoder_vocab_size] = (1.0 - z) * p_att
+        rows = np.repeat(np.arange(batch_size)[:, None], src_ext.shape[1], axis=1)
+        np.add.at(extended, (rows, src_ext), z * p_cop)
+        return extended
+
+    def sampled_feedback(
+        self,
+        p_att: np.ndarray,
+        p_cop: np.ndarray,
+        z: np.ndarray,
+        src_ext: np.ndarray,
+        max_oov: int,
+    ) -> np.ndarray:
+        """Greedy feedback tokens for scheduled sampling.
+
+        The fed-back pick must come from the full Eq. 2 mixture — the same
+        distribution decoding samples from — not from the attention softmax
+        alone, or a gate that favors copying trains on feedback the model
+        would never produce at inference. Matching the inference contract
+        (``step_log_probs`` ids beyond the decoder vocabulary feed back as
+        UNK), copied OOV winners map to UNK.
+        """
+        picks = self._extended_mixture(p_att, p_cop, z, src_ext, max_oov).argmax(axis=1)
+        return self.map_to_decoder_vocab(picks, self.decoder_vocab_size, UNK_ID)
+
     def switch(self, d_k: Tensor, c_k: Tensor, y_prev_embedded: Tensor) -> Tensor:
         """Eq. 4: the adaptive copy/generate gate ``z_k`` in (0, 1)."""
         if self.switch_mode == "fixed":
@@ -197,9 +239,12 @@ class ACNN(DuAttentionModel):
             step_probs.append(mixture)
 
             if sampling:
-                # The next step may feed this step's greedy vocabulary pick
-                # (OOV copies feed back as UNK at inference too).
-                prev_predictions = p_att.data.argmax(axis=1)
+                # The next step may feed this step's greedy pick from the
+                # Eq. 2 mixture (OOV copies feed back as UNK, matching the
+                # inference contract).
+                prev_predictions = self.sampled_feedback(
+                    p_att.data, p_cop.data, z.data, context.src_ext, context.max_oov
+                )
 
             if coverage is not None:
                 # Coverage loss (See et al. 2017): penalize re-attending.
@@ -242,13 +287,9 @@ class ACNN(DuAttentionModel):
         )
         p_att = softmax(logits, axis=-1).data  # (B, V)
         p_cop = self.copy_distribution(d_k, c_k, encoder_states, src_pad_mask).data  # (B, S)
-        z = self.switch(d_k, c_k, embedded).data.reshape(-1, 1)  # (B, 1)
+        z = self.switch(d_k, c_k, embedded).data  # (B,)
 
-        batch_size = p_att.shape[0]
-        extended = np.zeros((batch_size, self.decoder_vocab_size + context.max_oov))
-        extended[:, : self.decoder_vocab_size] = (1.0 - z) * p_att
-        rows = np.repeat(np.arange(batch_size)[:, None], src_ext.shape[1], axis=1)
-        np.add.at(extended, (rows, src_ext), z * p_cop)
+        extended = self._extended_mixture(p_att, p_cop, z, src_ext, context.max_oov)
         new_coverage = (
             state.coverage + attn.data if state.coverage is not None else None
         )

@@ -24,9 +24,20 @@ from repro.data.batching import Batch
 from repro.nn.module import Module
 from repro.tensor.core import Tensor
 
-__all__ = ["EncoderContext", "DecoderStepState", "QuestionGenerator"]
+__all__ = [
+    "EncoderContext",
+    "DecoderStepState",
+    "QuestionGenerator",
+    "OOV_LOG_FLOOR",
+    "expand_encoder_context",
+]
 
 State = tuple[Tensor, Tensor]
+
+OOV_LOG_FLOOR = -1e18
+"""Log-probability stamp for extended-vocab slots a model cannot reach
+(models without a copy path). Far below any real log-probability; decoders
+treat anything at or below ``OOV_LOG_FLOOR / 10`` as non-viable."""
 
 
 @dataclass
@@ -48,6 +59,35 @@ class EncoderContext:
     @property
     def batch_size(self) -> int:
         return self.src_ext.shape[0]
+
+
+def expand_encoder_context(context: EncoderContext, beam_size: int) -> EncoderContext:
+    """Repeat every per-example row ``beam_size`` times along the batch axis.
+
+    Row ``i`` of the result backs hypothesis-frontier row ``i`` of the
+    batched beam engine, i.e. example ``i // beam_size``. Expanding once up
+    front lets every subsequent :meth:`QuestionGenerator.step_log_probs`
+    call run with ``row_indices=None`` (rows align 1:1 with the frontier)
+    instead of re-gathering encoder tensors on every step.
+    """
+    if beam_size < 1:
+        raise ValueError(f"beam_size must be >= 1, got {beam_size}")
+    if beam_size == 1:
+        return context
+
+    def repeat(array: np.ndarray) -> np.ndarray:
+        return np.repeat(array, beam_size, axis=0)
+
+    return EncoderContext(
+        encoder_states=Tensor(repeat(context.encoder_states.data)),
+        src_pad_mask=repeat(context.src_pad_mask),
+        src_ext=repeat(context.src_ext),
+        max_oov=context.max_oov,
+        initial_states=[
+            (Tensor(repeat(h.data)), Tensor(repeat(c.data)))
+            for h, c in context.initial_states
+        ],
+    )
 
 
 @dataclass
@@ -112,8 +152,12 @@ class QuestionGenerator(Module):
         state:
             Recurrent state from the previous step.
         context:
-            Output of :meth:`encode`. When beam search expands one example
-            into several hypotheses, ``row_indices`` maps each row of
+            Output of :meth:`encode`. With ``row_indices=None`` the rows of
+            ``prev_tokens``/``state`` align 1:1 with the context's batch
+            rows — the batched beam engine relies on this after expanding
+            the context once via :func:`expand_encoder_context`. When the
+            per-example beam expands one encoded example into several
+            hypothesis rows instead, ``row_indices`` maps each row of
             ``prev_tokens`` onto the context's batch row.
 
         Returns
@@ -136,7 +180,14 @@ class QuestionGenerator(Module):
 
     @staticmethod
     def _context_rows(context: EncoderContext, row_indices: np.ndarray | None):
-        """Encoder tensors for the requested rows (beam expansion)."""
+        """Encoder tensors for the requested rows.
+
+        ``row_indices=None`` is the batched contract: the caller guarantees
+        its step rows already align 1:1 with the context rows (either a
+        plain batch, or a frontier over a pre-expanded context), so no
+        gather happens. A non-None ``row_indices`` is the per-example beam's
+        per-step re-gather.
+        """
         if row_indices is None:
             return context.encoder_states, context.src_pad_mask, context.src_ext
         states = Tensor(context.encoder_states.data[row_indices])

@@ -12,7 +12,12 @@ import numpy as np
 
 from repro.data.batching import Batch
 from repro.data.vocabulary import PAD_ID, UNK_ID
-from repro.models.base import DecoderStepState, EncoderContext, QuestionGenerator
+from repro.models.base import (
+    OOV_LOG_FLOOR,
+    DecoderStepState,
+    EncoderContext,
+    QuestionGenerator,
+)
 from repro.models.config import ModelConfig
 from repro.nn import LSTM, Dropout, Embedding, Linear, cross_entropy
 from repro.tensor.core import Tensor
@@ -125,8 +130,9 @@ class Seq2SeqBaseline(QuestionGenerator):
         log_probs = log_softmax(logits, axis=-1).data
 
         if context.max_oov:
-            # No copy path: OOV slots get (log) zero probability.
-            pad = np.full((log_probs.shape[0], context.max_oov), -1e18)
+            # No copy path: OOV slots are unreachable (decoders treat the
+            # floor as non-viable, never as selectable mass).
+            pad = np.full((log_probs.shape[0], context.max_oov), OOV_LOG_FLOOR)
             log_probs = np.concatenate([log_probs, pad], axis=1)
         return log_probs, DecoderStepState(new_states)
 
