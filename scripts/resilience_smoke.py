@@ -1,0 +1,162 @@
+"""End-to-end SIGINT/resume smoke test across real process boundaries.
+
+    PYTHONPATH=src python scripts/resilience_smoke.py
+
+The orchestrator spawns three child processes against one tiny synthetic
+corpus:
+
+1. ``reference`` — trains uninterrupted and records its history + final
+   parameters;
+2. ``victim``    — same run with snapshotting enabled; the orchestrator
+   sends it a real SIGINT once epoch 2 is done, and the trainer's signal
+   handler writes a final graceful snapshot before exiting 130;
+3. ``resume``    — a fresh process that resumes from the victim's snapshot
+   directory and records its history + final parameters.
+
+The smoke test passes iff the resumed run's history and parameters are
+**identical** to the reference run's — the bit-exact-resume guarantee of
+`repro.training.resilience`, exercised with genuine signals and process
+restarts rather than in-process simulation. Exits non-zero on any mismatch.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+EPOCHS = 4
+INTERRUPT_AFTER_EPOCH = 2
+
+
+def _train(snapshot_dir=None, resume=False):
+    """One deterministic tiny run; returns (trainer, model)."""
+    from repro.data import BatchIterator, QGDataset
+    from repro.data.synthetic import SyntheticConfig, generate_corpus
+    from repro.models import ModelConfig, build_model
+    from repro.training import ResilienceConfig, Trainer, TrainerConfig
+
+    corpus = generate_corpus(SyntheticConfig(num_train=24, num_dev=8, num_test=1, seed=5))
+    encoder, decoder = QGDataset.build_vocabs(corpus.train, 500, 120)
+    train_set = QGDataset(corpus.train, encoder, decoder)
+    dev_set = QGDataset(corpus.dev, encoder, decoder)
+    model = build_model(
+        "acnn",
+        ModelConfig(embedding_dim=12, hidden_size=16, num_layers=1, dropout=0.3, seed=0),
+        len(encoder),
+        len(decoder),
+    )
+    resilience = None
+    if snapshot_dir is not None:
+        resilience = ResilienceConfig(directory=snapshot_dir, handle_signals=True)
+    trainer = Trainer(
+        model,
+        BatchIterator(train_set, batch_size=8, seed=0),
+        BatchIterator(dev_set, batch_size=8, shuffle=False),
+        TrainerConfig(epochs=EPOCHS, learning_rate=0.5),
+        epoch_callback=lambda r: print(f"EPOCH {r.epoch} DONE", flush=True),
+        resilience=resilience,
+    )
+    trainer.train(resume_from=snapshot_dir if resume else None)
+    return trainer, model
+
+
+def _dump(trainer, model, out_prefix):
+    from repro.tensor.serialization import save_arrays
+
+    with open(out_prefix + ".history.json", "w", encoding="utf-8") as handle:
+        json.dump(trainer.history.to_payload(), handle)
+    save_arrays(out_prefix + ".params.npz", model.state_dict())
+
+
+def _child(role, snapdir, out_prefix):
+    from repro.training import TrainingInterrupted
+
+    if role == "reference":
+        trainer, model = _train()
+        _dump(trainer, model, out_prefix)
+    elif role == "victim":
+        try:
+            _train(snapshot_dir=snapdir)
+        except TrainingInterrupted as exc:
+            print(f"interrupted, snapshot at {exc.snapshot_path}", flush=True)
+            return 130
+        print("victim was never interrupted", file=sys.stderr)
+        return 1
+    elif role == "resume":
+        trainer, model = _train(snapshot_dir=snapdir, resume=True)
+        _dump(trainer, model, out_prefix)
+    return 0
+
+
+def _spawn(role, snapdir, out_prefix):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--role", role, snapdir, out_prefix],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def _orchestrate():
+    import numpy as np
+
+    from repro.tensor.serialization import load_arrays
+
+    with tempfile.TemporaryDirectory() as workdir:
+        snapdir = os.path.join(workdir, "snapshots")
+        ref_prefix = os.path.join(workdir, "reference")
+        res_prefix = os.path.join(workdir, "resumed")
+
+        print("[1/3] reference run (uninterrupted)", flush=True)
+        reference = _spawn("reference", snapdir, ref_prefix)
+        assert reference.wait(timeout=600) == 0, "reference run failed"
+
+        print(f"[2/3] victim run (SIGINT after epoch {INTERRUPT_AFTER_EPOCH})", flush=True)
+        victim = _spawn("victim", snapdir, ref_prefix)
+        for line in victim.stdout:
+            print(f"  victim: {line}", end="", flush=True)
+            if line.strip() == f"EPOCH {INTERRUPT_AFTER_EPOCH} DONE":
+                victim.send_signal(signal.SIGINT)
+        code = victim.wait(timeout=600)
+        assert code == 130, f"victim should exit 130 after graceful SIGINT, got {code}"
+
+        print("[3/3] resume run (fresh process)", flush=True)
+        resumed = _spawn("resume", snapdir, res_prefix)
+        assert resumed.wait(timeout=600) == 0, "resume run failed"
+
+        with open(ref_prefix + ".history.json", encoding="utf-8") as handle:
+            ref_history = json.load(handle)
+        with open(res_prefix + ".history.json", encoding="utf-8") as handle:
+            res_history = json.load(handle)
+        assert ref_history == res_history, (
+            "resumed history differs from uninterrupted run:\n"
+            f"  reference: {ref_history}\n  resumed:   {res_history}"
+        )
+
+        ref_params = load_arrays(ref_prefix + ".params.npz")
+        res_params = load_arrays(res_prefix + ".params.npz")
+        assert set(ref_params) == set(res_params)
+        for name in ref_params:
+            assert np.array_equal(ref_params[name], res_params[name]), (
+                f"parameter {name} differs after resume"
+            )
+
+    print("resilience smoke test: OK (bit-exact resume across SIGINT + process restart)")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) >= 4 and sys.argv[1] == "--role":
+        return _child(sys.argv[2], sys.argv[3], sys.argv[4])
+    return _orchestrate()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

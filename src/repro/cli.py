@@ -38,7 +38,12 @@ from repro.data import (
 from repro.decoding import beam_decode, extended_ids_to_tokens
 from repro.evaluation import analyse_predictions, evaluate_model
 from repro.models import ModelConfig, build_model
-from repro.training import Trainer, TrainerConfig
+from repro.training import (
+    ResilienceConfig,
+    Trainer,
+    TrainerConfig,
+    TrainingInterrupted,
+)
 from repro.training.bundle import ModelBundle
 
 __all__ = ["main"]
@@ -124,6 +129,18 @@ def _cmd_train(args) -> int:
     model = build_model(args.family, model_config, len(encoder_vocab), len(decoder_vocab), **model_kwargs)
     print(f"{args.family}: {model.num_parameters():,} parameters")
 
+    snapshot_dir = args.snapshot_dir
+    if args.resume and not snapshot_dir:
+        snapshot_dir = args.out + ".snapshots"
+    resilience = None
+    if snapshot_dir:
+        resilience = ResilienceConfig(
+            directory=snapshot_dir,
+            every_n_batches=args.snapshot_every,
+            max_retries=args.max_retries,
+            handle_signals=True,
+        )
+
     trainer = Trainer(
         model,
         BatchIterator(train_set, batch_size=args.batch_size, seed=args.seed),
@@ -136,8 +153,18 @@ def _cmd_train(args) -> int:
         epoch_callback=lambda r: print(
             f"epoch {r.epoch}: train {r.train_loss:.4f} dev {r.dev_loss:.4f} lr {r.learning_rate:g}"
         ),
+        resilience=resilience,
     )
-    history = trainer.train()
+    try:
+        history = trainer.train(resume_from=snapshot_dir if args.resume else None)
+    except TrainingInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        print(
+            f"resume with: acnn train --resume --snapshot-dir {snapshot_dir} "
+            f"--out {args.out} (plus the original flags)",
+            file=sys.stderr,
+        )
+        return 130
 
     bundle = ModelBundle(
         model=model,
@@ -231,6 +258,35 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--coverage", action="store_true", help="enable the coverage extension")
     train.add_argument("--answer-features", action="store_true", help="enable answer tags")
     train.add_argument("--out", required=True, help="bundle output directory")
+    train.add_argument(
+        "--snapshot-dir",
+        help=(
+            "enable fault-tolerant training: write rotating run snapshots "
+            "here and take a final graceful snapshot on SIGINT/SIGTERM "
+            "(default with --resume: <out>.snapshots)"
+        ),
+    )
+    train.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="also snapshot every N batches (0 = per-epoch snapshots only)",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="restart bit-exactly from the latest valid snapshot in --snapshot-dir",
+    )
+    train.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help=(
+            "divergence-recovery budget: on a non-finite loss, roll back to "
+            "the last good snapshot with a halved learning rate up to this "
+            "many times (default 0 = fail fast)"
+        ),
+    )
     train.set_defaults(handler=_cmd_train)
 
     evaluate = subparsers.add_parser("evaluate", help="score a saved bundle")

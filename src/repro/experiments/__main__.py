@@ -18,6 +18,7 @@ Quick plumbing check::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.configs import SCALES
@@ -40,6 +41,40 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment scale (default: 'default'; 'smoke' for a fast check)",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help=(
+            "directory for per-system snapshots and completion markers "
+            "(default: runs/experiments/<experiment>-<scale> when --resume "
+            "or --max-retries is used)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue an interrupted run from --run-dir: finished systems "
+            "are reloaded, the in-flight one restarts from its latest valid "
+            "snapshot"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help=(
+            "divergence-recovery budget per system: on a non-finite loss, "
+            "roll back to the last good snapshot with a halved learning "
+            "rate up to this many times (default 0 = fail fast)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="also snapshot every N batches (0 = per-epoch snapshots only)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -64,7 +99,29 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    result = experiment.runner(scale, verbose=not args.quiet)
+    wants_resilience = args.resume or args.max_retries > 0 or args.run_dir is not None
+    runner_kwargs: dict = {}
+    if wants_resilience:
+        if not experiment.supports_resume:
+            print(
+                f"note: {experiment.key} does not support --resume/--max-retries; "
+                "running without fault tolerance",
+                file=sys.stderr,
+            )
+        else:
+            run_dir = args.run_dir or os.path.join(
+                "runs", "experiments", f"{experiment.key}-{scale.name}"
+            )
+            runner_kwargs = {
+                "run_dir": run_dir,
+                "resume": args.resume,
+                "max_retries": args.max_retries,
+                "snapshot_every": args.snapshot_every,
+            }
+            if not args.quiet:
+                print(f"snapshots and completion markers under {run_dir}")
+
+    result = experiment.runner(scale, verbose=not args.quiet, **runner_kwargs)
     print()
     print(result.render())
     return 0

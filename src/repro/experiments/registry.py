@@ -33,8 +33,13 @@ class Experiment:
     description: str
     runner: Callable[..., object]
     """Callable taking (scale: ExperimentScale, verbose: bool) and returning
-    an object with a ``render() -> str`` method."""
+    an object with a ``render() -> str`` method. When ``supports_resume``
+    is true, it additionally accepts ``run_dir``/``resume``/``max_retries``/
+    ``snapshot_every`` keyword arguments."""
     bench_target: str
+    supports_resume: bool = False
+    """Whether the runner checkpoints per-system progress so an interrupted
+    run can continue via ``--resume`` instead of restarting."""
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -45,15 +50,21 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Main comparison: Seq2Seq / Du-sent / Du-para / ACNN-sent / "
             "ACNN-para on BLEU-1..4 and ROUGE-L"
         ),
-        runner=lambda scale, verbose=False: table1.run_table1(scale, verbose=verbose),
+        runner=lambda scale, verbose=False, **kwargs: table1.run_table1(
+            scale, verbose=verbose, **kwargs
+        ),
         bench_target="benchmarks/bench_table1.py",
+        supports_resume=True,
     ),
     "table2": Experiment(
         key="table2",
         paper_artifact="Table 2",
         description="ACNN-para with paragraph truncation length 100 / 120 / 150",
-        runner=lambda scale, verbose=False: table2.run_table2(scale, verbose=verbose),
+        runner=lambda scale, verbose=False, **kwargs: table2.run_table2(
+            scale, verbose=verbose, **kwargs
+        ),
         bench_target="benchmarks/bench_table2.py",
+        supports_resume=True,
     ),
     "figure1": Experiment(
         key="figure1",

@@ -9,6 +9,8 @@ encoders.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -20,7 +22,10 @@ from repro.evaluation.evaluator import EvaluationResult, evaluate_model
 from repro.experiments.configs import ExperimentScale
 from repro.models import build_model
 from repro.models.base import QuestionGenerator
+from repro.tensor.serialization import CheckpointCorrupted, atomic_write
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
 from repro.training.history import TrainingHistory
+from repro.training.resilience import ResilienceConfig
 from repro.training.trainer import Trainer
 
 import numpy as np
@@ -109,18 +114,105 @@ def _apply_pretrained_embeddings(model: QuestionGenerator, train_ds: QGDataset, 
         embedding.load_pretrained(matrix)
 
 
+_RESULT_FILE = "result.json"
+_CHECKPOINT_BASE = "model"
+_SNAPSHOT_SUBDIR = "snapshots"
+
+
+def _system_dir(run_dir: str | os.PathLike, spec: SystemSpec, paragraph_length: int | None) -> str:
+    suffix = f"-len{paragraph_length}" if paragraph_length is not None else ""
+    return os.path.join(os.fspath(run_dir), spec.key + suffix)
+
+
+def _persist_completed_system(directory: str, run: SystemRun) -> None:
+    """Durable per-system completion marker: checkpoint + scores + history."""
+    save_checkpoint(os.path.join(directory, _CHECKPOINT_BASE), run.model)
+    payload = {
+        "scores": run.result.scores,
+        "predictions": [list(p) for p in run.result.predictions],
+        "references": [list(r) for r in run.result.references],
+        "history": run.history.to_payload(),
+        "train_seconds": run.train_seconds,
+        "eval_seconds": run.eval_seconds,
+    }
+    atomic_write(
+        os.path.join(directory, _RESULT_FILE),
+        lambda handle: json.dump(payload, handle, indent=2),
+        binary=False,
+    )
+
+
+def _load_completed_system(
+    directory: str,
+    spec: SystemSpec,
+    scale: ExperimentScale,
+    datasets: tuple[QGDataset, QGDataset, QGDataset],
+) -> SystemRun:
+    """Rebuild a finished system from its completion marker (no retraining)."""
+    with open(os.path.join(directory, _RESULT_FILE), encoding="utf-8") as handle:
+        payload = json.load(handle)
+    train_ds = datasets[0]
+    model = build_model(
+        spec.family,
+        scale.model_config(seed_offset=spec.seed_offset),
+        len(train_ds.encoder_vocab),
+        len(train_ds.decoder_vocab),
+        **spec.model_kwargs,
+    )
+    load_checkpoint(os.path.join(directory, _CHECKPOINT_BASE), model)
+    result = EvaluationResult(
+        scores=payload["scores"],
+        predictions=tuple(tuple(p) for p in payload["predictions"]),
+        references=tuple(tuple(r) for r in payload["references"]),
+    )
+    return SystemRun(
+        spec=spec,
+        model=model,
+        result=result,
+        history=TrainingHistory.from_payload(payload["history"]),
+        train_seconds=payload["train_seconds"],
+        eval_seconds=payload["eval_seconds"],
+        datasets=datasets,
+    )
+
+
 def run_system(
     spec: SystemSpec,
     scale: ExperimentScale,
     corpus: SyntheticCorpus | None = None,
     paragraph_length: int | None = None,
     verbose: bool = False,
+    run_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    max_retries: int = 0,
+    snapshot_every: int = 0,
 ) -> SystemRun:
-    """Train one system from scratch and evaluate it on the test split."""
+    """Train one system and evaluate it on the test split.
+
+    With ``run_dir`` set, the trainer snapshots into
+    ``<run_dir>/<key>/snapshots`` (periodically when ``snapshot_every`` > 0,
+    always per epoch) and a completion marker is written once the system is
+    evaluated; ``resume=True`` then continues an interrupted run from the
+    latest valid snapshot — or skips the system entirely if it already
+    finished. ``max_retries`` enables divergence recovery (rollback +
+    lr backoff) with that budget.
+    """
     corpus = corpus or generate_corpus(scale.synthetic_config())
     train_ds, dev_ds, test_ds = prepare_datasets(
         corpus, scale, spec.source_mode, paragraph_length=paragraph_length
     )
+    datasets = (train_ds, dev_ds, test_ds)
+
+    system_dir = _system_dir(run_dir, spec, paragraph_length) if run_dir else None
+    if system_dir and resume and os.path.exists(os.path.join(system_dir, _RESULT_FILE)):
+        try:
+            run = _load_completed_system(system_dir, spec, scale, datasets)
+            if verbose:
+                print(f"  [{spec.label}] already complete in {system_dir}; skipping")
+            return run
+        except (CheckpointCorrupted, json.JSONDecodeError, KeyError, ValueError, OSError):
+            if verbose:
+                print(f"  [{spec.label}] completion marker unreadable; retraining")
 
     model = build_model(
         spec.family,
@@ -146,15 +238,26 @@ def run_system(
                 f"train {record.train_loss:.4f}{dev} (lr {record.learning_rate:g})"
             )
 
+    resilience = None
+    snapshot_dir = None
+    if system_dir:
+        snapshot_dir = os.path.join(system_dir, _SNAPSHOT_SUBDIR)
+        resilience = ResilienceConfig(
+            directory=snapshot_dir,
+            every_n_batches=snapshot_every,
+            max_retries=max_retries,
+        )
+
     trainer = Trainer(
         model,
         train_iterator,
         dev_iterator,
         scale.trainer_config(),
         epoch_callback=callback,
+        resilience=resilience,
     )
     start = time.perf_counter()
-    history = trainer.train()
+    history = trainer.train(resume_from=snapshot_dir if resume else None)
     train_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -167,12 +270,15 @@ def run_system(
     )
     eval_seconds = time.perf_counter() - start
 
-    return SystemRun(
+    run = SystemRun(
         spec=spec,
         model=model,
         result=result,
         history=history,
         train_seconds=train_seconds,
         eval_seconds=eval_seconds,
-        datasets=(train_ds, dev_ds, test_ds),
+        datasets=datasets,
     )
+    if system_dir:
+        _persist_completed_system(system_dir, run)
+    return run

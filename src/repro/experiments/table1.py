@@ -64,14 +64,32 @@ def run_table1(
     scale: ExperimentScale = DEFAULT,
     systems: tuple = TABLE1_SYSTEMS,
     verbose: bool = False,
+    run_dir: str | None = None,
+    resume: bool = False,
+    max_retries: int = 0,
+    snapshot_every: int = 0,
 ) -> Table1Result:
-    """Train and evaluate every Table 1 system on a shared corpus."""
+    """Train and evaluate every Table 1 system on a shared corpus.
+
+    With ``run_dir``/``resume`` an interrupted table run continues where it
+    stopped: finished systems are reloaded from their completion markers and
+    the in-flight system resumes from its latest valid snapshot.
+    """
     corpus = generate_corpus(scale.synthetic_config())
     result = Table1Result(scale=scale)
     for spec in systems:
         if verbose:
             print(f"== {spec.label} ({spec.family}, {spec.source_mode}) ==")
-        run = run_system(spec, scale, corpus=corpus, verbose=verbose)
+        run = run_system(
+            spec,
+            scale,
+            corpus=corpus,
+            verbose=verbose,
+            run_dir=run_dir,
+            resume=resume,
+            max_retries=max_retries,
+            snapshot_every=snapshot_every,
+        )
         result.runs[spec.label] = run
         if verbose:
             print(f"  {run.result.summary()}")

@@ -56,6 +56,10 @@ def run_table2(
     scale: ExperimentScale = DEFAULT,
     lengths: tuple[int, ...] = PARAGRAPH_LENGTHS,
     verbose: bool = False,
+    run_dir: str | None = None,
+    resume: bool = False,
+    max_retries: int = 0,
+    snapshot_every: int = 0,
 ) -> Table2Result:
     """Train ACNN-para once per truncation length on a shared corpus."""
     corpus = generate_corpus(scale.synthetic_config())
@@ -71,7 +75,17 @@ def run_table2(
         )
         if verbose:
             print(f"== {label} ==")
-        run = run_system(spec, scale, corpus=corpus, paragraph_length=length, verbose=verbose)
+        run = run_system(
+            spec,
+            scale,
+            corpus=corpus,
+            paragraph_length=length,
+            verbose=verbose,
+            run_dir=run_dir,
+            resume=resume,
+            max_retries=max_retries,
+            snapshot_every=snapshot_every,
+        )
         result.runs[label] = run
         if verbose:
             print(f"  {run.result.summary()}")

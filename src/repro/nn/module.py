@@ -64,6 +64,17 @@ class Module:
         for module in self._modules.values():
             yield from module.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs; the root has name ``""``.
+
+        Names are stable across runs (registration order), which is what lets
+        the resilience runtime key per-module RNG state by module path.
+        """
+        yield (prefix, self)
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(prefix=child_prefix)
+
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""
         return sum(p.size for p in self.parameters())

@@ -34,6 +34,51 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Persistence (consumed by the fault-tolerant training runtime)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Resumable state: ``scalars`` (JSON-able) and ``arrays`` (by name)."""
+        return {"scalars": {"lr": self.lr}, "arrays": {}}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Raises :class:`ValueError` if the stored arrays do not match this
+        optimizer's parameters (count or shape), so resuming with the wrong
+        model/optimizer pairing fails loudly.
+        """
+        self.lr = float(state["scalars"]["lr"])
+        self._load_state_arrays(state.get("arrays", {}))
+
+    def _load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        if arrays:
+            raise ValueError(
+                f"{type(self).__name__} carries no array state but the "
+                f"snapshot holds {sorted(arrays)}"
+            )
+
+    @staticmethod
+    def _restore_slot(
+        slot: list[np.ndarray], arrays: dict[str, np.ndarray], prefix: str
+    ) -> None:
+        """Fill ``slot`` in place from ``arrays['<prefix>.<i>']`` entries."""
+        expected = {f"{prefix}.{i}" for i in range(len(slot))}
+        present = {name for name in arrays if name.startswith(prefix + ".")}
+        if expected != present:
+            raise ValueError(
+                f"optimizer state mismatch for {prefix!r}: expected "
+                f"{len(expected)} arrays, snapshot holds {len(present)}"
+            )
+        for index in range(len(slot)):
+            value = np.asarray(arrays[f"{prefix}.{index}"])
+            if value.shape != slot[index].shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch for {prefix}.{index}: "
+                    f"snapshot {value.shape} vs current {slot[index].shape}"
+                )
+            slot[index] = value.copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum.
@@ -58,6 +103,21 @@ class SGD(Optimizer):
                 self._velocity[index] = self.momentum * self._velocity[index] + update
                 update = self._velocity[index]
             param.data -= self.lr * update
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["scalars"]["momentum"] = self.momentum
+        if self._velocity is not None:
+            state["arrays"] = {
+                f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)
+            }
+        return state
+
+    def _load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        if self._velocity is None:
+            super()._load_state_arrays(arrays)
+            return
+        self._restore_slot(self._velocity, arrays, "velocity")
 
 
 class Adam(Optimizer):
@@ -93,3 +153,20 @@ class Adam(Optimizer):
             m_hat = self._m[index] / bias1
             v_hat = self._v[index] / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["scalars"]["step_count"] = self._step_count
+        state["arrays"] = {
+            **{f"m.{i}": m.copy() for i, m in enumerate(self._m)},
+            **{f"v.{i}": v.copy() for i, v in enumerate(self._v)},
+        }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["scalars"].get("step_count", 0))
+
+    def _load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self._restore_slot(self._m, {k: v for k, v in arrays.items() if k.startswith("m.")}, "m")
+        self._restore_slot(self._v, {k: v for k, v in arrays.items() if k.startswith("v.")}, "v")

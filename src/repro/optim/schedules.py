@@ -31,6 +31,16 @@ class Schedule:
         self.optimizer.lr = lr
         return lr
 
+    # ------------------------------------------------------------------
+    # Persistence (consumed by the fault-tolerant training runtime)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able state; ``base_lr`` is mutated by divergence recovery."""
+        return {"base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.base_lr = float(state["base_lr"])
+
 
 class ConstantSchedule(Schedule):
     """No decay."""

@@ -2,27 +2,157 @@
 
 Checkpoints are plain ``.npz`` archives keyed by parameter name, so they are
 inspectable with nothing but numpy.
+
+Persistence here is *crash-safe*: every write goes to a temporary file in
+the destination directory, is fsync'd, and is then published with an atomic
+:func:`os.replace`, so a reader can never observe a half-written archive at
+the final path. Each archive additionally embeds a content checksum under a
+reserved key; :func:`load_arrays` verifies it and raises
+:class:`CheckpointCorrupted` instead of silently returning garbage.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import Mapping
+import tempfile
+import zipfile
+from typing import Callable, Mapping
 
 import numpy as np
 
-__all__ = ["save_arrays", "load_arrays"]
+__all__ = [
+    "CheckpointCorrupted",
+    "atomic_write",
+    "file_digest",
+    "save_arrays",
+    "load_arrays",
+]
+
+CHECKSUM_KEY = "__checksum_sha256__"
+"""Reserved archive key holding the content digest (never a parameter name)."""
+
+
+class CheckpointCorrupted(RuntimeError):
+    """A persisted artifact failed validation (truncated, altered, or torn).
+
+    Raised instead of numpy/zipfile's internal errors so callers can
+    distinguish "this checkpoint is damaged — fall back to an older one"
+    from programming errors like loading into the wrong architecture.
+    """
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory entry so a rename survives power loss (best effort)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. non-POSIX filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def _publish(tmp_path: str, final_path: str) -> None:
+    """Atomically move a fully-written temp file to its final name.
+
+    Split out as a seam so the fault-injection harness can simulate a crash
+    *between* finishing the write and publishing it.
+    """
+    os.replace(tmp_path, final_path)
+
+
+def atomic_write(path: str | os.PathLike, write: Callable[[object], None], binary: bool = True) -> None:
+    """Run ``write(handle)`` against a temp file, fsync, then atomically rename.
+
+    After this returns, ``path`` holds the complete new content; if the
+    process dies at any earlier point, ``path`` still holds the previous
+    generation (or does not exist) — never a partial write.
+    """
+    final_path = os.fspath(path)
+    directory = os.path.dirname(final_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(final_path) + ".tmp.", dir=directory or "."
+    )
+    try:
+        with os.fdopen(fd, "wb" if binary else "w", encoding=None if binary else "utf-8") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _publish(tmp_path, final_path)
+        _fsync_directory(directory)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def file_digest(path: str | os.PathLike) -> str:
+    """Hex SHA-256 of a file's bytes (streamed, so large archives are fine)."""
+    digest = hashlib.sha256()
+    with open(os.fspath(path), "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _content_checksum(arrays: Mapping[str, np.ndarray]) -> str:
+    """Order-independent digest over names, dtypes, shapes, and raw bytes."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        value = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()
 
 
 def save_arrays(path: str | os.PathLike, arrays: Mapping[str, np.ndarray]) -> None:
-    """Write a name → array mapping to ``path`` as a compressed ``.npz``."""
-    directory = os.path.dirname(os.fspath(path))
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(os.fspath(path), **{k: np.asarray(v) for k, v in arrays.items()})
+    """Write a name → array mapping to ``path`` as a compressed ``.npz``.
+
+    The write is atomic (temp file + fsync + rename) and the archive embeds
+    a SHA-256 content checksum under :data:`CHECKSUM_KEY` which
+    :func:`load_arrays` verifies.
+    """
+    payload = {k: np.asarray(v) for k, v in arrays.items()}
+    if CHECKSUM_KEY in payload:
+        raise ValueError(f"{CHECKSUM_KEY!r} is a reserved archive key")
+    checksum = _content_checksum(payload)
+    payload[CHECKSUM_KEY] = np.frombuffer(bytes.fromhex(checksum), dtype=np.uint8)
+    atomic_write(path, lambda handle: np.savez_compressed(handle, **payload))
 
 
-def load_arrays(path: str | os.PathLike) -> dict[str, np.ndarray]:
-    """Read a mapping previously written by :func:`save_arrays`."""
-    with np.load(os.fspath(path)) as archive:
-        return {key: archive[key] for key in archive.files}
+def load_arrays(path: str | os.PathLike, verify: bool = True) -> dict[str, np.ndarray]:
+    """Read a mapping previously written by :func:`save_arrays`.
+
+    Raises
+    ------
+    CheckpointCorrupted
+        If the archive is unreadable (truncated/torn) or its embedded
+        checksum does not match the content. Archives written before
+        checksums existed load without verification.
+    """
+    location = os.fspath(path)
+    try:
+        with np.load(location) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise CheckpointCorrupted(f"unreadable array archive {location}: {exc}") from exc
+    stored = arrays.pop(CHECKSUM_KEY, None)
+    if verify and stored is not None:
+        expected = bytes(np.asarray(stored, dtype=np.uint8)).hex()
+        actual = _content_checksum(arrays)
+        if actual != expected:
+            raise CheckpointCorrupted(
+                f"checksum mismatch in {location}: stored {expected[:12]}…, "
+                f"computed {actual[:12]}…"
+            )
+    return arrays

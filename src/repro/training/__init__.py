@@ -1,17 +1,30 @@
-"""Training harness: trainer, history, checkpoints."""
+"""Training harness: trainer, history, checkpoints, fault tolerance."""
 
 from repro.training.bundle import ModelBundle
-from repro.training.checkpoint import load_checkpoint, save_checkpoint
-from repro.training.history import EpochRecord, TrainingHistory
-from repro.training.trainer import Trainer, TrainerConfig, TrainingDiverged
+from repro.training.checkpoint import CheckpointCorrupted, load_checkpoint, save_checkpoint
+from repro.training.history import EpochRecord, RecoveryEvent, TrainingHistory
+from repro.training.resilience import ResilienceConfig, SnapshotStore
+from repro.training.trainer import (
+    EmptyEvaluationError,
+    Trainer,
+    TrainerConfig,
+    TrainingDiverged,
+    TrainingInterrupted,
+)
 
 __all__ = [
     "ModelBundle",
+    "CheckpointCorrupted",
     "load_checkpoint",
     "save_checkpoint",
     "EpochRecord",
+    "RecoveryEvent",
     "TrainingHistory",
+    "ResilienceConfig",
+    "SnapshotStore",
+    "EmptyEvaluationError",
     "Trainer",
     "TrainerConfig",
     "TrainingDiverged",
+    "TrainingInterrupted",
 ]

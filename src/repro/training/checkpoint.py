@@ -1,4 +1,14 @@
-"""Model checkpointing: parameters as .npz plus JSON metadata."""
+"""Model checkpointing: parameters as .npz plus JSON metadata.
+
+The two files are written as a *unit* under the atomic-rename scheme: the
+``.npz`` is published first (atomically), then the ``.json`` — which records
+the SHA-256 of the exact ``.npz`` generation it belongs to — is published
+atomically as the commit point. A crash at any instant leaves either the
+previous complete generation or the new one; if the two files ever disagree
+(e.g. a kill landed between the renames), :func:`load_checkpoint` detects
+the digest mismatch and raises :class:`CheckpointCorrupted` rather than
+silently pairing parameters with the wrong metadata.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +16,17 @@ import json
 import os
 
 from repro.nn.module import Module
-from repro.tensor.serialization import load_arrays, save_arrays
+from repro.tensor.serialization import (
+    CheckpointCorrupted,
+    atomic_write,
+    file_digest,
+    load_arrays,
+    save_arrays,
+)
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointCorrupted"]
+
+_FORMAT_VERSION = 2
 
 
 def save_checkpoint(
@@ -16,23 +34,64 @@ def save_checkpoint(
     model: Module,
     metadata: dict | None = None,
 ) -> None:
-    """Write ``<path>.npz`` (parameters) and ``<path>.json`` (metadata)."""
+    """Write ``<path>.npz`` (parameters) and ``<path>.json`` (metadata).
+
+    Both files are written atomically; the JSON carries the digest of the
+    ``.npz`` generation so the pair loads as a unit.
+    """
     base = os.fspath(path)
-    save_arrays(base + ".npz", model.state_dict())
-    with open(base + ".json", "w", encoding="utf-8") as handle:
-        json.dump(metadata or {}, handle, indent=2)
+    npz_path = base + ".npz"
+    save_arrays(npz_path, model.state_dict())
+    payload = {
+        "format": _FORMAT_VERSION,
+        "metadata": metadata or {},
+        "npz_sha256": file_digest(npz_path),
+    }
+    atomic_write(
+        base + ".json",
+        lambda handle: json.dump(payload, handle, indent=2),
+        binary=False,
+    )
 
 
 def load_checkpoint(path: str | os.PathLike, model: Module) -> dict:
     """Restore parameters into ``model``; returns the stored metadata.
 
-    Raises the usual :meth:`Module.load_state_dict` errors on any mismatch,
-    so loading a checkpoint into the wrong architecture fails loudly.
+    Raises
+    ------
+    CheckpointCorrupted
+        If either file is damaged or the pair is torn (the ``.json`` does
+        not belong to the ``.npz`` generation on disk).
+    KeyError, ValueError
+        From :meth:`Module.load_state_dict` on any architecture mismatch,
+        so loading a checkpoint into the wrong model fails loudly.
     """
     base = os.fspath(path)
-    model.load_state_dict(load_arrays(base + ".npz"))
+    npz_path = base + ".npz"
     meta_path = base + ".json"
+    metadata: dict = {}
     if os.path.exists(meta_path):
-        with open(meta_path, encoding="utf-8") as handle:
-            return json.load(handle)
-    return {}
+        try:
+            with open(meta_path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (json.JSONDecodeError, OSError) as exc:
+            raise CheckpointCorrupted(f"unreadable checkpoint metadata {meta_path}: {exc}") from exc
+        if isinstance(payload, dict) and payload.get("format") == _FORMAT_VERSION:
+            expected = payload.get("npz_sha256")
+            if expected is not None:
+                if not os.path.exists(npz_path):
+                    raise CheckpointCorrupted(
+                        f"checkpoint metadata {meta_path} present but {npz_path} is missing"
+                    )
+                actual = file_digest(npz_path)
+                if actual != expected:
+                    raise CheckpointCorrupted(
+                        f"torn checkpoint {base}: metadata records npz digest "
+                        f"{expected[:12]}… but archive on disk has {actual[:12]}…"
+                    )
+            metadata = payload.get("metadata", {})
+        else:
+            # Pre-versioning checkpoints stored the metadata dict directly.
+            metadata = payload if isinstance(payload, dict) else {}
+    model.load_state_dict(load_arrays(npz_path))
+    return metadata

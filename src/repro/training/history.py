@@ -7,7 +7,23 @@ import math
 import os
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["EpochRecord", "TrainingHistory"]
+__all__ = ["EpochRecord", "RecoveryEvent", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One divergence-recovery action taken by the fault-tolerant trainer."""
+
+    epoch: int
+    """Epoch in progress when the divergence was detected (1-based)."""
+    batch: int
+    """Batches completed in that epoch before the divergence."""
+    reason: str
+    """The :class:`TrainingDiverged` message that triggered the rollback."""
+    restored_step: int
+    """Global batch counter of the snapshot rolled back to (-1 = none)."""
+    old_lr: float
+    new_lr: float
 
 
 @dataclass(frozen=True)
@@ -34,9 +50,14 @@ class EpochRecord:
 
 @dataclass
 class TrainingHistory:
-    """Ordered epoch records plus convenience accessors."""
+    """Ordered epoch records plus convenience accessors.
+
+    ``events`` records divergence-recovery actions (rollback + lr backoff);
+    an uneventful run leaves it empty.
+    """
 
     records: list[EpochRecord] = field(default_factory=list)
+    events: list[RecoveryEvent] = field(default_factory=list)
 
     def append(self, record: EpochRecord) -> None:
         if self.records and record.epoch <= self.records[-1].epoch:
@@ -44,6 +65,9 @@ class TrainingHistory:
                 f"epoch {record.epoch} not after last recorded {self.records[-1].epoch}"
             )
         self.records.append(record)
+
+    def record_event(self, event: RecoveryEvent) -> None:
+        self.events.append(event)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -70,16 +94,34 @@ class TrainingHistory:
                 best = (record.dev_loss, record.epoch)
         return best[1] if best else None
 
+    def to_payload(self) -> dict:
+        """JSON-able representation (records plus recovery events)."""
+        return {
+            "records": [asdict(record) for record in self.records],
+            "events": [asdict(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload) -> "TrainingHistory":
+        """Inverse of :meth:`to_payload`; also accepts the legacy list form."""
+        history = cls()
+        if isinstance(payload, list):  # pre-events format: a bare record list
+            rows, events = payload, []
+        else:
+            rows = payload.get("records", [])
+            events = payload.get("events", [])
+        for row in rows:
+            history.append(EpochRecord(**row))
+        for event in events:
+            history.record_event(RecoveryEvent(**event))
+        return history
+
     def save(self, path: str | os.PathLike) -> None:
         """Write the history to JSON."""
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump([asdict(record) for record in self.records], handle, indent=2)
+            json.dump(self.to_payload(), handle, indent=2)
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "TrainingHistory":
         with open(path, encoding="utf-8") as handle:
-            rows = json.load(handle)
-        history = cls()
-        for row in rows:
-            history.append(EpochRecord(**row))
-        return history
+            return cls.from_payload(json.load(handle))

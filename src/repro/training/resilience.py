@@ -1,0 +1,268 @@
+"""Fault-tolerant training runtime: run snapshots, rotation, RNG capture.
+
+The paper's recipe (SGD at lr=1.0, halved at epoch 8) is exactly the regime
+where long runs die mid-epoch or diverge on unlucky seeds. This module
+provides the persistence layer the :class:`~repro.training.trainer.Trainer`
+uses to survive both:
+
+- :class:`SnapshotStore` — a directory of rotated run snapshots. Each
+  snapshot is an ``.npz`` (model + optimizer arrays) plus a ``.json``
+  (cursors, RNG states, history) written under the atomic-rename scheme of
+  :mod:`repro.tensor.serialization`; the JSON records the digest of the
+  exact archive generation it belongs to, so a torn pair is detected as
+  :class:`CheckpointCorrupted` and skipped, never silently half-loaded.
+  The newest ``keep_last`` periodic snapshots are kept; ``best`` is pinned
+  outside the rotation.
+- RNG capture — every source of randomness in a run is an explicitly
+  seeded ``numpy.random.Generator`` (see docs/architecture.md,
+  "Determinism"); :func:`capture_module_rng_states` walks a model's module
+  tree and records each generator's bit-generator state by module path so
+  a resumed run draws the identical stream, making resume bit-exact.
+
+Snapshot layout on disk::
+
+    <directory>/
+      snap-0000000042.npz   # arrays: model::*, opt::*, best::*
+      snap-0000000042.json  # commit point: cursors, RNG, history, digest
+      best.npz / best.json  # pinned best-dev parameters (never rotated)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.tensor.serialization import (
+    CheckpointCorrupted,
+    atomic_write,
+    file_digest,
+    load_arrays,
+    save_arrays,
+)
+
+__all__ = [
+    "ResilienceConfig",
+    "SnapshotStore",
+    "capture_rng_state",
+    "restore_rng_state",
+    "capture_module_rng_states",
+    "restore_module_rng_states",
+]
+
+_SNAP_FORMAT = 1
+_SNAP_RE = re.compile(r"^snap-(\d{10})\.json$")
+
+
+# ----------------------------------------------------------------------
+# RNG state capture
+# ----------------------------------------------------------------------
+def capture_rng_state(generator: np.random.Generator) -> dict:
+    """JSON-able bit-generator state of a numpy Generator."""
+    return generator.bit_generator.state
+
+
+def restore_rng_state(generator: np.random.Generator, state: Mapping) -> None:
+    """Restore a state captured by :func:`capture_rng_state` in place."""
+    generator.bit_generator.state = dict(state)
+
+
+def _iter_module_generators(model):
+    """Yield ``(path.attr, generator)`` for every Generator owned by a module."""
+    for module_name, module in model.named_modules():
+        for attr, value in vars(module).items():
+            if isinstance(value, np.random.Generator):
+                key = f"{module_name}.{attr}" if module_name else attr
+                yield key, value
+
+
+def capture_module_rng_states(model) -> dict[str, dict]:
+    """Snapshot every RNG in a model's module tree, keyed by module path."""
+    return {key: capture_rng_state(gen) for key, gen in _iter_module_generators(model)}
+
+
+def restore_module_rng_states(model, states: Mapping[str, Mapping]) -> None:
+    """Restore states captured by :func:`capture_module_rng_states`.
+
+    Raises :class:`ValueError` if the model's RNG inventory does not match
+    the snapshot's — resuming into a differently-configured model is a bug,
+    not something to paper over.
+    """
+    own = dict(_iter_module_generators(model))
+    missing = sorted(set(own) - set(states))
+    unexpected = sorted(set(states) - set(own))
+    if missing or unexpected:
+        raise ValueError(
+            f"RNG inventory mismatch: model has {missing} not in snapshot, "
+            f"snapshot has {unexpected} not in model"
+        )
+    for key, gen in own.items():
+        restore_rng_state(gen, states[key])
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How the trainer snapshots and recovers.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live. Created on first write.
+    every_n_batches:
+        Also snapshot every N optimization steps (0 = per-epoch only).
+    keep_last:
+        Rotating window of periodic snapshots kept on disk (``best`` is
+        pinned outside this budget).
+    max_retries:
+        Divergence-recovery budget: how many times a run may roll back to
+        the last good snapshot and halve the learning rate before
+        :class:`~repro.training.trainer.TrainingDiverged` is re-raised.
+    backoff_factor:
+        Multiplier applied to the schedule's base learning rate on each
+        recovery (0.5 = halve, per the paper's own decay step).
+    handle_signals:
+        Install SIGINT/SIGTERM handlers for the duration of ``train()`` that
+        write a final graceful snapshot before exiting.
+    """
+
+    directory: str | os.PathLike
+    every_n_batches: int = 0
+    keep_last: int = 3
+    max_retries: int = 2
+    backoff_factor: float = 0.5
+    handle_signals: bool = False
+
+    def __post_init__(self) -> None:
+        if self.every_n_batches < 0:
+            raise ValueError(f"every_n_batches must be >= 0, got {self.every_n_batches}")
+        if self.keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {self.keep_last}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 < self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be in (0, 1), got {self.backoff_factor}")
+
+
+# ----------------------------------------------------------------------
+# Snapshot store
+# ----------------------------------------------------------------------
+class SnapshotStore:
+    """Rotated, checksummed run snapshots in one directory.
+
+    A snapshot is a ``(.npz, .json)`` pair; the JSON is written last and is
+    the commit point (it records the digest of its archive). Any crash
+    leaves either a complete pair, an invisible orphan archive, or a torn
+    pair that validation rejects — :meth:`latest_valid` therefore always
+    lands on the newest snapshot that is actually loadable.
+    """
+
+    def __init__(self, directory: str | os.PathLike, keep_last: int = 3) -> None:
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = os.fspath(directory)
+        self.keep_last = keep_last
+
+    # -- writing -------------------------------------------------------
+    def save(self, step: int, arrays: Mapping[str, np.ndarray], meta: dict) -> str:
+        """Write the rotating snapshot for ``step``; returns its base path."""
+        base = os.path.join(self.directory, f"snap-{step:010d}")
+        self._write_pair(base, arrays, {**meta, "step": int(step)})
+        self._rotate()
+        return base
+
+    def save_pinned(self, name: str, arrays: Mapping[str, np.ndarray], meta: dict) -> str:
+        """Write a snapshot outside the rotation window (e.g. ``best``)."""
+        if _SNAP_RE.match(name + ".json"):
+            raise ValueError(f"pinned name {name!r} collides with rotating snapshots")
+        base = os.path.join(self.directory, name)
+        self._write_pair(base, arrays, meta)
+        return base
+
+    def _write_pair(self, base: str, arrays: Mapping[str, np.ndarray], meta: dict) -> None:
+        npz_path = base + ".npz"
+        save_arrays(npz_path, arrays)
+        payload = {
+            "format": _SNAP_FORMAT,
+            "npz_sha256": file_digest(npz_path),
+            "meta": meta,
+        }
+        atomic_write(
+            base + ".json",
+            lambda handle: json.dump(payload, handle, indent=2),
+            binary=False,
+        )
+
+    def _rotate(self) -> None:
+        steps = self.list_steps()
+        for step in steps[: max(0, len(steps) - self.keep_last)]:
+            base = os.path.join(self.directory, f"snap-{step:010d}")
+            # JSON first: without its commit record the pair is invisible,
+            # so a crash mid-rotation cannot produce a torn-looking snapshot.
+            for path in (base + ".json", base + ".npz"):
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+
+    # -- reading -------------------------------------------------------
+    def list_steps(self) -> list[int]:
+        """Step indices of rotating snapshots on disk (ascending)."""
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        steps = []
+        for name in names:
+            match = _SNAP_RE.match(name)
+            if match:
+                steps.append(int(match.group(1)))
+        return sorted(steps)
+
+    def load(self, base: str) -> tuple[dict[str, np.ndarray], dict]:
+        """Load and validate one snapshot pair; raises CheckpointCorrupted."""
+        json_path = base + ".json"
+        npz_path = base + ".npz"
+        try:
+            with open(json_path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise
+        except (json.JSONDecodeError, OSError) as exc:
+            raise CheckpointCorrupted(f"unreadable snapshot metadata {json_path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != _SNAP_FORMAT:
+            raise CheckpointCorrupted(f"unrecognized snapshot format in {json_path}")
+        if not os.path.exists(npz_path):
+            raise CheckpointCorrupted(f"snapshot archive missing: {npz_path}")
+        actual = file_digest(npz_path)
+        if actual != payload.get("npz_sha256"):
+            raise CheckpointCorrupted(
+                f"torn snapshot {base}: metadata records digest "
+                f"{str(payload.get('npz_sha256'))[:12]}…, archive has {actual[:12]}…"
+            )
+        arrays = load_arrays(npz_path)
+        return arrays, payload["meta"]
+
+    def load_step(self, step: int) -> tuple[dict[str, np.ndarray], dict]:
+        return self.load(os.path.join(self.directory, f"snap-{step:010d}"))
+
+    def load_pinned(self, name: str) -> tuple[dict[str, np.ndarray], dict]:
+        return self.load(os.path.join(self.directory, name))
+
+    def latest_valid(self) -> tuple[dict[str, np.ndarray], dict] | None:
+        """Newest loadable snapshot, skipping corrupted generations.
+
+        Returns ``None`` when no valid snapshot exists at all.
+        """
+        for step in reversed(self.list_steps()):
+            try:
+                return self.load_step(step)
+            except (CheckpointCorrupted, FileNotFoundError):
+                continue
+        return None

@@ -3,10 +3,23 @@
 Reproduces the paper's optimization recipe: SGD with initial learning rate
 1.0 halved at epoch 8, mini-batches (paper: 64), gradient clipping (OpenNMT
 default 5.0), dropout 0.3 inside the models, teacher forcing throughout.
+
+With a :class:`~repro.training.resilience.ResilienceConfig`, the loop is
+fault tolerant: it snapshots the *full* run state (parameters, optimizer,
+schedule, RNG streams, cursors, best-dev tracking, history) every epoch and
+optionally every N batches, resumes bit-exactly from the latest valid
+snapshot via ``train(resume_from=...)``, and on divergence rolls back to
+the last good snapshot with a halved learning rate instead of dying —
+until a bounded retry budget is exhausted.
 """
 
 from __future__ import annotations
 
+import math
+import os
+import signal as signal_module
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
@@ -17,9 +30,23 @@ from repro.optim import SGD, HalveAtEpoch, clip_grad_norm
 from repro.optim.optimizers import Optimizer
 from repro.optim.schedules import Schedule
 from repro.tensor.core import no_grad
-from repro.training.history import EpochRecord, TrainingHistory
+from repro.training.history import EpochRecord, RecoveryEvent, TrainingHistory
+from repro.training.resilience import (
+    ResilienceConfig,
+    SnapshotStore,
+    capture_module_rng_states,
+    capture_rng_state,
+    restore_module_rng_states,
+    restore_rng_state,
+)
 
-__all__ = ["TrainerConfig", "Trainer", "TrainingDiverged"]
+__all__ = [
+    "TrainerConfig",
+    "Trainer",
+    "TrainingDiverged",
+    "TrainingInterrupted",
+    "EmptyEvaluationError",
+]
 
 
 class TrainingDiverged(RuntimeError):
@@ -27,6 +54,31 @@ class TrainingDiverged(RuntimeError):
 
     SGD at the paper's lr=1.0 can blow up on unlucky seeds/corpora; failing
     loudly with context beats silently optimizing NaNs for ten epochs.
+    When divergence recovery was attempted first, :attr:`recovery_log`
+    holds the :class:`~repro.training.history.RecoveryEvent` list.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.recovery_log: list[RecoveryEvent] = []
+        self.epoch: int | None = None
+        self.batches_done: int | None = None
+
+
+class TrainingInterrupted(RuntimeError):
+    """SIGINT/SIGTERM arrived; a final graceful snapshot was written first."""
+
+    def __init__(self, message: str, snapshot_path: str | None = None) -> None:
+        super().__init__(message)
+        self.snapshot_path = snapshot_path
+
+
+class EmptyEvaluationError(RuntimeError):
+    """An evaluation iterator yielded no target tokens.
+
+    Typed (rather than a bare ``ValueError``) so the epoch loop can surface
+    it with run context instead of killing a multi-hour run with an opaque
+    traceback.
     """
 
 
@@ -71,6 +123,10 @@ class Trainer:
     epoch_callback:
         Optional hook called with each :class:`EpochRecord` (used by the
         experiment harness for logging).
+    resilience:
+        Optional fault-tolerance settings; enables snapshotting, crash-safe
+        resume, and divergence recovery (see
+        :mod:`repro.training.resilience`).
     """
 
     def __init__(
@@ -82,6 +138,7 @@ class Trainer:
         optimizer: Optimizer | None = None,
         schedule: Schedule | None = None,
         epoch_callback: Callable[[EpochRecord], None] | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.model = model
         self.train_iterator = train_iterator
@@ -90,9 +147,26 @@ class Trainer:
         self.optimizer = optimizer or SGD(model.parameters(), lr=self.config.learning_rate)
         self.schedule = schedule or HalveAtEpoch(self.optimizer, self.config.halve_at_epoch)
         self.epoch_callback = epoch_callback
+        self.resilience = resilience
         self.history = TrainingHistory()
         self.best_state: dict | None = None
         self._embeddings = [m for m in model.modules() if isinstance(m, Embedding)]
+        self._store = (
+            SnapshotStore(resilience.directory, keep_last=resilience.keep_last)
+            if resilience
+            else None
+        )
+        # Run cursors / resumable scalar state.
+        self._step = 0
+        self._best_dev = float("inf")
+        self._epochs_without_improvement = 0
+        self._retries_used = 0
+        self._recovery_events: list[RecoveryEvent] = []
+        self._pending_backoff: float | None = None
+        self._finished = False
+        self._interrupt_signum: int | None = None
+        self._epoch_start_iter_state: dict | None = None
+        self._resume_accum: dict | None = None
 
     # ------------------------------------------------------------------
     def train_batch(self, batch: Batch) -> tuple[float, float]:
@@ -103,8 +177,6 @@ class Trainer:
         TrainingDiverged
             If the loss or the gradient norm is NaN/inf.
         """
-        import math
-
         self.model.train()
         loss = self.model.loss(batch)
         loss_value = loss.item()
@@ -137,61 +209,342 @@ class Trainer:
                 total_loss += self.model.loss(batch).item() * tokens
                 total_tokens += tokens
         if total_tokens == 0:
-            raise ValueError("evaluation iterator produced no target tokens")
+            raise EmptyEvaluationError("evaluation iterator produced no target tokens")
         return total_loss / total_tokens
 
     # ------------------------------------------------------------------
-    def train(self) -> TrainingHistory:
+    # Run-state capture / restore
+    # ------------------------------------------------------------------
+    def _capture_state(self, phase: str, epoch: int, batch_cursor: int, accum: dict) -> tuple[dict, dict]:
+        """Pack the complete run state into (arrays, meta) for a snapshot."""
+        optimizer_state = self.optimizer.state_dict()
+        arrays = {f"model::{k}": v for k, v in self.model.state_dict().items()}
+        arrays.update({f"opt::{k}": v for k, v in optimizer_state["arrays"].items()})
+        if self.best_state is not None:
+            arrays.update({f"best::{k}": v for k, v in self.best_state.items()})
+        iterator_rng = getattr(self.train_iterator, "_rng", None)
+        meta = {
+            "phase": phase,
+            "epoch": epoch,
+            "batch_cursor": batch_cursor,
+            "accum": accum,
+            "best_dev": None if math.isinf(self._best_dev) else self._best_dev,
+            "epochs_without_improvement": self._epochs_without_improvement,
+            "retries_used": self._retries_used,
+            "finished": self._finished,
+            "has_best": self.best_state is not None,
+            "optimizer": optimizer_state["scalars"],
+            "schedule": self.schedule.state_dict(),
+            "history": self.history.to_payload(),
+            "rng": {
+                "iterator": capture_rng_state(iterator_rng) if iterator_rng is not None else None,
+                "epoch_start_iterator": self._epoch_start_iter_state,
+                "model": capture_module_rng_states(self.model),
+            },
+        }
+        return arrays, meta
+
+    def _restore_state(self, arrays: dict, meta: dict) -> tuple[int, int]:
+        """Restore a snapshot; returns (start_epoch, resume_cursor)."""
+        model_state = {
+            k.split("::", 1)[1]: v for k, v in arrays.items() if k.startswith("model::")
+        }
+        opt_arrays = {k.split("::", 1)[1]: v for k, v in arrays.items() if k.startswith("opt::")}
+        best_state = {k.split("::", 1)[1]: v for k, v in arrays.items() if k.startswith("best::")}
+        self.model.load_state_dict(model_state)
+        self.optimizer.load_state_dict({"scalars": meta["optimizer"], "arrays": opt_arrays})
+        self.schedule.load_state_dict(meta["schedule"])
+        self.best_state = {k: v.copy() for k, v in best_state.items()} if meta["has_best"] else None
+        self.history = TrainingHistory.from_payload(meta["history"])
+        if len(self.history.events) > len(self._recovery_events):
+            self._recovery_events = list(self.history.events)
+        self.history.events = list(self._recovery_events)
+        self._best_dev = float("inf") if meta["best_dev"] is None else float(meta["best_dev"])
+        self._epochs_without_improvement = int(meta["epochs_without_improvement"])
+        self._retries_used = max(self._retries_used, int(meta["retries_used"]))
+        self._finished = bool(meta.get("finished", False))
+        self._step = int(meta["step"])
+
+        rng = meta["rng"]
+        restore_module_rng_states(self.model, rng["model"])
+        iterator_rng = getattr(self.train_iterator, "_rng", None)
+        epoch, cursor = int(meta["epoch"]), int(meta["batch_cursor"])
+        mid_epoch = meta["phase"] in ("mid_epoch", "interrupt") and cursor > 0
+        if iterator_rng is not None:
+            # Mid-epoch: rewind the shuffle RNG to the epoch start so the
+            # replayed epoch reproduces the identical batch order; otherwise
+            # continue the stream from where the snapshot left it.
+            target = rng["epoch_start_iterator"] if mid_epoch else rng["iterator"]
+            if target is not None:
+                restore_rng_state(iterator_rng, target)
+        self._epoch_start_iter_state = rng["epoch_start_iterator"]
+        self._resume_accum = dict(meta["accum"]) if mid_epoch else None
+        if meta["phase"] == "epoch_end":
+            return epoch + 1, 0
+        return epoch, cursor if mid_epoch else 0
+
+    def _snapshot(self, phase: str, epoch: int, batch_cursor: int, accum: dict) -> str | None:
+        if self._store is None:
+            return None
+        arrays, meta = self._capture_state(phase, epoch, batch_cursor, accum)
+        return self._store.save(self._step, arrays, meta)
+
+    def _snapshot_best(self, epoch: int, dev_loss: float) -> None:
+        """Pin the best-dev parameters outside the rotation window."""
+        if self._store is None or self.best_state is None:
+            return
+        arrays = {f"model::{k}": v for k, v in self.best_state.items()}
+        self._store.save_pinned(
+            "best", arrays, {"epoch": epoch, "dev_loss": dev_loss, "step": self._step}
+        )
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _signal_guard(self):
+        """Route SIGINT/SIGTERM to a graceful-snapshot flag while training."""
+        if (
+            self.resilience is None
+            or not self.resilience.handle_signals
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+
+        def _flag(signum, frame):  # noqa: ARG001 - signal handler signature
+            self._interrupt_signum = signum
+
+        previous = {
+            sig: signal_module.signal(sig, _flag)
+            for sig in (signal_module.SIGINT, signal_module.SIGTERM)
+        }
+        try:
+            yield
+        finally:
+            for sig, handler in previous.items():
+                signal_module.signal(sig, handler)
+
+    def _check_interrupt(self, epoch: int, batch_cursor: int, accum: dict) -> None:
+        if self._interrupt_signum is None:
+            return
+        signum = self._interrupt_signum
+        self._interrupt_signum = None
+        path = self._snapshot("interrupt", epoch, batch_cursor, accum)
+        raise TrainingInterrupted(
+            f"received signal {signum} at epoch {epoch} after {batch_cursor} batches; "
+            + (f"snapshot written to {path}" if path else "no snapshot directory configured"),
+            snapshot_path=path,
+        )
+
+    # ------------------------------------------------------------------
+    # Divergence recovery
+    # ------------------------------------------------------------------
+    def _attempt_recovery(self, exc: TrainingDiverged) -> tuple[dict, dict] | None:
+        """Roll back to the last good snapshot with a reduced lr, or None."""
+        if self._store is None or self.resilience is None:
+            return None
+        if self._retries_used >= self.resilience.max_retries:
+            return None
+        latest = self._store.latest_valid()
+        if latest is None:
+            return None
+        _, meta = latest
+        # The lr actually in use when the run diverged, not the snapshot's:
+        # repeated divergence without an intervening snapshot must keep
+        # compounding the backoff (1.0 → 0.5 → 0.25 …), so the pending
+        # factor is expressed relative to the lr the restore will bring back.
+        old_lr = float(self.schedule.base_lr)
+        new_lr = old_lr * self.resilience.backoff_factor
+        event = RecoveryEvent(
+            epoch=exc.epoch if exc.epoch is not None else -1,
+            batch=exc.batches_done if exc.batches_done is not None else -1,
+            reason=str(exc),
+            restored_step=int(meta["step"]),
+            old_lr=old_lr,
+            new_lr=new_lr,
+        )
+        self._recovery_events.append(event)
+        self._retries_used += 1
+        self._pending_backoff = new_lr / float(meta["schedule"]["base_lr"])
+        return latest
+
+    # ------------------------------------------------------------------
+    def train(self, resume_from: str | os.PathLike | None = None) -> TrainingHistory:
         """Run the full schedule; returns (and stores) the history.
 
         If a dev iterator is present, the parameters of the best-dev epoch
         are kept in :attr:`best_state` and restored at the end, so the
         trained model is the early-stopped one.
-        """
-        epochs_without_improvement = 0
-        best_dev = float("inf")
 
-        for epoch in range(1, self.config.epochs + 1):
+        Parameters
+        ----------
+        resume_from:
+            Snapshot directory of a previous run. Training restarts
+            bit-exactly from the latest *valid* snapshot there (corrupted
+            generations are skipped automatically); with no valid snapshot
+            the run starts fresh.
+        """
+        resume_state: tuple[dict, dict] | None = None
+        if resume_from is not None:
+            store = SnapshotStore(
+                resume_from,
+                keep_last=self.resilience.keep_last if self.resilience else 3,
+            )
+            if self._store is None:
+                self._store = store
+            resume_state = store.latest_valid()
+
+        with self._signal_guard():
+            while True:
+                try:
+                    return self._run(resume_state)
+                except TrainingDiverged as exc:
+                    recovered = self._attempt_recovery(exc)
+                    if recovered is None:
+                        exc.recovery_log = list(self._recovery_events)
+                        self.history.events = list(self._recovery_events)
+                        raise
+                    resume_state = recovered
+
+    # ------------------------------------------------------------------
+    def _run(self, resume_state: tuple[dict, dict] | None) -> TrainingHistory:
+        config = self.config
+        start_epoch, resume_cursor = 1, 0
+        self._epoch_start_iter_state = None
+        self._resume_accum = None
+
+        if resume_state is not None:
+            start_epoch, resume_cursor = self._restore_state(*resume_state)
+        else:
+            self.history = TrainingHistory()
+            self.history.events = list(self._recovery_events)
+            self.best_state = None
+            self._step = 0
+            self._best_dev = float("inf")
+            self._epochs_without_improvement = 0
+            self._finished = False
+
+        if self._pending_backoff is not None:
+            self.schedule.base_lr *= self._pending_backoff
+            self._pending_backoff = None
+
+        if self._finished or start_epoch > config.epochs:
+            if self.best_state is not None:
+                self.model.load_state_dict(self.best_state)
+            return self.history
+
+        snapshot_every = self.resilience.every_n_batches if self.resilience else 0
+
+        if resume_state is None and self._store is not None:
+            # Step-0 snapshot: gives first-epoch divergence a rollback target.
+            iterator_rng = getattr(self.train_iterator, "_rng", None)
+            self._epoch_start_iter_state = (
+                capture_rng_state(iterator_rng) if iterator_rng is not None else None
+            )
+            self._snapshot("epoch_start", 1, 0, self._zero_accum())
+
+        for epoch in range(start_epoch, config.epochs + 1):
+            resuming_mid_epoch = epoch == start_epoch and resume_cursor > 0
+            if resuming_mid_epoch:
+                accum = self._resume_accum or self._zero_accum()
+                skip = resume_cursor
+            else:
+                accum = self._zero_accum()
+                skip = 0
+                iterator_rng = getattr(self.train_iterator, "_rng", None)
+                self._epoch_start_iter_state = (
+                    capture_rng_state(iterator_rng) if iterator_rng is not None else None
+                )
+            self._resume_accum = None
             lr = self.schedule.apply(epoch)
-            epoch_loss = 0.0
-            epoch_tokens = 0
-            norm_total = 0.0
-            batches = 0
-            for batch_index, batch in enumerate(self.train_iterator, start=1):
-                loss, norm = self.train_batch(batch)
-                epoch_loss += loss * batch.num_target_tokens
-                epoch_tokens += batch.num_target_tokens
-                norm_total += norm
-                batches += 1
-                if self.config.log_every and batch_index % self.config.log_every == 0:
+
+            batch_index = 0
+            for batch in self.train_iterator:
+                batch_index += 1
+                if batch_index <= skip:
+                    continue
+                try:
+                    loss, norm = self.train_batch(batch)
+                except TrainingDiverged as exc:
+                    exc.epoch = epoch
+                    exc.batches_done = batch_index - 1
+                    raise
+                accum["loss"] += loss * batch.num_target_tokens
+                accum["tokens"] += batch.num_target_tokens
+                accum["norm"] += norm
+                accum["batches"] += 1
+                self._step += 1
+                if config.log_every and batch_index % config.log_every == 0:
                     print(
                         f"epoch {epoch} batch {batch_index}/{len(self.train_iterator)} "
                         f"loss {loss:.4f} lr {lr:g}"
                     )
+                self._check_interrupt(epoch, batch_index, accum)
+                if snapshot_every and self._step % snapshot_every == 0:
+                    self._snapshot("mid_epoch", epoch, batch_index, accum)
 
-            dev_loss = self.evaluate_loss(self.dev_iterator) if self.dev_iterator else None
+            try:
+                # `is not None`, not truthiness: an *empty* dev iterator must
+                # reach evaluate_loss and fail loudly, not silently skip.
+                dev_loss = (
+                    self.evaluate_loss(self.dev_iterator)
+                    if self.dev_iterator is not None
+                    else None
+                )
+            except EmptyEvaluationError as exc:
+                raise EmptyEvaluationError(
+                    f"dev evaluation at epoch {epoch} produced no target tokens "
+                    f"({len(self.dev_iterator)} batches in the dev iterator)"
+                ) from exc
             record = EpochRecord(
                 epoch=epoch,
-                train_loss=epoch_loss / max(1, epoch_tokens),
+                train_loss=accum["loss"] / max(1, accum["tokens"]),
                 learning_rate=lr,
-                grad_norm=norm_total / max(1, batches),
+                grad_norm=accum["norm"] / max(1, accum["batches"]),
                 dev_loss=dev_loss,
             )
             self.history.append(record)
             if self.epoch_callback:
                 self.epoch_callback(record)
 
+            stop = False
             if dev_loss is not None:
-                if dev_loss < best_dev - 1e-6:
-                    best_dev = dev_loss
+                if dev_loss < self._best_dev - 1e-6:
+                    self._best_dev = dev_loss
                     self.best_state = self.model.state_dict()
-                    epochs_without_improvement = 0
+                    self._epochs_without_improvement = 0
+                    self._snapshot_best(epoch, dev_loss)
                 else:
-                    epochs_without_improvement += 1
-                    patience = self.config.early_stopping_patience
-                    if patience is not None and epochs_without_improvement >= patience:
-                        break
+                    self._epochs_without_improvement += 1
+                    patience = config.early_stopping_patience
+                    if patience is not None and self._epochs_without_improvement >= patience:
+                        stop = True
+
+            self._finished = stop or epoch == config.epochs
+            epoch_end_path = self._snapshot("epoch_end", epoch, 0, self._zero_accum())
+            if self._interrupt_signum is not None:
+                # The epoch-end snapshot just written IS the graceful
+                # snapshot; writing an "interrupt" one at the same step
+                # would shadow it with a mid-epoch-looking cursor.
+                signum = self._interrupt_signum
+                self._interrupt_signum = None
+                raise TrainingInterrupted(
+                    f"received signal {signum} after epoch {epoch}; "
+                    + (
+                        f"snapshot written to {epoch_end_path}"
+                        if epoch_end_path
+                        else "no snapshot directory configured"
+                    ),
+                    snapshot_path=epoch_end_path,
+                )
+            if stop:
+                break
 
         if self.best_state is not None:
             self.model.load_state_dict(self.best_state)
         return self.history
+
+    @staticmethod
+    def _zero_accum() -> dict:
+        return {"loss": 0.0, "tokens": 0, "norm": 0.0, "batches": 0}

@@ -1,0 +1,129 @@
+"""Deterministic fault-injection harness for the resilience chaos tests.
+
+Three fault families, mirroring how training runs actually die:
+
+- :func:`crash_on_nth_publish` — the process is killed mid-persistence.
+  Atomic writes publish via ``repro.tensor.serialization._publish`` (the
+  temp-file → final-path rename); crashing on the Nth publish simulates a
+  kill mid-``.npz``-write (N = the archive's publish) or between the
+  ``.npz`` and ``.json`` of a pair (N = the metadata's publish).
+- :func:`nan_loss_on_nth_batch` — the optimization itself diverges: the
+  model's loss returns NaN on chosen calls, exactly what SGD at the
+  paper's lr=1.0 produces on an unlucky batch.
+- :func:`truncate_file` / :func:`corrupt_file` — the artifact survives the
+  crash but the bytes did not (torn page, bad disk, partial copy).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from unittest import mock
+
+import numpy as np
+
+from repro.tensor.core import Tensor
+
+__all__ = [
+    "SimulatedCrash",
+    "crash_on_nth_publish",
+    "crash_on_nth_train_batch",
+    "nan_loss_on_nth_batch",
+    "truncate_file",
+    "corrupt_file",
+]
+
+
+class SimulatedCrash(RuntimeError):
+    """Stands in for a kill -9 at a precisely chosen persistence point."""
+
+
+@contextmanager
+def crash_on_nth_publish(n: int):
+    """Raise :class:`SimulatedCrash` on the Nth atomic publish (1-based).
+
+    Earlier publishes succeed normally; the crashing one dies *before* the
+    rename, so the final path keeps its previous generation — exactly the
+    guarantee a mid-write kill must preserve.
+    """
+    from repro.tensor import serialization
+
+    real_publish = serialization._publish
+    calls = {"count": 0}
+
+    def flaky_publish(tmp_path: str, final_path: str) -> None:
+        calls["count"] += 1
+        if calls["count"] == n:
+            raise SimulatedCrash(f"simulated crash on publish #{n} ({final_path})")
+        real_publish(tmp_path, final_path)
+
+    with mock.patch.object(serialization, "_publish", flaky_publish):
+        yield calls
+
+
+@contextmanager
+def crash_on_nth_train_batch(trainer, n: int):
+    """Raise :class:`SimulatedCrash` before the Nth ``train_batch`` (1-based)."""
+    real = trainer.train_batch
+    calls = {"count": 0}
+
+    def flaky(batch):
+        calls["count"] += 1
+        if calls["count"] == n:
+            raise SimulatedCrash(f"simulated crash before batch #{n}")
+        return real(batch)
+
+    trainer.train_batch = flaky
+    try:
+        yield calls
+    finally:
+        trainer.train_batch = real
+
+
+@contextmanager
+def nan_loss_on_nth_batch(model, n: int, every_after: bool = False):
+    """Make ``model.loss`` return NaN on the Nth call (1-based).
+
+    With ``every_after=True`` the NaN persists from call N onward — the
+    "this lr genuinely cannot work" case that must exhaust the retry
+    budget.
+    """
+    real_loss = model.loss
+    calls = {"count": 0}
+
+    def poisoned(batch):
+        calls["count"] += 1
+        hit = calls["count"] >= n if every_after else calls["count"] == n
+        if hit:
+            return Tensor(np.array(float("nan")))
+        return real_loss(batch)
+
+    model.loss = poisoned
+    try:
+        yield calls
+    finally:
+        model.loss = real_loss
+
+
+def truncate_file(path: str | os.PathLike, keep_fraction: float = 0.5) -> None:
+    """Chop a file down to a fraction of its size (simulated torn write)."""
+    location = os.fspath(path)
+    size = os.path.getsize(location)
+    with open(location, "r+b") as handle:
+        handle.truncate(max(1, int(size * keep_fraction)))
+
+
+def corrupt_file(path: str | os.PathLike, offset: int | None = None) -> None:
+    """Flip bits of one byte in place (simulated silent media corruption).
+
+    Defaults to mid-file: bytes in the zip trailer are padding a reader
+    never touches, so flipping there would not corrupt anything real.
+    """
+    location = os.fspath(path)
+    size = os.path.getsize(location)
+    position = (size // 2 if offset is None else offset) % size
+    with open(location, "r+b") as handle:
+        handle.seek(position)
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([byte[0] ^ 0xFF]))

@@ -1,0 +1,247 @@
+"""Chaos tests for checkpoint persistence: kills, truncation, tampering.
+
+Every scenario must end in one of two outcomes — the previous valid
+generation loads, or :class:`CheckpointCorrupted` is raised. Silently
+loading garbage is the one forbidden result.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from faults import (
+    SimulatedCrash,
+    corrupt_file,
+    crash_on_nth_publish,
+    truncate_file,
+)
+from repro.models import ModelConfig, build_model
+from repro.tensor.serialization import (
+    CHECKSUM_KEY,
+    CheckpointCorrupted,
+    load_arrays,
+    save_arrays,
+)
+from repro.training import load_checkpoint, save_checkpoint
+from repro.training.resilience import SnapshotStore
+
+
+def _model(seed=0):
+    config = ModelConfig(embedding_dim=6, hidden_size=5, num_layers=1, dropout=0.0, seed=seed)
+    return build_model("du-attention", config, 20, 15)
+
+
+def _assert_no_temp_files(directory):
+    leftovers = [name for name in os.listdir(directory) if ".tmp." in name]
+    assert leftovers == [], f"partial artifacts left at final paths: {leftovers}"
+
+
+# ----------------------------------------------------------------------
+# save_checkpoint / load_checkpoint under kills
+# ----------------------------------------------------------------------
+def test_kill_mid_npz_write_keeps_previous_generation(tmp_path):
+    first = _model(seed=0)
+    save_checkpoint(tmp_path / "ckpt", first, metadata={"generation": 1})
+
+    # Publish #1 of the second save is the .npz rename: the kill lands
+    # mid-archive-write, before anything reached the final paths.
+    with pytest.raises(SimulatedCrash):
+        with crash_on_nth_publish(1):
+            save_checkpoint(tmp_path / "ckpt", _model(seed=9), metadata={"generation": 2})
+
+    _assert_no_temp_files(tmp_path)
+    restored = _model(seed=4)
+    assert load_checkpoint(tmp_path / "ckpt", restored) == {"generation": 1}
+    for (name, p_new), (_, p_old) in zip(
+        restored.named_parameters(), first.named_parameters()
+    ):
+        assert np.array_equal(p_new.data, p_old.data), name
+
+
+def test_kill_between_npz_and_json_raises_torn(tmp_path):
+    save_checkpoint(tmp_path / "ckpt", _model(seed=0), metadata={"generation": 1})
+
+    # Publish #2 is the .json rename: the new archive landed but its commit
+    # record did not, leaving generation-2 parameters under generation-1
+    # metadata — a torn pair the digest check must refuse to load.
+    with pytest.raises(SimulatedCrash):
+        with crash_on_nth_publish(2):
+            save_checkpoint(tmp_path / "ckpt", _model(seed=9), metadata={"generation": 2})
+
+    _assert_no_temp_files(tmp_path)
+    with pytest.raises(CheckpointCorrupted, match="torn checkpoint"):
+        load_checkpoint(tmp_path / "ckpt", _model(seed=4))
+
+
+def test_missing_npz_with_metadata_raises(tmp_path):
+    save_checkpoint(tmp_path / "ckpt", _model())
+    os.unlink(tmp_path / "ckpt.npz")
+    with pytest.raises(CheckpointCorrupted, match="missing"):
+        load_checkpoint(tmp_path / "ckpt", _model(seed=4))
+
+
+def test_unreadable_metadata_raises(tmp_path):
+    save_checkpoint(tmp_path / "ckpt", _model())
+    (tmp_path / "ckpt.json").write_text("{ not json", encoding="utf-8")
+    with pytest.raises(CheckpointCorrupted, match="unreadable checkpoint metadata"):
+        load_checkpoint(tmp_path / "ckpt", _model(seed=4))
+
+
+# ----------------------------------------------------------------------
+# Archive-level damage
+# ----------------------------------------------------------------------
+def test_truncated_archive_raises(tmp_path):
+    path = tmp_path / "arrays.npz"
+    save_arrays(path, {"w": np.arange(64, dtype=np.float64)})
+    truncate_file(path)
+    with pytest.raises(CheckpointCorrupted, match="unreadable array archive"):
+        load_arrays(path)
+
+
+def test_flipped_byte_raises(tmp_path):
+    path = tmp_path / "arrays.npz"
+    save_arrays(path, {"w": np.arange(256, dtype=np.float64)})
+    corrupt_file(path)
+    with pytest.raises(CheckpointCorrupted):
+        load_arrays(path)
+
+
+def test_stale_checksum_raises(tmp_path):
+    """An archive whose content was swapped under a stale checksum is rejected."""
+    path = tmp_path / "arrays.npz"
+    save_arrays(path, {"w": np.arange(8, dtype=np.float64)})
+    with np.load(path) as archive:
+        payload = {key: archive[key] for key in archive.files}
+    payload["w"] = payload["w"] + 1.0  # tamper, keep the embedded checksum
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+    with pytest.raises(CheckpointCorrupted, match="checksum mismatch"):
+        load_arrays(path)
+
+
+def test_legacy_archive_without_checksum_loads(tmp_path):
+    path = tmp_path / "legacy.npz"
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, w=np.arange(4, dtype=np.float64))
+    loaded = load_arrays(path)
+    assert np.array_equal(loaded["w"], np.arange(4, dtype=np.float64))
+
+
+def test_checksum_key_is_reserved(tmp_path):
+    with pytest.raises(ValueError, match="reserved"):
+        save_arrays(tmp_path / "x.npz", {CHECKSUM_KEY: np.zeros(1)})
+
+
+def test_missing_file_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_arrays(tmp_path / "nope.npz")
+
+
+def test_failed_atomic_write_leaves_no_artifact(tmp_path):
+    with pytest.raises(SimulatedCrash):
+        with crash_on_nth_publish(1):
+            save_arrays(tmp_path / "never.npz", {"w": np.zeros(3)})
+    assert not (tmp_path / "never.npz").exists()
+    _assert_no_temp_files(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# SnapshotStore: rotation, fallback, pinning
+# ----------------------------------------------------------------------
+def _arrays(value):
+    return {"model::w": np.full(4, float(value))}
+
+
+def test_latest_valid_falls_back_past_corrupted_newest(tmp_path):
+    store = SnapshotStore(tmp_path, keep_last=3)
+    store.save(1, _arrays(1), {"epoch": 1})
+    store.save(2, _arrays(2), {"epoch": 2})
+    truncate_file(tmp_path / "snap-0000000002.npz")
+
+    arrays, meta = store.latest_valid()
+    assert meta["step"] == 1
+    assert np.array_equal(arrays["model::w"], _arrays(1)["model::w"])
+
+
+def test_latest_valid_none_when_everything_damaged(tmp_path):
+    store = SnapshotStore(tmp_path, keep_last=3)
+    assert store.latest_valid() is None
+    store.save(1, _arrays(1), {})
+    truncate_file(tmp_path / "snap-0000000001.npz")
+    assert store.latest_valid() is None
+
+
+def test_torn_snapshot_pair_raises(tmp_path):
+    store = SnapshotStore(tmp_path, keep_last=3)
+    base = store.save(5, _arrays(5), {})
+    # Replace the archive under the existing commit record.
+    save_arrays(base + ".npz", _arrays(6))
+    with pytest.raises(CheckpointCorrupted, match="torn snapshot"):
+        store.load(base)
+
+
+def test_snapshot_missing_archive_raises(tmp_path):
+    store = SnapshotStore(tmp_path, keep_last=3)
+    base = store.save(5, _arrays(5), {})
+    os.unlink(base + ".npz")
+    with pytest.raises(CheckpointCorrupted, match="archive missing"):
+        store.load(base)
+
+
+def test_rotation_keeps_last_n(tmp_path):
+    store = SnapshotStore(tmp_path, keep_last=3)
+    for step in range(1, 6):
+        store.save(step, _arrays(step), {})
+    assert store.list_steps() == [3, 4, 5]
+    names = sorted(os.listdir(tmp_path))
+    assert names == [
+        "snap-0000000003.json", "snap-0000000003.npz",
+        "snap-0000000004.json", "snap-0000000004.npz",
+        "snap-0000000005.json", "snap-0000000005.npz",
+    ]
+
+
+def test_pinned_best_survives_rotation(tmp_path):
+    store = SnapshotStore(tmp_path, keep_last=2)
+    store.save_pinned("best", _arrays(99), {"epoch": 1, "dev_loss": 0.5})
+    for step in range(1, 8):
+        store.save(step, _arrays(step), {})
+    arrays, meta = store.load_pinned("best")
+    assert meta["dev_loss"] == 0.5
+    assert np.array_equal(arrays["model::w"], _arrays(99)["model::w"])
+
+
+def test_pinned_name_cannot_shadow_rotating_snapshots(tmp_path):
+    store = SnapshotStore(tmp_path, keep_last=2)
+    with pytest.raises(ValueError, match="collides"):
+        store.save_pinned("snap-0000000001", _arrays(1), {})
+
+
+def test_kill_during_snapshot_save_keeps_previous(tmp_path):
+    store = SnapshotStore(tmp_path, keep_last=3)
+    store.save(1, _arrays(1), {"epoch": 1})
+    for publish in (1, 2):  # mid-npz, then between npz and json
+        with pytest.raises(SimulatedCrash):
+            with crash_on_nth_publish(publish):
+                store.save(2, _arrays(2), {"epoch": 2})
+        arrays, meta = store.latest_valid()
+        assert meta["step"] == 1, f"publish #{publish} crash lost the good generation"
+        assert np.array_equal(arrays["model::w"], _arrays(1)["model::w"])
+        # Clean up the partial generation before the next scenario.
+        for suffix in (".json", ".npz"):
+            try:
+                os.unlink(tmp_path / ("snap-0000000002" + suffix))
+            except FileNotFoundError:
+                pass
+
+
+def test_snapshot_json_records_format_and_digest(tmp_path):
+    store = SnapshotStore(tmp_path, keep_last=3)
+    base = store.save(1, _arrays(1), {"epoch": 1})
+    with open(base + ".json", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["format"] == 1
+    assert len(payload["npz_sha256"]) == 64
+    assert payload["meta"]["step"] == 1

@@ -1,0 +1,291 @@
+"""End-to-end resilience tests: bit-exact resume, divergence recovery, signals.
+
+The contract under test: a run that crashes, is interrupted, or diverges
+and then recovers must end in *exactly* the state of an uninterrupted run —
+same history records, same parameter bits — because every RNG stream,
+cursor, and accumulator is part of the snapshot.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from faults import (
+    SimulatedCrash,
+    crash_on_nth_train_batch,
+    nan_loss_on_nth_batch,
+    truncate_file,
+)
+from repro.data import BatchIterator, QGDataset, QGExample
+from repro.models import ModelConfig, build_model
+from repro.training import (
+    EmptyEvaluationError,
+    ResilienceConfig,
+    Trainer,
+    TrainerConfig,
+    TrainingDiverged,
+    TrainingInterrupted,
+)
+
+SENTENCES = [
+    "zorvex was born in karlin .",
+    "mira designed the velkin tower .",
+    "draxby is the capital of ostavia .",
+    "the quen river flows through belcor .",
+    "tovenka built the glass spire .",
+    "the ilex bridge spans the morda .",
+]
+QUESTIONS = [
+    "where was zorvex born ?",
+    "who designed the velkin tower ?",
+    "what is the capital of ostavia ?",
+    "what river flows through belcor ?",
+    "who built the glass spire ?",
+    "what spans the morda ?",
+]
+EXAMPLES = [
+    QGExample(sentence=tuple(s.split()), paragraph=tuple(s.split()), question=tuple(q.split()))
+    for s, q in zip(SENTENCES, QUESTIONS)
+]
+ENCODER, DECODER = QGDataset.build_vocabs(EXAMPLES, 100, 100)
+DATASET = QGDataset(EXAMPLES, ENCODER, DECODER)
+
+
+def _build(family="acnn", dropout=0.3):
+    """Fresh model + iterators with fixed seeds; dropout>0 so RNG streams
+    are genuinely exercised by the bit-exactness assertions."""
+    config = ModelConfig(embedding_dim=8, hidden_size=8, num_layers=1, dropout=dropout, seed=0)
+    model = build_model(family, config, len(ENCODER), len(DECODER))
+    train_it = BatchIterator(DATASET, batch_size=2, seed=0)
+    dev_it = BatchIterator(DATASET, batch_size=2, shuffle=False)
+    return model, train_it, dev_it
+
+
+def _assert_same_run(history_a, model_a, history_b, model_b):
+    records_a = [vars(r) for r in history_a.records]
+    records_b = [vars(r) for r in history_b.records]
+    assert records_a == records_b
+    for (name, p_a), (_, p_b) in zip(model_a.named_parameters(), model_b.named_parameters()):
+        assert np.array_equal(p_a.data, p_b.data), f"parameter {name} differs"
+
+
+CFG = TrainerConfig(epochs=4, learning_rate=0.5)
+
+
+# ----------------------------------------------------------------------
+# Bit-exact resume
+# ----------------------------------------------------------------------
+def test_snapshotting_does_not_perturb_the_run(tmp_path):
+    model_a, train_a, dev_a = _build()
+    history_a = Trainer(model_a, train_a, dev_a, CFG).train()
+
+    model_b, train_b, dev_b = _build()
+    resilience = ResilienceConfig(directory=tmp_path / "snaps", every_n_batches=2)
+    history_b = Trainer(model_b, train_b, dev_b, CFG, resilience=resilience).train()
+
+    _assert_same_run(history_a, model_a, history_b, model_b)
+
+
+@pytest.mark.parametrize("family", ["acnn", "seq2seq"])
+def test_mid_epoch_crash_then_resume_is_bit_exact(tmp_path, family):
+    # Reference: the run nothing ever happened to.
+    model_ref, train_ref, dev_ref = _build(family)
+    history_ref = Trainer(model_ref, train_ref, dev_ref, CFG).train()
+
+    # Victim: dies before its 8th optimization step (mid-epoch 3).
+    snapdir = tmp_path / "snaps"
+    model_v, train_v, dev_v = _build(family)
+    victim = Trainer(
+        model_v, train_v, dev_v, CFG,
+        resilience=ResilienceConfig(directory=snapdir, every_n_batches=2),
+    )
+    with crash_on_nth_train_batch(victim, 8):
+        with pytest.raises(SimulatedCrash):
+            victim.train()
+
+    # Survivor: a fresh process resuming from the latest valid snapshot.
+    model_s, train_s, dev_s = _build(family)
+    history_s = Trainer(model_s, train_s, dev_s, CFG).train(resume_from=snapdir)
+
+    _assert_same_run(history_ref, model_ref, history_s, model_s)
+
+
+def test_resume_falls_back_past_corrupted_snapshot(tmp_path):
+    model_ref, train_ref, dev_ref = _build()
+    history_ref = Trainer(model_ref, train_ref, dev_ref, CFG).train()
+
+    snapdir = tmp_path / "snaps"
+    model_v, train_v, dev_v = _build()
+    victim = Trainer(
+        model_v, train_v, dev_v, CFG,
+        resilience=ResilienceConfig(directory=snapdir, every_n_batches=2, keep_last=5),
+    )
+    with crash_on_nth_train_batch(victim, 8):
+        with pytest.raises(SimulatedCrash):
+            victim.train()
+
+    # The newest snapshot did not survive the crash intact; resume must
+    # fall back to the previous generation and still reach the identical
+    # end state (the replay is deterministic, just a few batches longer).
+    newest = max(victim._store.list_steps())
+    truncate_file(snapdir / f"snap-{newest:010d}.npz")
+
+    model_s, train_s, dev_s = _build()
+    history_s = Trainer(model_s, train_s, dev_s, CFG).train(resume_from=snapdir)
+
+    _assert_same_run(history_ref, model_ref, history_s, model_s)
+
+
+def test_resume_of_finished_run_returns_immediately(tmp_path):
+    snapdir = tmp_path / "snaps"
+    model_a, train_a, dev_a = _build()
+    config = TrainerConfig(epochs=2, learning_rate=0.5)
+    history_a = Trainer(
+        model_a, train_a, dev_a, config,
+        resilience=ResilienceConfig(directory=snapdir),
+    ).train()
+
+    model_b, train_b, dev_b = _build()
+    history_b = Trainer(model_b, train_b, dev_b, config).train(resume_from=snapdir)
+
+    _assert_same_run(history_a, model_a, history_b, model_b)
+    assert len(history_b) == 2  # no epochs re-run or appended
+
+
+def test_resume_from_empty_directory_starts_fresh(tmp_path):
+    model_a, train_a, dev_a = _build()
+    history_a = Trainer(model_a, train_a, dev_a, CFG).train()
+
+    model_b, train_b, dev_b = _build()
+    history_b = Trainer(model_b, train_b, dev_b, CFG).train(resume_from=tmp_path / "nothing")
+
+    _assert_same_run(history_a, model_a, history_b, model_b)
+
+
+def test_best_snapshot_is_pinned_and_loadable(tmp_path):
+    snapdir = tmp_path / "snaps"
+    model, train_it, dev_it = _build()
+    trainer = Trainer(
+        model, train_it, dev_it, CFG,
+        resilience=ResilienceConfig(directory=snapdir, keep_last=1),
+    )
+    trainer.train()
+
+    arrays, meta = trainer._store.load_pinned("best")
+    assert meta["epoch"] == trainer.history.best_dev_epoch
+    for name, value in trainer.best_state.items():
+        assert np.array_equal(arrays[f"model::{name}"], value), name
+
+
+# ----------------------------------------------------------------------
+# Divergence recovery
+# ----------------------------------------------------------------------
+def test_nan_at_paper_lr_triggers_rollback_and_halving(tmp_path):
+    config = TrainerConfig(epochs=3, learning_rate=1.0)  # the paper's lr
+    model, train_it, dev_it = _build()
+    trainer = Trainer(
+        model, train_it, dev_it, config,
+        resilience=ResilienceConfig(directory=tmp_path / "snaps", max_retries=2),
+    )
+    # NaN exactly once, on the 2nd loss call (epoch 1, train batch 2).
+    with nan_loss_on_nth_batch(model, 2):
+        history = trainer.train()
+
+    assert len(history) == 3, "recovered run must still complete every epoch"
+    assert len(history.events) == 1
+    event = history.events[0]
+    assert event.epoch == 1
+    assert event.old_lr == 1.0
+    assert event.new_lr == 0.5
+    assert "non-finite" in event.reason
+    # The whole run re-ran under the halved rate.
+    assert [r.learning_rate for r in history] == [0.5, 0.5, 0.5]
+
+
+def test_exhausted_retry_budget_raises_with_recovery_log(tmp_path):
+    config = TrainerConfig(epochs=3, learning_rate=1.0)
+    model, train_it, dev_it = _build()
+    trainer = Trainer(
+        model, train_it, dev_it, config,
+        resilience=ResilienceConfig(directory=tmp_path / "snaps", max_retries=2),
+    )
+    with nan_loss_on_nth_batch(model, 1, every_after=True):
+        with pytest.raises(TrainingDiverged) as excinfo:
+            trainer.train()
+
+    exc = excinfo.value
+    assert len(exc.recovery_log) == 2, "both retries must be on record"
+    assert exc.epoch == 1
+    assert exc.batches_done == 0
+    assert [e.old_lr for e in exc.recovery_log] == [1.0, 0.5]
+    assert [e.new_lr for e in exc.recovery_log] == [0.5, 0.25]
+    assert trainer.history.events == exc.recovery_log
+
+
+def test_no_retry_budget_fails_fast(tmp_path):
+    model, train_it, dev_it = _build()
+    trainer = Trainer(
+        model, train_it, dev_it, CFG,
+        resilience=ResilienceConfig(directory=tmp_path / "snaps", max_retries=0),
+    )
+    with nan_loss_on_nth_batch(model, 1):
+        with pytest.raises(TrainingDiverged) as excinfo:
+            trainer.train()
+    assert excinfo.value.recovery_log == []
+
+
+# ----------------------------------------------------------------------
+# Graceful interruption (SIGINT) + resume
+# ----------------------------------------------------------------------
+def test_sigint_writes_graceful_snapshot_and_resume_matches(tmp_path):
+    model_ref, train_ref, dev_ref = _build()
+    history_ref = Trainer(model_ref, train_ref, dev_ref, CFG).train()
+
+    snapdir = tmp_path / "snaps"
+
+    def interrupt_after_epoch_2(record):
+        if record.epoch == 2:
+            os.kill(os.getpid(), signal.SIGINT)
+
+    model_v, train_v, dev_v = _build()
+    victim = Trainer(
+        model_v, train_v, dev_v, CFG,
+        epoch_callback=interrupt_after_epoch_2,
+        resilience=ResilienceConfig(directory=snapdir, handle_signals=True),
+    )
+    with pytest.raises(TrainingInterrupted) as excinfo:
+        victim.train()
+    assert excinfo.value.snapshot_path is not None
+    assert os.path.exists(excinfo.value.snapshot_path + ".json")
+    assert len(victim.history) == 2, "interrupt must land after the completed epoch"
+
+    model_s, train_s, dev_s = _build()
+    history_s = Trainer(model_s, train_s, dev_s, CFG).train(resume_from=snapdir)
+
+    _assert_same_run(history_ref, model_ref, history_s, model_s)
+
+
+def test_sigint_handlers_are_restored(tmp_path):
+    before = signal.getsignal(signal.SIGINT)
+    model, train_it, dev_it = _build()
+    Trainer(
+        model, train_it, dev_it, TrainerConfig(epochs=1, learning_rate=0.5),
+        resilience=ResilienceConfig(directory=tmp_path / "snaps", handle_signals=True),
+    ).train()
+    assert signal.getsignal(signal.SIGINT) is before
+
+
+# ----------------------------------------------------------------------
+# Typed evaluation failure
+# ----------------------------------------------------------------------
+def test_empty_dev_iterator_raises_typed_error_with_context():
+    empty = QGDataset([], ENCODER, DECODER)
+    model, train_it, _ = _build()
+    trainer = Trainer(
+        model, train_it, BatchIterator(empty, batch_size=2, shuffle=False),
+        TrainerConfig(epochs=2, learning_rate=0.5),
+    )
+    with pytest.raises(EmptyEvaluationError, match=r"epoch 1 .*0 batches"):
+        trainer.train()

@@ -106,6 +106,18 @@ def test_best_state_restored_after_training(small_setup):
         assert np.allclose(param.data, trainer.best_state[name])
 
 
+def test_best_state_is_a_deep_copy(small_setup):
+    """Mutating the live model after training must not bleed into best_state."""
+    model, train_it, dev_it = small_setup
+    trainer = Trainer(model, train_it, dev_it, TrainerConfig(epochs=2, learning_rate=0.5))
+    trainer.train()
+    frozen = {name: value.copy() for name, value in trainer.best_state.items()}
+    for _, param in model.named_parameters():
+        param.data += 123.0
+    for name, value in trainer.best_state.items():
+        assert np.array_equal(value, frozen[name]), name
+
+
 def test_epoch_callback_invoked(small_setup):
     model, train_it, _ = small_setup
     seen = []
