@@ -1,0 +1,123 @@
+"""End-to-end telemetry smoke test: trace a real run, validate the contract.
+
+    PYTHONPATH=src python scripts/telemetry_smoke.py [output_dir]
+
+Trains and evaluates one ACNN system at the smoke scale with telemetry
+enabled, then checks the produced ``trace.jsonl`` against everything the
+observability layer promises:
+
+1. every line is schema-valid (``repro.observability.schema``);
+2. the ``seq`` stream is gap-free from 0;
+3. the training signal is present: per-step loss / grad-norm gauges, the
+   learning rate, token throughput, and the switch-gate statistics;
+4. decode throughput (tokens/sec, hypotheses/sec) and eval scores landed;
+5. the span tree is well-formed and child phase timings never exceed their
+   parent's duration, with the root spans bounded by measured wall-clock.
+
+The trace is left under ``<output_dir>`` (default ``results/telemetry``) so
+CI can upload it as an artifact. Exits non-zero on any violation.
+"""
+
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+REQUIRED_NAMES = (
+    "train.loss",
+    "train.grad_norm",
+    "train.lr",
+    "train.param_norm",
+    "train.tokens",
+    "train.tokens.per_sec",
+    "train.batch_seconds",
+    "train.gate.z_mean",
+    "train.gate.z_entropy",
+    "train.gate.copy_rate",
+    "decode.steps",
+    "decode.tokens.per_sec",
+    "decode.hypotheses.per_sec",
+    "decode.gate.z_mean",
+    "eval.BLEU-4",
+    "eval.ROUGE-L",
+    "eval.examples.per_sec",
+    "train_start",
+    "train_finish",
+)
+
+REQUIRED_SPANS = (
+    "epoch",
+    "forward",
+    "backward",
+    "optimizer_step",
+    "evaluate",
+    "eval",
+    "encode",
+    "decode.batch",
+    "metrics",
+)
+
+
+def main() -> int:
+    from repro.experiments.configs import SCALES
+    from repro.experiments.runner import TABLE1_SYSTEMS, run_system
+    from repro.observability import build_span_tree, read_trace
+
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join("results", "telemetry")
+    spec = TABLE1_SYSTEMS[3]  # ACNN-sent: exercises the switch gate end to end
+
+    print(f"[1/3] traced smoke run: {spec.label} -> {output_dir}", flush=True)
+    started = time.perf_counter()
+    run_system(spec, SCALES["smoke"], telemetry_dir=output_dir, log_every=4)
+    wall_clock = time.perf_counter() - started
+
+    trace_path = os.path.join(output_dir, spec.key, "trace.jsonl")
+    print(f"[2/3] validating {trace_path}", flush=True)
+    records = list(read_trace(trace_path))  # raises SchemaViolation on any bad line
+    assert records, "trace is empty"
+
+    sequence = [record["seq"] for record in records]
+    assert sequence == list(range(len(records))), "seq stream has gaps"
+
+    names = {record["name"] for record in records}
+    missing = [name for name in REQUIRED_NAMES if name not in names]
+    assert not missing, f"required events missing from trace: {missing}"
+
+    loss_steps = [r["step"] for r in records if r["name"] == "train.loss"]
+    assert loss_steps == sorted(loss_steps), "training steps regressed"
+    assert len(loss_steps) == len(set(loss_steps)), "duplicate per-step loss gauges"
+
+    print("[3/3] checking the span tree", flush=True)
+    spans = [record for record in records if record["kind"] == "span"]
+    span_names = {record["name"] for record in spans}
+    missing_spans = [name for name in REQUIRED_SPANS if name not in span_names]
+    assert not missing_spans, f"required spans missing: {missing_spans}"
+
+    roots = build_span_tree(spans)
+
+    def check(node):
+        assert node.child_time <= node.duration + 1e-6, (
+            f"span {node.name}: children ({node.child_time:.6f}s) exceed "
+            f"parent ({node.duration:.6f}s)"
+        )
+        for child in node.children:
+            check(child)
+
+    for root in roots:
+        check(root)
+    spans_total = sum(root.duration for root in roots)
+    assert spans_total <= wall_clock, (
+        f"root spans ({spans_total:.3f}s) exceed measured wall-clock ({wall_clock:.3f}s)"
+    )
+
+    print(
+        f"telemetry smoke test: OK ({len(records)} events, "
+        f"{len(spans)} spans, {spans_total:.2f}s traced of {wall_clock:.2f}s wall-clock)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

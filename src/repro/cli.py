@@ -16,6 +16,7 @@ air-gapped machine.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.data import (
 from repro.decoding import beam_decode, extended_ids_to_tokens
 from repro.evaluation import analyse_predictions, evaluate_model
 from repro.models import ModelConfig, build_model
+from repro.observability import JsonlSink, Telemetry, TerminalSink
 from repro.training import (
     ResilienceConfig,
     Trainer,
@@ -47,6 +49,16 @@ from repro.training import (
 from repro.training.bundle import ModelBundle
 
 __all__ = ["main"]
+
+
+def _build_telemetry(telemetry_dir: str | None) -> Telemetry | None:
+    """JSONL + terminal hub under ``telemetry_dir`` (None = no telemetry)."""
+    if not telemetry_dir:
+        return None
+    os.makedirs(telemetry_dir, exist_ok=True)
+    return Telemetry(
+        [JsonlSink(os.path.join(telemetry_dir, "trace.jsonl")), TerminalSink()]
+    )
 
 
 def _load_examples(args) -> list[QGExample]:
@@ -141,6 +153,18 @@ def _cmd_train(args) -> int:
             handle_signals=True,
         )
 
+    telemetry = _build_telemetry(args.telemetry_dir)
+
+    def epoch_callback(r):
+        line = (
+            f"epoch {r.epoch}: train {r.train_loss:.4f} "
+            f"dev {r.dev_loss:.4f} lr {r.learning_rate:g}"
+        )
+        if telemetry is not None:
+            telemetry.log(line)
+        else:
+            print(line)
+
     trainer = Trainer(
         model,
         BatchIterator(train_set, batch_size=args.batch_size, seed=args.seed),
@@ -149,11 +173,11 @@ def _cmd_train(args) -> int:
             epochs=args.epochs,
             learning_rate=args.learning_rate,
             halve_at_epoch=args.halve_at_epoch,
+            log_every=args.log_every,
         ),
-        epoch_callback=lambda r: print(
-            f"epoch {r.epoch}: train {r.train_loss:.4f} dev {r.dev_loss:.4f} lr {r.learning_rate:g}"
-        ),
+        epoch_callback=epoch_callback,
         resilience=resilience,
+        telemetry=telemetry,
     )
     try:
         history = trainer.train(resume_from=snapshot_dir if args.resume else None)
@@ -165,6 +189,9 @@ def _cmd_train(args) -> int:
             file=sys.stderr,
         )
         return 130
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
     bundle = ModelBundle(
         model=model,
@@ -198,7 +225,18 @@ def _cmd_evaluate(args) -> int:
         source_mode=source_mode,
         paragraph_length=bundle.metadata.get("paragraph_length", 100),
     )
-    result = evaluate_model(bundle.model, dataset, beam_size=args.beam_size, max_length=args.max_length)
+    telemetry = _build_telemetry(args.telemetry_dir)
+    try:
+        result = evaluate_model(
+            bundle.model,
+            dataset,
+            beam_size=args.beam_size,
+            max_length=args.max_length,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(result.summary())
     analysis = analyse_predictions(result.predictions, result.references, bundle.decoder_vocab)
     print(analysis.summary())
@@ -287,6 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
             "many times (default 0 = fail fast)"
         ),
     )
+    train.add_argument(
+        "--telemetry-dir",
+        help=(
+            "append a structured JSONL event trace (training gauges, span "
+            "tree, health sentinels) to <dir>/trace.jsonl; resumed runs "
+            "continue the same trace without gaps"
+        ),
+    )
+    train.add_argument(
+        "--log-every",
+        type=int,
+        default=0,
+        help="emit a per-batch progress line every N batches (0 = per-epoch only)",
+    )
     train.set_defaults(handler=_cmd_train)
 
     evaluate = subparsers.add_parser("evaluate", help="score a saved bundle")
@@ -295,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--beam-size", type=int, default=3)
     evaluate.add_argument("--max-length", type=int, default=24)
     evaluate.add_argument("--num-examples", type=int, default=0, help="use only the last N examples")
+    evaluate.add_argument(
+        "--telemetry-dir",
+        help="append decode/eval telemetry to <dir>/trace.jsonl",
+    )
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     generate = subparsers.add_parser("generate", help="generate questions for sentences")

@@ -41,12 +41,15 @@ identical hypotheses. Two decode-path fixes are part of these definitions:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.data.batching import Batch
 from repro.data.vocabulary import BOS_ID, EOS_ID, PAD_ID
 from repro.decoding.hypothesis import Hypothesis
 from repro.models.base import OOV_LOG_FLOOR, QuestionGenerator, expand_encoder_context
+from repro.observability import Telemetry, emit_gate_statistics, get_telemetry
 from repro.tensor.core import no_grad
 
 __all__ = [
@@ -172,6 +175,7 @@ def batched_beam_search(
     beam_size: int = 3,
     max_length: int = 30,
     length_penalty: float = 1.0,
+    telemetry: Telemetry | None = None,
 ) -> list[list[Hypothesis]]:
     """Beam-decode every example simultaneously; returns ranked pools.
 
@@ -180,13 +184,25 @@ def batched_beam_search(
     beam collected; an example whose beam hit ``max_length`` without
     finishing returns its live hypotheses unfinished, like the per-example
     beam.
+
+    Each call reports one ``decode.batch`` span (with an ``encode`` child),
+    step/token counters, and tokens-per-second / hypotheses-per-second
+    gauges through ``telemetry`` (the ambient hub when not given).
     """
     if beam_size < 1:
         raise ValueError(f"beam_size must be >= 1, got {beam_size}")
 
+    tel = telemetry if telemetry is not None else get_telemetry()
+    decode_start = time.perf_counter()
+    steps_run = 0
+    tokens_generated = 0
+
     model.eval()
-    with no_grad():
-        context = model.encode(batch)
+    with no_grad(), tel.span(
+        "decode.batch", extra={"examples": batch.size, "beam_size": beam_size}
+    ) as span_info:
+        with tel.span("encode"):
+            context = model.encode(batch)
         num_examples = context.batch_size
         expanded = expand_encoder_context(context, beam_size)
         state = model.initial_decoder_state(expanded)
@@ -204,6 +220,7 @@ def batched_beam_search(
             if done.all():
                 break
             step_lp, new_state = model.step_log_probs(prev, state, expanded)
+            steps_run += 1
             step_lp[:, PAD_ID] = -np.inf
             step_lp[:, BOS_ID] = -np.inf
             v_ext = step_lp.shape[1]
@@ -259,6 +276,7 @@ def batched_beam_search(
                     next_prev[base + j] = token
                     next_lp[r, j] = grown.log_prob
                 live[r] = new_live
+                tokens_generated += len(new_live)
                 if should_stop_row(
                     finished[r],
                     [h.log_prob for h in new_live],
@@ -278,6 +296,15 @@ def batched_beam_search(
                 Hypothesis(h.token_ids, h.log_prob, finished=False) for h in live[r]
             ]
             pools.append(sorted(pool, key=lambda h: -h.score(length_penalty)))
+
+        elapsed = time.perf_counter() - decode_start
+        span_info["steps"] = steps_run
+        span_info["tokens"] = tokens_generated
+        tel.counter("decode.steps", steps_run)
+        tel.throughput("decode.tokens", tokens_generated, elapsed)
+        tel.throughput("decode.hypotheses", num_examples, elapsed)
+        if hasattr(model, "pop_decode_gate_stats"):
+            emit_gate_statistics(tel, "decode.gate", model.pop_decode_gate_stats())
         return pools
 
 
@@ -287,6 +314,7 @@ def batched_beam_decode(
     beam_size: int = 3,
     max_length: int = 30,
     length_penalty: float = 1.0,
+    telemetry: Telemetry | None = None,
 ) -> list[Hypothesis]:
     """Best hypothesis per example, via the batch-parallel engine."""
     pools = batched_beam_search(
@@ -295,5 +323,6 @@ def batched_beam_decode(
         beam_size=beam_size,
         max_length=max_length,
         length_penalty=length_penalty,
+        telemetry=telemetry,
     )
     return [pool[0] for pool in pools]

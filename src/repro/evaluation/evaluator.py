@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.data.batching import BatchIterator
@@ -9,6 +10,7 @@ from repro.data.dataset import QGDataset
 from repro.decoding import batched_beam_decode, extended_ids_to_tokens, greedy_decode
 from repro.metrics import bleu_n_scores, corpus_rouge_l
 from repro.models.base import QuestionGenerator
+from repro.observability import Telemetry, get_telemetry
 
 __all__ = ["EvaluationResult", "evaluate_model", "METRIC_NAMES"]
 
@@ -37,40 +39,59 @@ def evaluate_model(
     max_length: int = 30,
     batch_size: int = 32,
     length_penalty: float = 1.0,
+    telemetry: Telemetry | None = None,
 ) -> EvaluationResult:
     """Decode every example and compute BLEU-1..4 and ROUGE-L.
 
     Decoding uses beam search (the paper's test-time setting is beam 3);
     ``beam_size=1`` falls back to the cheaper batched greedy decoder.
+
+    The run is wrapped in an ``eval`` telemetry span (decode throughput and
+    switch-gate statistics come from the batched beam engine itself); the
+    metric computation gets its own ``metrics`` child span, and the final
+    scores are emitted as ``eval.<metric>`` gauges.
     """
+    tel = telemetry if telemetry is not None else get_telemetry()
     iterator = BatchIterator(dataset, batch_size=batch_size, shuffle=False)
     predictions: list[tuple[str, ...]] = []
     references: list[tuple[str, ...]] = []
 
-    for batch in iterator:
-        if beam_size == 1:
-            hypotheses = greedy_decode(model, batch, max_length=max_length)
-        else:
-            # Batch-parallel engine: every evaluation decodes the whole
-            # batch's hypothesis frontier per step.
-            hypotheses = batched_beam_decode(
-                model,
-                batch,
-                beam_size=beam_size,
-                max_length=max_length,
-                length_penalty=length_penalty,
-            )
-        for hypothesis, encoded in zip(hypotheses, batch.examples):
-            tokens = extended_ids_to_tokens(
-                hypothesis.token_ids, dataset.decoder_vocab, encoded.oov_tokens
-            )
-            predictions.append(tuple(tokens))
-            references.append(tuple(encoded.example.question))
+    if hasattr(model, "collect_gate_stats"):
+        model.collect_gate_stats = tel.enabled
 
-    hyp_list = [list(p) if p else ["<empty>"] for p in predictions]
-    ref_list = [[list(r)] for r in references]
-    scores = bleu_n_scores(hyp_list, ref_list)
-    scores["ROUGE-L"] = corpus_rouge_l(hyp_list, ref_list)
+    eval_start = time.perf_counter()
+    with tel.span("eval", extra={"examples": len(dataset), "beam_size": beam_size}):
+        for batch in iterator:
+            if beam_size == 1:
+                hypotheses = greedy_decode(model, batch, max_length=max_length)
+            else:
+                # Batch-parallel engine: every evaluation decodes the whole
+                # batch's hypothesis frontier per step.
+                hypotheses = batched_beam_decode(
+                    model,
+                    batch,
+                    beam_size=beam_size,
+                    max_length=max_length,
+                    length_penalty=length_penalty,
+                    telemetry=tel,
+                )
+            for hypothesis, encoded in zip(hypotheses, batch.examples):
+                tokens = extended_ids_to_tokens(
+                    hypothesis.token_ids, dataset.decoder_vocab, encoded.oov_tokens
+                )
+                predictions.append(tuple(tokens))
+                references.append(tuple(encoded.example.question))
+
+        with tel.span("metrics"):
+            hyp_list = [list(p) if p else ["<empty>"] for p in predictions]
+            ref_list = [[list(r)] for r in references]
+            scores = bleu_n_scores(hyp_list, ref_list)
+            scores["ROUGE-L"] = corpus_rouge_l(hyp_list, ref_list)
+
+    tel.gauge("eval.examples", float(len(predictions)))
+    tel.throughput("eval.examples", len(predictions), time.perf_counter() - eval_start)
+    for name in METRIC_NAMES:
+        tel.gauge(f"eval.{name}", float(scores[name]))
     return EvaluationResult(
         scores=scores,
         predictions=tuple(predictions),

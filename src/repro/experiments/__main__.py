@@ -75,6 +75,21 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="also snapshot every N batches (0 = per-epoch snapshots only)",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help=(
+            "write a structured JSONL event trace per system under this "
+            "directory (training gauges, span tree, decode throughput, "
+            "health sentinels); resumed runs continue the same trace"
+        ),
+    )
+    parser.add_argument(
+        "--log-every",
+        type=int,
+        default=0,
+        help="emit a per-batch progress line every N batches (0 = per-epoch only)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -120,6 +135,19 @@ def main(argv: list[str] | None = None) -> int:
             }
             if not args.quiet:
                 print(f"snapshots and completion markers under {run_dir}")
+
+    if args.telemetry_dir is not None or args.log_every > 0:
+        if not experiment.supports_telemetry:
+            print(
+                f"note: {experiment.key} does not support --telemetry-dir/"
+                "--log-every; running without telemetry",
+                file=sys.stderr,
+            )
+        else:
+            runner_kwargs["telemetry_dir"] = args.telemetry_dir
+            runner_kwargs["log_every"] = args.log_every
+            if args.telemetry_dir is not None and not args.quiet:
+                print(f"telemetry traces under {args.telemetry_dir}")
 
     result = experiment.runner(scale, verbose=not args.quiet, **runner_kwargs)
     print()

@@ -40,6 +40,9 @@ class Experiment:
     supports_resume: bool = False
     """Whether the runner checkpoints per-system progress so an interrupted
     run can continue via ``--resume`` instead of restarting."""
+    supports_telemetry: bool = False
+    """Whether the runner accepts ``telemetry_dir``/``log_every`` keyword
+    arguments and writes per-system structured event traces."""
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -55,6 +58,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         ),
         bench_target="benchmarks/bench_table1.py",
         supports_resume=True,
+        supports_telemetry=True,
     ),
     "table2": Experiment(
         key="table2",
@@ -65,6 +69,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         ),
         bench_target="benchmarks/bench_table2.py",
         supports_resume=True,
+        supports_telemetry=True,
     ),
     "figure1": Experiment(
         key="figure1",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.data.batching import BatchIterator
 from repro.data.dataset import QGDataset, SourceMode
@@ -22,6 +22,7 @@ from repro.evaluation.evaluator import EvaluationResult, evaluate_model
 from repro.experiments.configs import ExperimentScale
 from repro.models import build_model
 from repro.models.base import QuestionGenerator
+from repro.observability import JsonlSink, Telemetry, TerminalSink, use_telemetry
 from repro.tensor.serialization import CheckpointCorrupted, atomic_write
 from repro.training.checkpoint import load_checkpoint, save_checkpoint
 from repro.training.history import TrainingHistory
@@ -186,6 +187,8 @@ def run_system(
     resume: bool = False,
     max_retries: int = 0,
     snapshot_every: int = 0,
+    telemetry_dir: str | os.PathLike | None = None,
+    log_every: int = 0,
 ) -> SystemRun:
     """Train one system and evaluate it on the test split.
 
@@ -196,6 +199,13 @@ def run_system(
     latest valid snapshot — or skips the system entirely if it already
     finished. ``max_retries`` enables divergence recovery (rollback +
     lr backoff) with that budget.
+
+    With ``telemetry_dir`` set, the system appends a structured event trace
+    to ``<telemetry_dir>/<key>/trace.jsonl``. Each system owns its own
+    trace file so crash/resume truncation in one system never disturbs the
+    events of another; snapshots record the trace cursor, and a resumed run
+    continues the same file with no gaps or duplicates. ``log_every`` > 0
+    overrides the scale's per-batch progress cadence.
     """
     corpus = corpus or generate_corpus(scale.synthetic_config())
     train_ds, dev_ds, test_ds = prepare_datasets(
@@ -229,14 +239,32 @@ def run_system(
     )
     dev_iterator = BatchIterator(dev_ds, batch_size=scale.batch_size, shuffle=False)
 
+    # Per-system telemetry hub. The trace lives next to the snapshots so a
+    # resumed run truncates and continues the same file; building it only
+    # after the skip check above guarantees no event lands between the sink
+    # opening and the trainer's cursor restore.
+    telemetry = None
+    if telemetry_dir is not None:
+        suffix = f"-len{paragraph_length}" if paragraph_length is not None else ""
+        trace_dir = os.path.join(os.fspath(telemetry_dir), spec.key + suffix)
+        os.makedirs(trace_dir, exist_ok=True)
+        sinks = [JsonlSink(os.path.join(trace_dir, "trace.jsonl"))]
+        if verbose:
+            sinks.append(TerminalSink())
+        telemetry = Telemetry(sinks)
+
     callback = None
     if verbose:
         def callback(record):
             dev = f" dev {record.dev_loss:.4f}" if record.dev_loss is not None else ""
-            print(
+            line = (
                 f"  [{spec.label}] epoch {record.epoch}: "
                 f"train {record.train_loss:.4f}{dev} (lr {record.learning_rate:g})"
             )
+            if telemetry is not None:
+                telemetry.log(line)
+            else:
+                print(line)
 
     resilience = None
     snapshot_dir = None
@@ -248,27 +276,41 @@ def run_system(
             max_retries=max_retries,
         )
 
-    trainer = Trainer(
-        model,
-        train_iterator,
-        dev_iterator,
-        scale.trainer_config(),
-        epoch_callback=callback,
-        resilience=resilience,
-    )
-    start = time.perf_counter()
-    history = trainer.train(resume_from=snapshot_dir if resume else None)
-    train_seconds = time.perf_counter() - start
+    config = scale.trainer_config()
+    if log_every:
+        config = replace(config, log_every=log_every)
 
-    start = time.perf_counter()
-    result = evaluate_model(
-        model,
-        test_ds,
-        beam_size=scale.beam_size,
-        max_length=scale.max_decode_length,
-        batch_size=scale.batch_size,
-    )
-    eval_seconds = time.perf_counter() - start
+    try:
+        trainer = Trainer(
+            model,
+            train_iterator,
+            dev_iterator,
+            config,
+            epoch_callback=callback,
+            resilience=resilience,
+            telemetry=telemetry,
+        )
+        start = time.perf_counter()
+        if telemetry is not None:
+            with use_telemetry(telemetry):
+                history = trainer.train(resume_from=snapshot_dir if resume else None)
+        else:
+            history = trainer.train(resume_from=snapshot_dir if resume else None)
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        result = evaluate_model(
+            model,
+            test_ds,
+            beam_size=scale.beam_size,
+            max_length=scale.max_decode_length,
+            batch_size=scale.batch_size,
+            telemetry=telemetry,
+        )
+        eval_seconds = time.perf_counter() - start
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
     run = SystemRun(
         spec=spec,

@@ -68,12 +68,16 @@ def run_table1(
     resume: bool = False,
     max_retries: int = 0,
     snapshot_every: int = 0,
+    telemetry_dir: str | None = None,
+    log_every: int = 0,
 ) -> Table1Result:
     """Train and evaluate every Table 1 system on a shared corpus.
 
     With ``run_dir``/``resume`` an interrupted table run continues where it
     stopped: finished systems are reloaded from their completion markers and
-    the in-flight system resumes from its latest valid snapshot.
+    the in-flight system resumes from its latest valid snapshot. With
+    ``telemetry_dir`` each system writes its structured event trace under
+    ``<telemetry_dir>/<key>/trace.jsonl``.
     """
     corpus = generate_corpus(scale.synthetic_config())
     result = Table1Result(scale=scale)
@@ -89,6 +93,8 @@ def run_table1(
             resume=resume,
             max_retries=max_retries,
             snapshot_every=snapshot_every,
+            telemetry_dir=telemetry_dir,
+            log_every=log_every,
         )
         result.runs[spec.label] = run
         if verbose:

@@ -60,6 +60,8 @@ def run_table2(
     resume: bool = False,
     max_retries: int = 0,
     snapshot_every: int = 0,
+    telemetry_dir: str | None = None,
+    log_every: int = 0,
 ) -> Table2Result:
     """Train ACNN-para once per truncation length on a shared corpus."""
     corpus = generate_corpus(scale.synthetic_config())
@@ -85,6 +87,8 @@ def run_table2(
             resume=resume,
             max_retries=max_retries,
             snapshot_every=snapshot_every,
+            telemetry_dir=telemetry_dir,
+            log_every=log_every,
         )
         result.runs[label] = run
         if verbose:

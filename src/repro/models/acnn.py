@@ -98,6 +98,13 @@ class ACNN(DuAttentionModel):
         self.coverage_loss_weight = coverage_loss_weight
         self.scheduled_sampling_rate = scheduled_sampling_rate
         self._sampling_rng = np.random.default_rng(scheduled_sampling_seed)
+        self.collect_gate_stats = False
+        """When true (set by the trainer/evaluator while telemetry is
+        active), each forward pass summarizes the Eq. 2/4 switch gate into
+        :attr:`last_gate_stats` — z mean, Bernoulli entropy, hard copy rate
+        over non-pad tokens. Off by default: un-observed runs pay nothing."""
+        self.last_gate_stats: dict | None = None
+        self._decode_gate_accum: dict | None = None
 
         rng = np.random.default_rng(config.seed + 100)
         if use_coverage:
@@ -214,6 +221,9 @@ class ACNN(DuAttentionModel):
         sampling = self.training and self.scheduled_sampling_rate > 0.0
         prev_predictions: np.ndarray | None = None
 
+        gate_z_sum = gate_entropy_sum = gate_copy_sum = 0.0
+        gate_tokens = 0
+
         step_probs: list[Tensor] = []
         for t in range(time_steps):
             if sampling and t > 0:
@@ -238,6 +248,17 @@ class ACNN(DuAttentionModel):
             mixture = z * p_cop_target + (1.0 - z) * p_att_target  # Eq. 2
             step_probs.append(mixture)
 
+            if self.collect_gate_stats:
+                mask = valid[:, t]
+                z_values = z.data[mask]
+                gate_z_sum += float(z_values.sum())
+                clipped = np.clip(z_values, 1e-12, 1.0 - 1e-12)
+                gate_entropy_sum += float(
+                    -(clipped * np.log(clipped) + (1 - clipped) * np.log(1 - clipped)).sum()
+                )
+                gate_copy_sum += float((z_values > 0.5).sum())
+                gate_tokens += int(mask.sum())
+
             if sampling:
                 # The next step may feed this step's greedy pick from the
                 # Eq. 2 mixture (OOV copies feed back as UNK, matching the
@@ -254,6 +275,13 @@ class ACNN(DuAttentionModel):
                     step_penalty if coverage_penalty is None else coverage_penalty + step_penalty
                 )
                 coverage = coverage + attn
+
+        if self.collect_gate_stats:
+            from repro.observability import gate_statistics
+
+            self.last_gate_stats = gate_statistics(
+                gate_z_sum, gate_entropy_sum, gate_copy_sum, gate_tokens
+            )
 
         nll = sequence_nll(step_probs, batch.tgt_output, batch.tgt_pad_mask)
         if coverage_penalty is not None and self.coverage_loss_weight > 0:
@@ -289,6 +317,17 @@ class ACNN(DuAttentionModel):
         p_cop = self.copy_distribution(d_k, c_k, encoder_states, src_pad_mask).data  # (B, S)
         z = self.switch(d_k, c_k, embedded).data  # (B,)
 
+        if self.collect_gate_stats:
+            accum = self._decode_gate_accum or {"z": 0.0, "entropy": 0.0, "copy": 0.0, "tokens": 0}
+            clipped = np.clip(z, 1e-12, 1.0 - 1e-12)
+            accum["z"] += float(z.sum())
+            accum["entropy"] += float(
+                -(clipped * np.log(clipped) + (1 - clipped) * np.log(1 - clipped)).sum()
+            )
+            accum["copy"] += float((z > 0.5).sum())
+            accum["tokens"] += int(z.shape[0])
+            self._decode_gate_accum = accum
+
         extended = self._extended_mixture(p_att, p_cop, z, src_ext, context.max_oov)
         new_coverage = (
             state.coverage + attn.data if state.coverage is not None else None
@@ -297,6 +336,22 @@ class ACNN(DuAttentionModel):
             np.log(extended + PROBABILITY_FLOOR),
             DecoderStepState(new_states, coverage=new_coverage),
         )
+
+    def pop_decode_gate_stats(self) -> dict | None:
+        """Gate stats accumulated over decode steps since the last pop.
+
+        The decoding engines drain this after each batch so the telemetry
+        layer can gauge how often inference actually copies (per frontier
+        row per step; no pad masking exists at decode time). ``None`` when
+        nothing was collected.
+        """
+        accum = self._decode_gate_accum
+        self._decode_gate_accum = None
+        if accum is None:
+            return None
+        from repro.observability import gate_statistics
+
+        return gate_statistics(accum["z"], accum["entropy"], accum["copy"], accum["tokens"])
 
     def describe(self) -> str:
         cfg = self.config

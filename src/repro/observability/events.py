@@ -1,0 +1,112 @@
+"""Typed telemetry event records.
+
+Every fact a run reports — a counter increment, a gauge reading, a
+histogram summary, a completed tracing span, a human log line, a run
+lifecycle marker — is one :class:`TelemetryEvent`. Events are immutable,
+carry a process-wide monotonically increasing sequence number (``seq``)
+assigned by the :class:`~repro.observability.telemetry.Telemetry` hub, and
+serialize to a single JSON object per line in the trace stream (see
+:mod:`repro.observability.schema` for the on-disk contract).
+
+The ``seq`` number is the continuity invariant the whole layer is built
+around: a healthy trace is ``0, 1, 2, …`` with no gaps, no duplicates, and
+no regressions — including across a crash-and-resume boundary, because the
+trainer records the telemetry cursor in every snapshot and the hub rewinds
+the stream to it on restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "EVENT_KINDS",
+    "TelemetryEvent",
+    "counter_event",
+    "gauge_event",
+    "histogram_event",
+    "span_event",
+    "log_event",
+    "run_event",
+]
+
+EVENT_KINDS = ("counter", "gauge", "histogram", "span", "log", "run")
+"""The closed set of event kinds the schema admits."""
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One line of the telemetry stream.
+
+    Parameters
+    ----------
+    seq:
+        Stream position, assigned by the hub (0-based, gap-free).
+    kind:
+        One of :data:`EVENT_KINDS`.
+    name:
+        Dotted metric/span name, e.g. ``"train.loss"`` or ``"decode.batch"``.
+    step:
+        Optional global training step (optimization count) the event is
+        anchored to; ``None`` for events outside the step clock.
+    time:
+        Wall-clock offset in seconds since the hub's epoch
+        (``time.perf_counter`` based — monotonic, never steps backwards).
+    value:
+        Scalar payload for counters (the increment) and gauges (the
+        reading); ``None`` for the other kinds.
+    data:
+        Kind-specific structured payload (histogram summary, span timing,
+        log message, run metadata).
+    """
+
+    seq: int
+    kind: str
+    name: str
+    time: float
+    step: int | None = None
+    value: float | None = None
+    data: Mapping | None = field(default=None)
+
+    def to_record(self) -> dict:
+        """Flat JSON-able dict, keys in a fixed, schema-checked shape."""
+        record: dict = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "time": round(float(self.time), 6),
+        }
+        if self.step is not None:
+            record["step"] = int(self.step)
+        if self.value is not None:
+            record["value"] = float(self.value)
+        if self.data is not None:
+            record["data"] = dict(self.data)
+        return record
+
+
+def counter_event(seq: int, name: str, time: float, increment: float, step: int | None) -> TelemetryEvent:
+    return TelemetryEvent(seq=seq, kind="counter", name=name, time=time, step=step, value=increment)
+
+
+def gauge_event(seq: int, name: str, time: float, value: float, step: int | None) -> TelemetryEvent:
+    return TelemetryEvent(seq=seq, kind="gauge", name=name, time=time, step=step, value=value)
+
+
+def histogram_event(seq: int, name: str, time: float, summary: Mapping, step: int | None) -> TelemetryEvent:
+    return TelemetryEvent(seq=seq, kind="histogram", name=name, time=time, step=step, data=summary)
+
+
+def span_event(seq: int, name: str, time: float, span: Mapping, step: int | None) -> TelemetryEvent:
+    return TelemetryEvent(seq=seq, kind="span", name=name, time=time, step=step, data=span)
+
+
+def log_event(seq: int, time: float, message: str, step: int | None) -> TelemetryEvent:
+    return TelemetryEvent(
+        seq=seq, kind="log", name="log", time=time, step=step, data={"message": message}
+    )
+
+
+def run_event(seq: int, name: str, time: float, info: Mapping) -> TelemetryEvent:
+    return TelemetryEvent(seq=seq, kind="run", name=name, time=time, data=info)

@@ -1,0 +1,160 @@
+"""Streaming histograms with bounded memory and deterministic quantiles.
+
+Per-batch timings and token counts arrive one value at a time and a run can
+produce millions of them, so the estimator must be O(1) amortized per
+observation with a hard memory cap — and it must be *deterministic* (no
+RNG) so two identical runs produce byte-identical summaries, which the
+golden-trace tests rely on.
+
+The scheme: keep every value until ``max_samples``, then halve the sample
+by keeping alternate elements of the *sorted* sample and doubling the
+per-element weight. Exact until the cap is hit, a systematic (not random)
+stratified sample afterwards. Exact ``count``/``sum``/``min``/``max`` are
+tracked separately and are never approximated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["StreamingHistogram"]
+
+
+class StreamingHistogram:
+    """Order-insensitive summary of a scalar stream.
+
+    Invariants (property-tested):
+
+    - ``count`` equals the number of ``observe`` calls, exactly;
+    - ``quantile`` is monotone in ``q`` and bounded by ``min``/``max``;
+    - merging two histograms conserves counts and sums exactly.
+    """
+
+    def __init__(self, max_samples: int = 512) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sample: list[float] = []
+        self._weight = 1  # observations represented by each retained sample
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"histogram observations must be finite, got {value}")
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if self.count % self._weight == 0:
+            # Systematic thinning: once compressed to weight w, keep every
+            # w-th arrival. Deterministic and order-stable for identical
+            # streams.
+            self._sample.append(value)
+            if len(self._sample) > self.max_samples:
+                self._compress()
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def _compress(self) -> None:
+        self._sample.sort()
+        self._sample = self._sample[::2]
+        self._weight *= 2
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile of the retained sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("empty histogram has no quantiles")
+        ordered = sorted(self._sample) if self._sample else [self.min]
+        position = q * (len(ordered) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            estimate = ordered[low]
+        else:
+            fraction = position - low
+            estimate = ordered[low] * (1 - fraction) + ordered[high] * fraction
+        # The sample can under-cover the extremes after thinning; the exact
+        # tracked bounds always win.
+        return min(max(estimate, self.min), self.max)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("empty histogram has no mean")
+        return self.total / self.count
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Combine two histograms (exact count/sum/min/max, merged samples)."""
+        merged = StreamingHistogram(max_samples=max(self.max_samples, other.max_samples))
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        merged._weight = max(self._weight, other._weight)
+        merged._sample = sorted(self._sample + other._sample)
+        while len(merged._sample) > merged.max_samples:
+            merged._compress()
+        return merged
+
+    def summary(self) -> dict[str, float]:
+        """The JSONL ``histogram`` event payload."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": self.min,
+            "max": self.max,
+            "p50": round(self.quantile(0.5), 9),
+            "p90": round(self.quantile(0.9), 9),
+            "p99": round(self.quantile(0.99), 9),
+        }
+
+    @classmethod
+    def of(cls, values: Sequence[float], max_samples: int = 512) -> "StreamingHistogram":
+        histogram = cls(max_samples=max_samples)
+        histogram.observe_many(values)
+        return histogram
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-able full state (for run snapshots).
+
+        Unlike :meth:`summary` this loses nothing: restoring it continues
+        the window exactly where it stood, including the systematic
+        thinning phase (``count`` mod ``weight``), so a crash/resume cycle
+        mid-window reproduces the summaries of an uninterrupted run.
+        """
+        return {
+            "max_samples": self.max_samples,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "sample": list(self._sample),
+            "weight": self._weight,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingHistogram":
+        histogram = cls(max_samples=int(state["max_samples"]))
+        histogram.count = int(state["count"])
+        histogram.total = float(state["total"])
+        if histogram.count:
+            histogram.min = float(state["min"])
+            histogram.max = float(state["max"])
+        histogram._sample = [float(value) for value in state["sample"]]
+        histogram._weight = int(state["weight"])
+        return histogram

@@ -1,0 +1,124 @@
+"""The on-disk telemetry contract: one JSON object per JSONL line.
+
+Kept dependency-free (no jsonschema): the schema is small enough to check
+by hand, and validating here means the CI smoke job and the golden-trace
+tests agree on exactly one definition of "well-formed trace".
+
+Required fields for every event::
+
+    seq   int >= 0        stream position, gap-free within a trace
+    kind  str             one of events.EVENT_KINDS
+    name  str             non-empty dotted identifier
+    time  float >= 0      seconds since the hub's epoch (perf_counter)
+
+Kind-specific fields::
+
+    counter    value (float, the increment; finite)
+    gauge      value (float; NaN/inf allowed ONLY for health.* sentinels,
+               which exist to report exactly those values)
+    histogram  data {count, sum, min, max, p50, p90, p99}
+    span       data {span_id, parent_id, depth, duration, ...}
+    log        data {message}
+    run        data (free-form mapping)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Iterator
+
+from repro.observability.events import EVENT_KINDS
+
+__all__ = ["SchemaViolation", "validate_record", "validate_line", "read_trace"]
+
+_HISTOGRAM_KEYS = {"count", "sum", "min", "max", "p50", "p90", "p99"}
+_SPAN_KEYS = {"span_id", "parent_id", "depth", "duration"}
+
+
+class SchemaViolation(ValueError):
+    """A telemetry record does not conform to the event schema."""
+
+
+def _fail(message: str, record: object) -> None:
+    raise SchemaViolation(f"{message}: {json.dumps(record, default=str)[:200]}")
+
+
+def validate_record(record: object) -> dict:
+    """Check one decoded event against the schema; returns it on success."""
+    if not isinstance(record, dict):
+        _fail("event is not a JSON object", record)
+    for key in ("seq", "kind", "name", "time"):
+        if key not in record:
+            _fail(f"missing required field {key!r}", record)
+    if not isinstance(record["seq"], int) or record["seq"] < 0:
+        _fail("seq must be a non-negative integer", record)
+    if record["kind"] not in EVENT_KINDS:
+        _fail(f"unknown kind {record['kind']!r}", record)
+    if not isinstance(record["name"], str) or not record["name"]:
+        _fail("name must be a non-empty string", record)
+    if not isinstance(record["time"], (int, float)) or record["time"] < 0:
+        _fail("time must be a non-negative number", record)
+    step = record.get("step")
+    if step is not None and (not isinstance(step, int) or step < 0):
+        _fail("step must be a non-negative integer when present", record)
+
+    kind = record["kind"]
+    if kind in ("counter", "gauge"):
+        value = record.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            _fail(f"{kind} requires a numeric value", record)
+        # Health sentinels exist to report non-finite readings; everything
+        # else reporting NaN/inf is a bug in the emitter.
+        if not math.isfinite(value) and not record["name"].startswith("health."):
+            _fail(f"non-finite {kind} value outside health.*", record)
+    elif kind == "histogram":
+        data = record.get("data")
+        if not isinstance(data, dict) or not _HISTOGRAM_KEYS.issubset(data):
+            _fail(f"histogram data must carry {sorted(_HISTOGRAM_KEYS)}", record)
+        if data["count"] < 0 or (data["count"] > 0 and data["min"] > data["max"]):
+            _fail("inconsistent histogram summary", record)
+    elif kind == "span":
+        data = record.get("data")
+        if not isinstance(data, dict) or not _SPAN_KEYS.issubset(data):
+            _fail(f"span data must carry {sorted(_SPAN_KEYS)}", record)
+        if data["duration"] < 0 or data["depth"] < 0:
+            _fail("span duration/depth must be non-negative", record)
+    elif kind == "log":
+        data = record.get("data")
+        if not isinstance(data, dict) or not isinstance(data.get("message"), str):
+            _fail("log data must carry a string message", record)
+    elif kind == "run":
+        if not isinstance(record.get("data"), dict):
+            _fail("run data must be an object", record)
+    return record
+
+
+def validate_line(line: str) -> dict:
+    """Decode and validate one JSONL line."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SchemaViolation(f"undecodable trace line: {exc}: {line[:120]!r}") from exc
+    return validate_record(record)
+
+
+def read_trace(path: str | os.PathLike, strict: bool = True) -> Iterator[dict]:
+    """Yield validated events from a trace file, in stream order.
+
+    A torn final line (the process died mid-append) is skipped when
+    ``strict`` is false — that is the expected crash artifact the resume
+    path repairs; any *earlier* malformed line is always an error.
+    """
+    with open(os.fspath(path), encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for index, line in enumerate(lines):
+        try:
+            yield validate_line(line)
+        except SchemaViolation:
+            if not strict and index == len(lines) - 1:
+                return
+            raise

@@ -1,0 +1,166 @@
+"""Telemetry sinks: where the event stream goes.
+
+- :class:`JsonlSink` — the durable machine-readable record: one JSON object
+  per line, append-only. Appends are flushed per event so a crash loses at
+  most the line being written; on (re)open any torn trailing line is cut
+  off, and :meth:`JsonlSink.truncate_from` rewinds the stream to a snapshot
+  cursor using the repo's atomic-write utilities (temp file + fsync +
+  ``os.replace``), so a resumed run appends a gap-free continuation instead
+  of a forked tail.
+- :class:`TerminalSink` — the human summary: log lines and selected
+  readings, one formatted line each, to stdout by default.
+- :class:`MemorySink` — in-process capture for tests and inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import IO
+
+from repro.tensor.serialization import atomic_write
+
+__all__ = ["Sink", "JsonlSink", "TerminalSink", "MemorySink"]
+
+
+class Sink:
+    """Interface: receives flat event records (dicts) in stream order."""
+
+    def emit(self, record: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink(Sink):
+    """Append-only JSONL trace file with crash-safe resume semantics."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self.last_seq = self._repair_tail()
+        self._handle: IO[str] | None = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def _read_lines(self) -> list[str]:
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                content = handle.read()
+        except FileNotFoundError:
+            return []
+        lines = content.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        return lines
+
+    def _repair_tail(self) -> int:
+        """Drop a torn trailing line (crash mid-append); return the last seq.
+
+        Only the *final* line may be invalid — that is the one appending
+        crash artifact the design admits. Anything malformed earlier means
+        the file is not a telemetry trace, and refusing loudly beats
+        appending to garbage.
+        """
+        lines = self._read_lines()
+        if not lines:
+            return -1
+        kept: list[dict] = []
+        for index, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "seq" not in record:
+                    raise ValueError("not an event record")
+            except (json.JSONDecodeError, ValueError) as exc:
+                if index != len(lines) - 1:
+                    raise ValueError(
+                        f"corrupt telemetry trace {self.path}: line {index} is not "
+                        f"an event record ({exc})"
+                    ) from exc
+                self._rewrite(kept)
+                break
+            kept.append(record)
+        return int(kept[-1]["seq"]) if kept else -1
+
+    def _rewrite(self, records: list[dict]) -> None:
+        payload = "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+        atomic_write(self.path, lambda handle: handle.write(payload), binary=False)
+
+    # ------------------------------------------------------------------
+    def emit(self, record: dict) -> None:
+        assert self._handle is not None, "sink is closed"
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Per-line flush: a killed run keeps every completed event, which is
+        # what the continuity test (crash → resume → gap-free stream) pins.
+        self._handle.flush()
+        self.last_seq = int(record["seq"])
+
+    def truncate_from(self, seq: int) -> None:
+        """Drop every event with ``seq >= seq`` (resume-to-cursor rewind).
+
+        A snapshot records the hub cursor *c*; events ``>= c`` were emitted
+        after the snapshot and will be re-emitted by the replayed batches,
+        so keeping them would duplicate the tail.
+        """
+        if self._handle is not None:
+            self._handle.close()
+        kept = []
+        for line in self._read_lines():
+            record = json.loads(line)
+            if int(record["seq"]) < seq:
+                kept.append(record)
+        self._rewrite(kept)
+        self.last_seq = int(kept[-1]["seq"]) if kept else -1
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TerminalSink(Sink):
+    """Human-readable progress lines (the one place telemetry prints)."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    def emit(self, record: dict) -> None:
+        kind = record["kind"]
+        if kind == "log":
+            self.stream.write(record["data"]["message"] + "\n")
+        elif kind == "run":
+            details = " ".join(f"{k}={v}" for k, v in sorted(record["data"].items()))
+            self.stream.write(f"[run] {record['name']} {details}".rstrip() + "\n")
+        # counters/gauges/histograms/spans stay machine-only: the hub emits
+        # explicit log events for anything a human should see live.
+
+    def flush(self) -> None:
+        self.stream.flush()
+
+
+class MemorySink(Sink):
+    """Collects records in a list (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [record for record in self.records if record["kind"] == kind]
+
+    def named(self, name: str) -> list[dict]:
+        return [record for record in self.records if record["name"] == name]

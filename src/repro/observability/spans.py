@@ -1,0 +1,188 @@
+"""Tracing spans: nested wall-clock timing with a recoverable span tree.
+
+A span is one timed phase (``encode``, ``backward``, ``optimizer_step``,
+``evaluate`` …). Spans nest: the tracker keeps an explicit stack, so a span
+opened while another is active becomes its child. Each completed span is
+reported to a callback (the telemetry hub turns it into a ``span`` event)
+carrying its own ``span_id``, its ``parent_id``, and its depth — enough to
+rebuild the full tree from the flat JSONL stream with
+:func:`build_span_tree`.
+
+Timing uses ``time.perf_counter`` throughout: monotonic, sub-microsecond,
+immune to NTP steps — the only clock the repo uses for durations.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["SpanRecord", "SpanTracker", "SpanNode", "build_span_tree", "aggregate_spans"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, as reported to the hub."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start: float
+    duration: float
+    extra: Mapping | None = None
+
+    def to_payload(self) -> dict:
+        payload: dict = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "duration": round(self.duration, 6),
+        }
+        if self.extra:
+            payload.update(self.extra)
+        return payload
+
+
+class SpanTracker:
+    """Stack of open spans; assigns ids and reports completions.
+
+    ``span_id`` is assigned at *open* time, so a parent always has a lower
+    id than its children even though it completes (and is emitted) after
+    them — the tree builder relies on this to sort chronologically.
+    """
+
+    def __init__(
+        self,
+        on_complete: Callable[[SpanRecord], None],
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._on_complete = on_complete
+        self._clock = clock
+        self._stack: list[tuple[str, int, float, dict]] = []
+        self._next_id = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def current_name(self) -> str | None:
+        return self._stack[-1][0] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, extra: Mapping | None = None):
+        """Open a child span of whatever is currently on the stack.
+
+        Yields a mutable dict merged into the span payload on close, so the
+        body can attach results measured inside (profile counts, token
+        totals) without pre-computing them.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        attachments: dict = dict(extra) if extra else {}
+        self._stack.append((name, span_id, self._clock(), attachments))
+        try:
+            yield attachments
+        finally:
+            opened_name, opened_id, start, attachments = self._stack.pop()
+            parent_id = self._stack[-1][1] if self._stack else None
+            self._on_complete(
+                SpanRecord(
+                    name=opened_name,
+                    span_id=opened_id,
+                    parent_id=parent_id,
+                    depth=len(self._stack),
+                    start=start,
+                    duration=max(0.0, self._clock() - start),
+                    extra=attachments or None,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Tree reconstruction and aggregation (from flat span events)
+# ----------------------------------------------------------------------
+@dataclass
+class SpanNode:
+    """One node of a rebuilt span tree."""
+
+    name: str
+    span_id: int
+    duration: float
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def child_time(self) -> float:
+        return sum(child.duration for child in self.children)
+
+    @property
+    def self_time(self) -> float:
+        """Time spent in this span outside any child span."""
+        return max(0.0, self.duration - self.child_time)
+
+    def render(self, indent: int = 0) -> str:
+        lines = [f"{'  ' * indent}{self.name}  {self.duration * 1000:.1f}ms"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def build_span_tree(spans: Sequence[Mapping]) -> list[SpanNode]:
+    """Rebuild the span forest from flat payloads (dicts or events).
+
+    Accepts either raw span payloads (``{span_id, parent_id, name,
+    duration}``) or full trace events (``{kind: "span", name, data: {...}}``).
+    Returns the root spans in id (chronological-open) order, children
+    likewise.
+    """
+    nodes: dict[int, SpanNode] = {}
+    parents: dict[int, int | None] = {}
+    for span in spans:
+        if "data" in span and isinstance(span["data"], Mapping):
+            payload = dict(span["data"])
+            payload.setdefault("name", span.get("name", "?"))
+        else:
+            payload = dict(span)
+        span_id = int(payload["span_id"])
+        nodes[span_id] = SpanNode(
+            name=str(payload.get("name", "?")),
+            span_id=span_id,
+            duration=float(payload["duration"]),
+        )
+        parents[span_id] = payload.get("parent_id")
+    roots: list[SpanNode] = []
+    for span_id in sorted(nodes):
+        parent_id = parents[span_id]
+        if parent_id is None or parent_id not in nodes:
+            roots.append(nodes[span_id])
+        else:
+            nodes[parent_id].children.append(nodes[span_id])
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.span_id)
+    return roots
+
+
+def aggregate_spans(spans: Sequence[Mapping]) -> dict[str, dict[str, float]]:
+    """Per-name totals over a flat span stream: count, total and self time.
+
+    ``self`` excludes time attributed to child spans, so summing the
+    ``self`` column over every name reproduces (up to clock resolution) the
+    root spans' total wall-clock — the property the observability tests pin.
+    """
+    roots = build_span_tree(spans)
+    totals: dict[str, dict[str, float]] = {}
+
+    def visit(node: SpanNode) -> None:
+        row = totals.setdefault(node.name, {"count": 0.0, "total": 0.0, "self": 0.0})
+        row["count"] += 1
+        row["total"] += node.duration
+        row["self"] += node.self_time
+        for child in node.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return totals

@@ -24,6 +24,10 @@ class RecoveryEvent:
     """Global batch counter of the snapshot rolled back to (-1 = none)."""
     old_lr: float
     new_lr: float
+    cause: str = ""
+    """Machine-readable divergence cause (e.g. ``nonfinite_loss``,
+    ``nonfinite_grad_norm``) recorded by the health sentinel that fired
+    before the rollback; empty on payloads from before the telemetry layer."""
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ import math
 import os
 import signal as signal_module
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
@@ -26,6 +27,14 @@ from typing import Callable
 from repro.data.batching import Batch, BatchIterator
 from repro.models.base import QuestionGenerator
 from repro.nn.embedding import Embedding
+from repro.observability import (
+    Telemetry,
+    TerminalSink,
+    emit_gate_statistics,
+    get_telemetry,
+    nonfinite_sentinel,
+    param_norm,
+)
 from repro.optim import SGD, HalveAtEpoch, clip_grad_norm
 from repro.optim.optimizers import Optimizer
 from repro.optim.schedules import Schedule
@@ -58,11 +67,14 @@ class TrainingDiverged(RuntimeError):
     holds the :class:`~repro.training.history.RecoveryEvent` list.
     """
 
-    def __init__(self, message: str) -> None:
+    def __init__(self, message: str, cause: str = "nonfinite") -> None:
         super().__init__(message)
         self.recovery_log: list[RecoveryEvent] = []
         self.epoch: int | None = None
         self.batches_done: int | None = None
+        self.cause = cause
+        """Machine-readable divergence cause, copied into the
+        :class:`~repro.training.history.RecoveryEvent` on rollback."""
 
 
 class TrainingInterrupted(RuntimeError):
@@ -127,6 +139,13 @@ class Trainer:
         Optional fault-tolerance settings; enables snapshotting, crash-safe
         resume, and divergence recovery (see
         :mod:`repro.training.resilience`).
+    telemetry:
+        Event hub for structured run telemetry (loss/grad-norm gauges,
+        spans, health sentinels). Defaults to the ambient hub installed by
+        :func:`repro.observability.use_telemetry`; when none is installed,
+        a terminal-only hub keeps ``log_every`` progress lines visible.
+        Snapshots record the telemetry cursor, so a resumed run appends to
+        the same trace with no gaps or duplicates.
     """
 
     def __init__(
@@ -139,11 +158,19 @@ class Trainer:
         schedule: Schedule | None = None,
         epoch_callback: Callable[[EpochRecord], None] | None = None,
         resilience: ResilienceConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.model = model
         self.train_iterator = train_iterator
         self.dev_iterator = dev_iterator
         self.config = config or TrainerConfig()
+        if telemetry is None:
+            telemetry = get_telemetry()
+            if not telemetry.enabled:
+                # Keep human progress lines working with zero configuration:
+                # log events route to the terminal, nothing is persisted.
+                telemetry = Telemetry([TerminalSink()])
+        self.telemetry = telemetry
         self.optimizer = optimizer or SGD(model.parameters(), lr=self.config.learning_rate)
         self.schedule = schedule or HalveAtEpoch(self.optimizer, self.config.halve_at_epoch)
         self.epoch_callback = epoch_callback
@@ -177,24 +204,35 @@ class Trainer:
         TrainingDiverged
             If the loss or the gradient norm is NaN/inf.
         """
+        telemetry = self.telemetry
         self.model.train()
-        loss = self.model.loss(batch)
+        with telemetry.span("forward"):
+            loss = self.model.loss(batch)
         loss_value = loss.item()
-        if not math.isfinite(loss_value):
+        # The sentinel fires *before* the raise, so the trace records the
+        # failure (and the resilience rollback can carry its cause) even
+        # when recovery later rewrites the run's tail.
+        if not nonfinite_sentinel(
+            telemetry, "loss", loss_value, lr=self.optimizer.lr, batch=batch.size
+        ):
             raise TrainingDiverged(
                 f"non-finite training loss {loss_value} "
-                f"(lr={self.optimizer.lr:g}, batch of {batch.size})"
+                f"(lr={self.optimizer.lr:g}, batch of {batch.size})",
+                cause="nonfinite_loss",
             )
-        loss.backward()
+        with telemetry.span("backward"):
+            loss.backward()
         for embedding in self._embeddings:
             embedding.zero_padding_grad()
         norm = clip_grad_norm(self.optimizer.parameters, self.config.clip_norm)
-        if not math.isfinite(norm):
+        if not nonfinite_sentinel(telemetry, "grad_norm", norm, lr=self.optimizer.lr):
             raise TrainingDiverged(
                 f"non-finite gradient norm (lr={self.optimizer.lr:g}); "
-                "consider a lower learning rate or tighter clip_norm"
+                "consider a lower learning rate or tighter clip_norm",
+                cause="nonfinite_grad_norm",
             )
-        self.optimizer.step()
+        with telemetry.span("optimizer_step"):
+            self.optimizer.step()
         self.model.zero_grad()
         return loss_value, norm
 
@@ -241,6 +279,11 @@ class Trainer:
                 "epoch_start_iterator": self._epoch_start_iter_state,
                 "model": capture_module_rng_states(self.model),
             },
+            # Where the telemetry stream stood when this snapshot was taken
+            # (cursor + open histogram windows): a resume rewinds the trace
+            # to this point, so replayed batches overwrite the dead tail
+            # instead of duplicating it.
+            "telemetry": self.telemetry.state(),
         }
         return arrays, meta
 
@@ -264,6 +307,13 @@ class Trainer:
         self._retries_used = max(self._retries_used, int(meta["retries_used"]))
         self._finished = bool(meta.get("finished", False))
         self._step = int(meta["step"])
+
+        telemetry_state = meta.get("telemetry")
+        if telemetry_state and telemetry_state.get("cursor") is not None:
+            self.telemetry.restore(telemetry_state)
+        self.telemetry.run_marker(
+            "resume", step=int(meta["step"]), epoch=int(meta["epoch"]), phase=str(meta["phase"])
+        )
 
         rng = meta["rng"]
         restore_module_rng_states(self.model, rng["model"])
@@ -330,6 +380,7 @@ class Trainer:
             return
         signum = self._interrupt_signum
         self._interrupt_signum = None
+        self.telemetry.run_marker("interrupt", signum=signum, epoch=epoch, batch=batch_cursor)
         path = self._snapshot("interrupt", epoch, batch_cursor, accum)
         raise TrainingInterrupted(
             f"received signal {signum} at epoch {epoch} after {batch_cursor} batches; "
@@ -361,6 +412,14 @@ class Trainer:
             batch=exc.batches_done if exc.batches_done is not None else -1,
             reason=str(exc),
             restored_step=int(meta["step"]),
+            old_lr=old_lr,
+            new_lr=new_lr,
+            cause=getattr(exc, "cause", ""),
+        )
+        self.telemetry.run_marker(
+            "recovery",
+            cause=event.cause,
+            restored_step=event.restored_step,
             old_lr=old_lr,
             new_lr=new_lr,
         )
@@ -410,6 +469,7 @@ class Trainer:
     # ------------------------------------------------------------------
     def _run(self, resume_state: tuple[dict, dict] | None) -> TrainingHistory:
         config = self.config
+        telemetry = self.telemetry
         start_epoch, resume_cursor = 1, 0
         self._epoch_start_iter_state = None
         self._resume_accum = None
@@ -424,6 +484,17 @@ class Trainer:
             self._best_dev = float("inf")
             self._epochs_without_improvement = 0
             self._finished = False
+            telemetry.run_marker(
+                "train_start",
+                epochs=config.epochs,
+                lr=float(self.schedule.base_lr),
+                batches_per_epoch=len(self.train_iterator),
+            )
+        telemetry.set_step(self._step)
+        if hasattr(self.model, "collect_gate_stats"):
+            # Switch-gate (Eq. 2/4) statistics are accumulated by the model
+            # only when someone is listening.
+            self.model.collect_gate_stats = telemetry.enabled
 
         if self._pending_backoff is not None:
             self.schedule.base_lr *= self._pending_backoff
@@ -458,45 +529,59 @@ class Trainer:
                 )
             self._resume_accum = None
             lr = self.schedule.apply(epoch)
+            epoch_start = time.perf_counter()
 
-            batch_index = 0
-            for batch in self.train_iterator:
-                batch_index += 1
-                if batch_index <= skip:
-                    continue
-                try:
-                    loss, norm = self.train_batch(batch)
-                except TrainingDiverged as exc:
-                    exc.epoch = epoch
-                    exc.batches_done = batch_index - 1
-                    raise
-                accum["loss"] += loss * batch.num_target_tokens
-                accum["tokens"] += batch.num_target_tokens
-                accum["norm"] += norm
-                accum["batches"] += 1
-                self._step += 1
-                if config.log_every and batch_index % config.log_every == 0:
-                    print(
-                        f"epoch {epoch} batch {batch_index}/{len(self.train_iterator)} "
-                        f"loss {loss:.4f} lr {lr:g}"
+            with telemetry.span("epoch", extra={"epoch": epoch}):
+                batch_index = 0
+                for batch in self.train_iterator:
+                    batch_index += 1
+                    if batch_index <= skip:
+                        continue
+                    batch_start = time.perf_counter()
+                    telemetry.set_step(self._step + 1)
+                    try:
+                        loss, norm = self.train_batch(batch)
+                    except TrainingDiverged as exc:
+                        exc.epoch = epoch
+                        exc.batches_done = batch_index - 1
+                        raise
+                    accum["loss"] += loss * batch.num_target_tokens
+                    accum["tokens"] += batch.num_target_tokens
+                    accum["norm"] += norm
+                    accum["batches"] += 1
+                    self._step += 1
+                    telemetry.gauge("train.loss", loss)
+                    telemetry.gauge("train.grad_norm", norm)
+                    telemetry.counter("train.tokens", batch.num_target_tokens)
+                    telemetry.observe(
+                        "train.batch_seconds", time.perf_counter() - batch_start
                     )
-                self._check_interrupt(epoch, batch_index, accum)
-                if snapshot_every and self._step % snapshot_every == 0:
-                    self._snapshot("mid_epoch", epoch, batch_index, accum)
+                    emit_gate_statistics(
+                        telemetry, "train.gate", getattr(self.model, "last_gate_stats", None)
+                    )
+                    if config.log_every and batch_index % config.log_every == 0:
+                        telemetry.log(
+                            f"epoch {epoch} batch {batch_index}/{len(self.train_iterator)} "
+                            f"loss {loss:.4f} lr {lr:g}"
+                        )
+                    self._check_interrupt(epoch, batch_index, accum)
+                    if snapshot_every and self._step % snapshot_every == 0:
+                        self._snapshot("mid_epoch", epoch, batch_index, accum)
 
-            try:
-                # `is not None`, not truthiness: an *empty* dev iterator must
-                # reach evaluate_loss and fail loudly, not silently skip.
-                dev_loss = (
-                    self.evaluate_loss(self.dev_iterator)
-                    if self.dev_iterator is not None
-                    else None
-                )
-            except EmptyEvaluationError as exc:
-                raise EmptyEvaluationError(
-                    f"dev evaluation at epoch {epoch} produced no target tokens "
-                    f"({len(self.dev_iterator)} batches in the dev iterator)"
-                ) from exc
+                try:
+                    # `is not None`, not truthiness: an *empty* dev iterator
+                    # must reach evaluate_loss and fail loudly, not silently
+                    # skip.
+                    if self.dev_iterator is not None:
+                        with telemetry.span("evaluate"):
+                            dev_loss = self.evaluate_loss(self.dev_iterator)
+                    else:
+                        dev_loss = None
+                except EmptyEvaluationError as exc:
+                    raise EmptyEvaluationError(
+                        f"dev evaluation at epoch {epoch} produced no target tokens "
+                        f"({len(self.dev_iterator)} batches in the dev iterator)"
+                    ) from exc
             record = EpochRecord(
                 epoch=epoch,
                 train_loss=accum["loss"] / max(1, accum["tokens"]),
@@ -505,6 +590,15 @@ class Trainer:
                 dev_loss=dev_loss,
             )
             self.history.append(record)
+            telemetry.gauge("train.lr", lr)
+            telemetry.gauge("train.epoch_loss", record.train_loss)
+            if dev_loss is not None:
+                telemetry.gauge("train.dev_loss", dev_loss)
+            telemetry.gauge("train.param_norm", param_norm(self.optimizer.parameters))
+            telemetry.throughput(
+                "train.tokens", accum["tokens"], time.perf_counter() - epoch_start
+            )
+            telemetry.flush_histograms()
             if self.epoch_callback:
                 self.epoch_callback(record)
 
@@ -543,6 +637,13 @@ class Trainer:
 
         if self.best_state is not None:
             self.model.load_state_dict(self.best_state)
+        telemetry.run_marker(
+            "train_finish",
+            step=self._step,
+            epochs_run=len(self.history.records),
+            recoveries=len(self._recovery_events),
+        )
+        telemetry.flush()
         return self.history
 
     @staticmethod

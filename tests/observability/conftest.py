@@ -1,0 +1,55 @@
+"""Shared fixtures for the observability suite.
+
+The golden-trace and continuity tests drive the real ACNN trainer on the
+same tiny deterministic setup the training suite uses; the fault-injection
+helpers are reused from ``tests/training/faults.py`` (pytest's rootdir
+imports resolve per-directory, so the training directory is added to the
+path explicitly).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "training"))
+
+from repro.data import BatchIterator, QGDataset, QGExample  # noqa: E402
+from repro.models import ModelConfig, build_model  # noqa: E402
+
+SENTENCES = [
+    "zorvex was born in karlin .",
+    "mira designed the velkin tower .",
+    "draxby is the capital of ostavia .",
+    "the quen river flows through belcor .",
+    "tovenka built the glass spire .",
+    "the ilex bridge spans the morda .",
+]
+QUESTIONS = [
+    "where was zorvex born ?",
+    "who designed the velkin tower ?",
+    "what is the capital of ostavia ?",
+    "what river flows through belcor ?",
+    "who built the glass spire ?",
+    "what spans the morda ?",
+]
+EXAMPLES = [
+    QGExample(sentence=tuple(s.split()), paragraph=tuple(s.split()), question=tuple(q.split()))
+    for s, q in zip(SENTENCES, QUESTIONS)
+]
+ENCODER, DECODER = QGDataset.build_vocabs(EXAMPLES, 100, 100)
+DATASET = QGDataset(EXAMPLES, ENCODER, DECODER)
+
+
+def build_setup(family: str = "acnn", dropout: float = 0.0):
+    """Fresh seeded model + iterators; identical calls give identical runs."""
+    config = ModelConfig(embedding_dim=8, hidden_size=8, num_layers=1, dropout=dropout, seed=0)
+    model = build_model(family, config, len(ENCODER), len(DECODER))
+    train_it = BatchIterator(DATASET, batch_size=2, seed=0)
+    dev_it = BatchIterator(DATASET, batch_size=2, shuffle=False)
+    return model, train_it, dev_it
+
+
+@pytest.fixture()
+def small_setup():
+    return build_setup()

@@ -1,0 +1,145 @@
+"""Telemetry continuity across crash → resume: one stream, no gaps, no forks.
+
+The contract: a run that dies mid-epoch and resumes in a fresh process
+appends to the *same* trace file, and the final stream is indistinguishable
+from an uninterrupted run's — gap-free ``seq``, each training step reported
+exactly once, and (because resume is bit-exact) the same numeric signal.
+The snapshot records the hub cursor; restore rewinds the JSONL tail past
+it, so events from replayed batches are not duplicated.
+"""
+
+import json
+
+import pytest
+from conftest import build_setup
+from faults import SimulatedCrash, crash_on_nth_train_batch, truncate_file
+
+from repro.observability import JsonlSink, Telemetry, read_trace
+from repro.training import ResilienceConfig, Trainer, TrainerConfig
+
+CFG = TrainerConfig(epochs=3, learning_rate=0.5)
+
+_MEASUREMENT_KINDS = ("gauge", "counter", "histogram")
+
+
+def _crash_then_resume(tmp_path, crash_at):
+    """Kill a traced run before batch ``crash_at``; resume in a 'new process'."""
+    trace = tmp_path / "trace.jsonl"
+    snapdir = tmp_path / "snaps"
+
+    model, train_it, dev_it = build_setup()
+    victim_telemetry = Telemetry([JsonlSink(trace)])
+    victim = Trainer(
+        model, train_it, dev_it, CFG,
+        resilience=ResilienceConfig(directory=snapdir, every_n_batches=2),
+        telemetry=victim_telemetry,
+    )
+    with crash_on_nth_train_batch(victim, crash_at):
+        with pytest.raises(SimulatedCrash):
+            victim.train()
+    victim_telemetry.close()
+
+    model, train_it, dev_it = build_setup()
+    survivor_telemetry = Telemetry([JsonlSink(trace)])
+    try:
+        Trainer(model, train_it, dev_it, CFG, telemetry=survivor_telemetry).train(
+            resume_from=snapdir
+        )
+    finally:
+        survivor_telemetry.close()
+    return trace, snapdir, victim
+
+
+def _reference_trace(tmp_path):
+    trace = tmp_path / "reference.jsonl"
+    model, train_it, dev_it = build_setup()
+    with Telemetry([JsonlSink(trace)]) as telemetry:
+        Trainer(model, train_it, dev_it, CFG, telemetry=telemetry).train()
+    return list(read_trace(trace))
+
+
+def _measurements(records):
+    """The numeric sub-stream, with wall-clock readings zeroed."""
+    rows = []
+    for record in records:
+        if record["kind"] not in _MEASUREMENT_KINDS:
+            continue
+        row = dict(record, seq=0, time=0.0)
+        if record["name"].endswith(".per_sec"):
+            row["value"] = 0.0
+        if record["kind"] == "histogram":
+            row["data"] = {"count": record["data"]["count"]}
+        rows.append(json.dumps(row, sort_keys=True))
+    return rows
+
+
+def test_resumed_stream_is_gap_free_and_duplicate_free(tmp_path):
+    trace, _, _ = _crash_then_resume(tmp_path, crash_at=8)
+    records = list(read_trace(trace))  # schema-validates every line
+
+    assert [r["seq"] for r in records] == list(range(len(records)))
+
+    loss_steps = [r["step"] for r in records if r["name"] == "train.loss"]
+    assert loss_steps == sorted(loss_steps), "steps regressed across the resume"
+    assert len(loss_steps) == len(set(loss_steps)), "replayed batches duplicated"
+
+    markers = [r["name"] for r in records if r["kind"] == "run"]
+    assert markers[0] == "train_start"
+    assert "resume" in markers
+    assert markers[-1] == "train_finish"
+
+    span_ids = [r["data"]["span_id"] for r in records if r["kind"] == "span"]
+    assert len(span_ids) == len(set(span_ids)), "span ids collided across resume"
+
+
+def test_resumed_measurements_match_uninterrupted_run(tmp_path):
+    trace, _, _ = _crash_then_resume(tmp_path, crash_at=8)
+    resumed = _measurements(list(read_trace(trace)))
+    reference = _measurements(_reference_trace(tmp_path))
+    assert resumed == reference
+
+
+def test_continuity_survives_fallback_past_corrupt_snapshot(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    snapdir = tmp_path / "snaps"
+
+    model, train_it, dev_it = build_setup()
+    victim_telemetry = Telemetry([JsonlSink(trace)])
+    victim = Trainer(
+        model, train_it, dev_it, CFG,
+        resilience=ResilienceConfig(directory=snapdir, every_n_batches=2, keep_last=5),
+        telemetry=victim_telemetry,
+    )
+    with crash_on_nth_train_batch(victim, 8):
+        with pytest.raises(SimulatedCrash):
+            victim.train()
+    victim_telemetry.close()
+
+    # The newest snapshot did not survive; resume rolls back a generation,
+    # so *more* of the telemetry tail is truncated — continuity must hold.
+    newest = max(victim._store.list_steps())
+    truncate_file(snapdir / f"snap-{newest:010d}.npz")
+
+    model, train_it, dev_it = build_setup()
+    with Telemetry([JsonlSink(trace)]) as telemetry:
+        Trainer(model, train_it, dev_it, CFG, telemetry=telemetry).train(
+            resume_from=snapdir
+        )
+
+    records = list(read_trace(trace))
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    resumed = _measurements(records)
+    reference = _measurements(_reference_trace(tmp_path))
+    assert resumed == reference
+
+
+def test_trace_torn_by_crash_mid_append_is_still_resumable(tmp_path):
+    trace, snapdir, _ = _crash_then_resume(tmp_path, crash_at=4)
+    # Simulate a later kill tearing the final line, then one more resume.
+    with open(trace, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 99999, "kind": "gau')
+    with Telemetry([JsonlSink(trace)]) as telemetry:
+        telemetry.log("post-repair")
+    records = list(read_trace(trace))
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    assert records[-1]["data"]["message"] == "post-repair"

@@ -1,0 +1,123 @@
+"""Golden-trace regression: identical seeded runs → byte-identical structure.
+
+Wall-clock readings (``time``, span durations, ``*.per_sec`` rates, timing
+histograms) legitimately differ between runs; everything else — the event
+kinds, names, order, sequence numbers, steps, and the *numeric training
+signal itself* (losses, grad norms, gate statistics, scores, token counts)
+— must be byte-stable under the repo's seeded determinism. The comparison
+is therefore done on a normalized trace where only the timing fields are
+zeroed; any other drift (a reordered emitter, a lost event, a numeric
+regression) fails the byte-equality check.
+"""
+
+import json
+
+from conftest import DATASET, build_setup
+
+from repro.observability import (
+    JsonlSink,
+    Telemetry,
+    build_span_tree,
+    read_trace,
+)
+from repro.evaluation import evaluate_model
+from repro.training import Trainer, TrainerConfig
+
+CFG = TrainerConfig(epochs=2, learning_rate=0.5, log_every=2)
+
+
+def _run_once(path):
+    """One seeded train + eval, traced into ``path``."""
+    model, train_it, dev_it = build_setup()
+    telemetry = Telemetry([JsonlSink(path)])
+    try:
+        Trainer(model, train_it, dev_it, CFG, telemetry=telemetry).train()
+        evaluate_model(model, DATASET, beam_size=2, max_length=10, telemetry=telemetry)
+    finally:
+        telemetry.close()
+    return list(read_trace(path))
+
+
+_TIMING_HISTOGRAMS = {"train.batch_seconds"}
+
+
+def _normalize(record):
+    """Zero the wall-clock fields, keep every structural + numeric field."""
+    normalized = dict(record, time=0.0)
+    if normalized["kind"] == "span":
+        normalized["data"] = dict(normalized["data"], duration=0.0)
+    elif normalized["kind"] == "gauge" and normalized["name"].endswith(".per_sec"):
+        normalized["value"] = 0.0
+    elif normalized["kind"] == "histogram" and normalized["name"] in _TIMING_HISTOGRAMS:
+        data = dict(normalized["data"])
+        for key in ("sum", "min", "max", "p50", "p90", "p99"):
+            data[key] = 0.0
+        normalized["data"] = data
+    return normalized
+
+
+def _normalized_bytes(records):
+    return "\n".join(
+        json.dumps(_normalize(record), sort_keys=True) for record in records
+    ).encode()
+
+
+def test_identical_seeded_runs_produce_identical_trace_structure(tmp_path):
+    first = _run_once(tmp_path / "a.jsonl")
+    second = _run_once(tmp_path / "b.jsonl")
+    assert _normalized_bytes(first) == _normalized_bytes(second)
+
+
+def test_trace_content_and_ordering_invariants(tmp_path):
+    records = _run_once(tmp_path / "trace.jsonl")
+
+    # read_trace already schema-validated every line; pin the stream basics.
+    assert [r["seq"] for r in records] == list(range(len(records)))
+
+    names = {r["name"] for r in records}
+    for required in (
+        "train.loss",
+        "train.grad_norm",
+        "train.lr",
+        "train.param_norm",
+        "train.tokens",
+        "train.tokens.per_sec",
+        "train.gate.z_mean",
+        "train.gate.copy_rate",
+        "train.batch_seconds",
+        "decode.steps",
+        "decode.tokens.per_sec",
+        "decode.hypotheses.per_sec",
+        "decode.gate.z_mean",
+        "eval.BLEU-4",
+        "eval.ROUGE-L",
+        "train_start",
+        "train_finish",
+        "log",
+    ):
+        assert required in names, f"missing {required} in trace"
+
+    # Training steps never regress along the stream.
+    loss_steps = [r["step"] for r in records if r["name"] == "train.loss"]
+    assert loss_steps == sorted(loss_steps)
+    assert len(loss_steps) == len(set(loss_steps)), "one loss gauge per step"
+
+    # The span forest is well-formed and phase timings fit their parents.
+    spans = [r for r in records if r["kind"] == "span"]
+    span_names = {r["name"] for r in spans}
+    assert {"epoch", "forward", "backward", "optimizer_step", "evaluate", "eval",
+            "encode", "decode.batch", "metrics"} <= span_names
+
+    def check(node):
+        assert node.child_time <= node.duration + 1e-6, node.name
+        for child in node.children:
+            check(child)
+
+    for root in build_span_tree(spans):
+        check(root)
+
+
+def test_terminal_progress_lines_ride_the_trace(tmp_path):
+    records = _run_once(tmp_path / "trace.jsonl")
+    messages = [r["data"]["message"] for r in records if r["kind"] == "log"]
+    assert any("loss" in message for message in messages), "log_every lines missing"

@@ -1,0 +1,185 @@
+"""Health monitors: sentinels, norms, gate stats, throughput meters.
+
+The end-to-end half of this file pins the contract the resilience layer
+depends on: when the paper's lr=1.0 recipe produces a NaN loss, the
+``health.*`` sentinel event lands in the trace *before* the rollback, and
+the resulting :class:`~repro.training.history.RecoveryEvent` carries the
+machine-readable cause the sentinel established.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from faults import nan_loss_on_nth_batch
+
+from repro.observability import (
+    MemorySink,
+    Telemetry,
+    ThroughputMeter,
+    emit_gate_statistics,
+    gate_statistics,
+    nonfinite_sentinel,
+    param_norm,
+)
+from repro.training import ResilienceConfig, Trainer, TrainerConfig, TrainingDiverged
+
+
+def _hub():
+    sink = MemorySink()
+    return Telemetry([sink]), sink
+
+
+# ----------------------------------------------------------------------
+# nonfinite_sentinel
+# ----------------------------------------------------------------------
+def test_finite_values_emit_nothing():
+    telemetry, sink = _hub()
+    assert nonfinite_sentinel(telemetry, "loss", 3.5)
+    assert sink.records == []
+
+
+@pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+def test_nonfinite_values_fire_health_gauge_and_log(value):
+    telemetry, sink = _hub()
+    assert not nonfinite_sentinel(telemetry, "grad_norm", value, step=4, lr=0.5)
+    gauge = sink.of_kind("gauge")[0]
+    assert gauge["name"] == "health.grad_norm"
+    assert gauge["step"] == 4
+    assert math.isnan(gauge["value"]) or math.isinf(gauge["value"])
+    message = sink.of_kind("log")[0]["data"]["message"]
+    assert "non-finite grad_norm" in message
+    assert "lr=0.5" in message
+
+
+# ----------------------------------------------------------------------
+# param_norm / gate statistics
+# ----------------------------------------------------------------------
+def test_param_norm_matches_manual_l2():
+    class FakeParameter:
+        def __init__(self, data):
+            self.data = np.asarray(data, dtype=np.float64)
+
+    parameters = [FakeParameter([3.0, 0.0]), FakeParameter([[0.0, 4.0]])]
+    assert param_norm(parameters) == pytest.approx(5.0)
+
+
+def test_gate_statistics_normalizes_sums():
+    stats = gate_statistics(z_sum=6.0, entropy_sum=3.0, copy_sum=9.0, tokens=12)
+    assert stats == {"z_mean": 0.5, "z_entropy": 0.25, "copy_rate": 0.75, "tokens": 12}
+    empty = gate_statistics(0.0, 0.0, 0.0, 0)
+    assert empty["tokens"] == 0 and empty["z_mean"] == 0.0
+
+
+def test_emit_gate_statistics_gauges_each_field():
+    telemetry, sink = _hub()
+    emit_gate_statistics(
+        telemetry,
+        "train.gate",
+        {"z_mean": 0.5, "z_entropy": 0.25, "copy_rate": 0.75, "tokens": 12},
+        step=2,
+    )
+    names = {r["name"]: r["value"] for r in sink.of_kind("gauge")}
+    assert names == {
+        "train.gate.z_mean": 0.5,
+        "train.gate.z_entropy": 0.25,
+        "train.gate.copy_rate": 0.75,
+    }
+
+
+def test_emit_gate_statistics_skips_empty():
+    telemetry, sink = _hub()
+    emit_gate_statistics(telemetry, "train.gate", None)
+    emit_gate_statistics(telemetry, "train.gate", {"z_mean": 0, "tokens": 0})
+    assert sink.records == []
+
+
+def test_acnn_gate_stats_accumulate_only_when_enabled(small_setup):
+    model, train_it, _ = small_setup
+    batch = next(iter(train_it))
+    model.loss(batch)
+    assert model.last_gate_stats is None
+    model.collect_gate_stats = True
+    model.loss(batch)
+    stats = model.last_gate_stats
+    assert stats["tokens"] > 0
+    assert 0.0 <= stats["z_mean"] <= 1.0
+    assert 0.0 <= stats["copy_rate"] <= 1.0
+    assert stats["z_entropy"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# ThroughputMeter
+# ----------------------------------------------------------------------
+def test_throughput_meter_windows_and_rates():
+    telemetry, sink = _hub()
+    ticks = iter([0.0, 2.0])
+    meter = ThroughputMeter(telemetry, "train.tokens", clock=lambda: next(ticks))
+    meter.start()
+    meter.add(10)
+    meter.add(10)
+    elapsed = meter.stop()
+    assert elapsed == 2.0
+    (record,) = sink.of_kind("gauge")
+    assert record["name"] == "train.tokens.per_sec"
+    assert record["value"] == pytest.approx(10.0)
+
+
+def test_throughput_meter_guards_window_misuse():
+    telemetry, _ = _hub()
+    meter = ThroughputMeter(telemetry, "x")
+    with pytest.raises(RuntimeError):
+        meter.add(1)
+    with pytest.raises(RuntimeError):
+        meter.stop()
+
+
+def test_throughput_meter_as_context_manager():
+    telemetry, sink = _hub()
+    with ThroughputMeter(telemetry, "eval.examples") as meter:
+        meter.add(4)
+    assert sink.of_kind("gauge")[0]["name"] == "eval.examples.per_sec"
+
+
+# ----------------------------------------------------------------------
+# End-to-end: sentinel fires before rollback, RecoveryEvent carries cause
+# ----------------------------------------------------------------------
+def test_sentinel_precedes_rollback_and_recovery_records_cause(tmp_path, small_setup):
+    model, train_it, dev_it = small_setup
+    sink = MemorySink()
+    trainer = Trainer(
+        model,
+        train_it,
+        dev_it,
+        TrainerConfig(epochs=2, learning_rate=1.0),
+        resilience=ResilienceConfig(directory=tmp_path / "snaps", max_retries=1),
+        telemetry=Telemetry([sink]),
+    )
+    with nan_loss_on_nth_batch(model, 2):
+        history = trainer.train()
+
+    (event,) = history.events
+    assert event.cause == "nonfinite_loss"
+
+    health = [r for r in sink.records if r["name"].startswith("health.")]
+    assert health and health[0]["name"] == "health.loss"
+    recovery_markers = [r for r in sink.of_kind("run") if r["name"] == "recovery"]
+    assert recovery_markers[0]["data"]["cause"] == "nonfinite_loss"
+    # Stream order: the sentinel must land before the recovery marker.
+    assert health[0]["seq"] < recovery_markers[0]["seq"]
+
+
+def test_exhausted_budget_surfaces_cause_on_exception(tmp_path, small_setup):
+    model, train_it, dev_it = small_setup
+    trainer = Trainer(
+        model,
+        train_it,
+        dev_it,
+        TrainerConfig(epochs=1, learning_rate=1.0),
+        resilience=ResilienceConfig(directory=tmp_path / "snaps", max_retries=0),
+        telemetry=Telemetry([MemorySink()]),
+    )
+    with nan_loss_on_nth_batch(model, 1):
+        with pytest.raises(TrainingDiverged) as excinfo:
+            trainer.train()
+    assert excinfo.value.cause == "nonfinite_loss"

@@ -1,0 +1,255 @@
+"""Hub + sink mechanics: sequencing, resume truncation, spans, schema."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    JsonlSink,
+    MemorySink,
+    NullTelemetry,
+    SchemaViolation,
+    Telemetry,
+    TerminalSink,
+    get_telemetry,
+    read_trace,
+    use_telemetry,
+    validate_record,
+)
+
+
+def _hub():
+    sink = MemorySink()
+    return Telemetry([sink]), sink
+
+
+# ----------------------------------------------------------------------
+# Sequencing and event shape
+# ----------------------------------------------------------------------
+def test_events_carry_gap_free_sequence():
+    telemetry, sink = _hub()
+    telemetry.counter("a", 1)
+    telemetry.gauge("b", 2.0)
+    telemetry.log("hello")
+    telemetry.run_marker("start", epochs=3)
+    with telemetry.span("phase"):
+        pass
+    assert [r["seq"] for r in sink.records] == list(range(5))
+    for record in sink.records:
+        validate_record(record)
+
+
+def test_ambient_step_is_stamped_and_overridable():
+    telemetry, sink = _hub()
+    telemetry.set_step(7)
+    telemetry.gauge("loss", 1.0)
+    telemetry.gauge("loss", 1.0, step=9)
+    telemetry.set_step(None)
+    telemetry.gauge("loss", 1.0)
+    assert [r.get("step") for r in sink.records] == [7, 9, None]
+
+
+def test_cursor_is_next_sequence_number():
+    telemetry, sink = _hub()
+    assert telemetry.cursor() == 0
+    telemetry.counter("a")
+    telemetry.counter("a")
+    assert telemetry.cursor() == 2
+
+
+def test_throughput_emits_rate_gauge():
+    telemetry, sink = _hub()
+    telemetry.throughput("decode.tokens", 50, 2.0)
+    (record,) = sink.records
+    assert record["name"] == "decode.tokens.per_sec"
+    assert record["value"] == 25.0
+    telemetry.throughput("decode.tokens", 50, 0.0)
+    assert sink.records[-1]["value"] == 0.0
+
+
+def test_histograms_flush_sorted_and_reset():
+    telemetry, sink = _hub()
+    for value in (3.0, 1.0, 2.0):
+        telemetry.observe("b.window", value)
+    telemetry.observe("a.window", 5.0)
+    telemetry.flush_histograms()
+    names = [r["name"] for r in sink.records]
+    assert names == ["a.window", "b.window"]
+    assert sink.records[1]["data"]["count"] == 3
+    sink.records.clear()
+    telemetry.flush_histograms()
+    assert sink.records == []  # windows were reset
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def test_nested_spans_record_parent_and_depth():
+    telemetry, sink = _hub()
+    with telemetry.span("outer", extra={"epoch": 1}):
+        with telemetry.span("inner"):
+            pass
+    inner, outer = (r["data"] for r in sink.of_kind("span"))
+    assert outer["epoch"] == 1
+    assert outer["parent_id"] is None and outer["depth"] == 0
+    assert inner["parent_id"] == outer["span_id"] and inner["depth"] == 1
+    assert inner["span_id"] > outer["span_id"], "ids assigned at open time"
+
+
+def test_span_attachments_merge_into_payload():
+    telemetry, sink = _hub()
+    with telemetry.span("decode") as info:
+        info["tokens"] = 42
+    assert sink.of_kind("span")[0]["data"]["tokens"] == 42
+
+
+def test_span_profile_attaches_tape_counts():
+    from repro.tensor.core import Tensor
+
+    telemetry, sink = _hub()
+    with telemetry.span("forward", profile=True):
+        x = Tensor(np.ones((3, 3)), requires_grad=True)
+        (x * x).sum().backward()
+    data = sink.of_kind("span")[0]["data"]
+    assert data["tape_nodes"] > 0
+    assert data["tape_elements"] > 0
+
+
+def test_span_emitted_even_when_body_raises():
+    telemetry, sink = _hub()
+    with pytest.raises(RuntimeError):
+        with telemetry.span("doomed"):
+            raise RuntimeError("boom")
+    assert [r["name"] for r in sink.of_kind("span")] == ["doomed"]
+
+
+# ----------------------------------------------------------------------
+# JSONL sink: durability, tail repair, resume truncation
+# ----------------------------------------------------------------------
+def test_jsonl_roundtrip_and_validation(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Telemetry([JsonlSink(path)]) as telemetry:
+        telemetry.gauge("train.loss", 3.5, step=1)
+        with telemetry.span("epoch"):
+            telemetry.counter("train.tokens", 128, step=1)
+    records = list(read_trace(path))
+    assert [r["seq"] for r in records] == [0, 1, 2]
+    assert records[0]["value"] == 3.5
+
+
+def test_new_hub_continues_sequence_of_existing_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Telemetry([JsonlSink(path)]) as telemetry:
+        telemetry.counter("a")
+        telemetry.counter("a")
+    with Telemetry([JsonlSink(path)]) as telemetry:
+        assert telemetry.cursor() == 2
+        telemetry.counter("a")
+    assert [r["seq"] for r in read_trace(path)] == [0, 1, 2]
+
+
+def test_torn_final_line_is_repaired_on_open(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Telemetry([JsonlSink(path)]) as telemetry:
+        telemetry.counter("a")
+        telemetry.counter("a")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 2, "kind": "coun')  # killed mid-append
+    sink = JsonlSink(path)
+    assert sink.last_seq == 1
+    sink.close()
+    assert [r["seq"] for r in read_trace(path)] == [0, 1]
+
+
+def test_earlier_corruption_is_refused(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("definitely not json\n")
+        handle.write(json.dumps({"seq": 0, "kind": "counter", "name": "a", "time": 0.0, "value": 1.0}) + "\n")
+    with pytest.raises(ValueError, match="corrupt telemetry trace"):
+        JsonlSink(path)
+
+
+def test_resume_at_truncates_and_continues_without_gap(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    telemetry = Telemetry([JsonlSink(path)])
+    for _ in range(6):
+        telemetry.counter("a")
+    telemetry.resume_at(3)  # snapshot cursor: events 3..5 will be re-emitted
+    telemetry.counter("a")
+    telemetry.close()
+    assert [r["seq"] for r in read_trace(path)] == [0, 1, 2, 3]
+
+
+def test_resume_at_keeps_span_ids_unique(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Telemetry([JsonlSink(path)]) as telemetry:
+        with telemetry.span("early"):
+            pass
+        telemetry.counter("a")
+    # Fresh process resumes at the recorded cursor and opens new spans.
+    with Telemetry([JsonlSink(path)]) as telemetry:
+        telemetry.resume_at(2)
+        with telemetry.span("late"):
+            pass
+    spans = [r["data"]["span_id"] for r in read_trace(path) if r["kind"] == "span"]
+    assert len(spans) == len(set(spans))
+
+
+# ----------------------------------------------------------------------
+# Terminal sink + null hub + ambient stack
+# ----------------------------------------------------------------------
+def test_terminal_sink_prints_only_logs_and_run_markers():
+    stream = io.StringIO()
+    telemetry = Telemetry([TerminalSink(stream)])
+    telemetry.gauge("train.loss", 1.0)
+    telemetry.counter("train.tokens", 5)
+    telemetry.log("epoch 1 done")
+    telemetry.run_marker("train_start", epochs=2)
+    lines = stream.getvalue().splitlines()
+    assert lines == ["epoch 1 done", "[run] train_start epochs=2"]
+
+
+def test_null_telemetry_is_inert():
+    telemetry = NullTelemetry()
+    assert not telemetry.enabled
+    telemetry.counter("a")
+    telemetry.gauge("b", float("nan"))
+    telemetry.observe("c", 1.0)
+    telemetry.flush_histograms()
+    with telemetry.span("anything") as info:
+        assert info == {}
+    telemetry.close()
+
+
+def test_ambient_hub_stack():
+    assert isinstance(get_telemetry(), NullTelemetry)
+    telemetry, sink = _hub()
+    with use_telemetry(telemetry):
+        assert get_telemetry() is telemetry
+        with use_telemetry(None):
+            assert isinstance(get_telemetry(), NullTelemetry)
+        assert get_telemetry() is telemetry
+    assert isinstance(get_telemetry(), NullTelemetry)
+
+
+# ----------------------------------------------------------------------
+# Schema edge cases
+# ----------------------------------------------------------------------
+def test_schema_rejects_nonfinite_outside_health():
+    bad = {"seq": 0, "kind": "gauge", "name": "train.loss", "time": 0.0, "value": float("nan")}
+    with pytest.raises(SchemaViolation):
+        validate_record(bad)
+    ok = dict(bad, name="health.loss")
+    validate_record(ok)
+
+
+def test_schema_rejects_malformed_events():
+    with pytest.raises(SchemaViolation):
+        validate_record({"kind": "gauge", "name": "a", "time": 0.0, "value": 1.0})
+    with pytest.raises(SchemaViolation):
+        validate_record({"seq": 0, "kind": "mystery", "name": "a", "time": 0.0})
+    with pytest.raises(SchemaViolation):
+        validate_record({"seq": 0, "kind": "span", "name": "a", "time": 0.0, "data": {}})

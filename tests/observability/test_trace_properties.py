@@ -1,0 +1,151 @@
+"""Property tests: histogram and span-tree invariants under arbitrary input.
+
+The histogram feeds the golden-trace harness, so beyond statistical sanity
+it must be *deterministic* and *order-stable for identical streams* — both
+are pinned here alongside the conservation laws its docstring promises.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import SpanTracker, StreamingHistogram, aggregate_spans, build_span_tree
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_floats, min_size=1, max_size=300)
+
+
+# ----------------------------------------------------------------------
+# StreamingHistogram
+# ----------------------------------------------------------------------
+@given(values=value_lists)
+def test_count_sum_min_max_are_exact(values):
+    histogram = StreamingHistogram(max_samples=16)
+    histogram.observe_many(values)
+    assert histogram.count == len(values)
+    assert histogram.min == min(values)
+    assert histogram.max == max(values)
+    assert math.isclose(histogram.total, math.fsum(values), rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(values=value_lists, qs=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=6))
+def test_quantiles_are_monotone_and_bounded(values, qs):
+    histogram = StreamingHistogram(max_samples=16)
+    histogram.observe_many(values)
+    estimates = [histogram.quantile(q) for q in sorted(qs)]
+    assert all(min(values) <= e <= max(values) for e in estimates)
+    assert all(a <= b + 1e-12 for a, b in zip(estimates, estimates[1:]))
+
+
+@given(values=value_lists)
+def test_identical_streams_summarize_identically(values):
+    a = StreamingHistogram.of(values, max_samples=16)
+    b = StreamingHistogram.of(values, max_samples=16)
+    assert a.summary() == b.summary()
+
+
+@given(left=value_lists, right=value_lists)
+def test_merge_conserves_exact_statistics(left, right):
+    merged = StreamingHistogram.of(left, max_samples=16).merge(
+        StreamingHistogram.of(right, max_samples=16)
+    )
+    assert merged.count == len(left) + len(right)
+    assert merged.min == min(left + right)
+    assert merged.max == max(left + right)
+    assert math.isclose(
+        merged.total, math.fsum(left + right), rel_tol=1e-9, abs_tol=1e-6
+    )
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=2000))
+@settings(max_examples=30)
+def test_retained_sample_is_bounded(values):
+    histogram = StreamingHistogram(max_samples=8)
+    histogram.observe_many(values)
+    assert len(histogram._sample) <= 8
+    histogram.quantile(0.5)  # still answerable after heavy thinning
+
+
+def test_histogram_rejects_nonfinite():
+    histogram = StreamingHistogram()
+    with pytest.raises(ValueError):
+        histogram.observe(float("nan"))
+    with pytest.raises(ValueError):
+        histogram.observe(float("inf"))
+
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+@st.composite
+def span_programs(draw):
+    """A random well-nested open/close program as a bracket sequence."""
+    names = st.sampled_from(["encode", "decode", "backward", "step", "eval"])
+    program = []
+    depth = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=40))):
+        if depth > 0 and draw(st.booleans()):
+            program.append(("close", None))
+            depth -= 1
+        else:
+            program.append(("open", draw(names)))
+            depth += 1
+    program.extend([("close", None)] * depth)
+    return program
+
+
+def _run_program(program):
+    """Execute a bracket program on a tracker with a deterministic clock."""
+    completed = []
+    ticks = iter(range(10_000))
+    tracker = SpanTracker(completed.append, clock=lambda: float(next(ticks)))
+    stack = []
+    for op, name in program:
+        if op == "open":
+            manager = tracker.span(name)
+            manager.__enter__()
+            stack.append(manager)
+        else:
+            stack.pop().__exit__(None, None, None)
+    return [record.to_payload() | {"name": record.name} for record in completed]
+
+
+@given(program=span_programs())
+def test_child_time_never_exceeds_parent_duration(program):
+    spans = _run_program(program)
+    roots = build_span_tree(spans)
+
+    def check(node):
+        assert node.child_time <= node.duration + 1e-9
+        assert node.self_time >= 0.0
+        for child in node.children:
+            assert child.span_id > node.span_id, "children open after their parent"
+            check(child)
+
+    for root in roots:
+        check(root)
+
+
+@given(program=span_programs())
+def test_aggregate_conserves_counts_and_wall_clock(program):
+    spans = _run_program(program)
+    totals = aggregate_spans(spans)
+    assert sum(row["count"] for row in totals.values()) == len(spans)
+    roots = build_span_tree(spans)
+    wall_clock = sum(root.duration for root in roots)
+    self_total = sum(row["self"] for row in totals.values())
+    assert math.isclose(self_total, wall_clock, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def test_orphan_spans_become_roots():
+    spans = [
+        {"span_id": 5, "parent_id": 99, "depth": 1, "duration": 1.0, "name": "orphan"},
+        {"span_id": 6, "parent_id": 5, "depth": 2, "duration": 0.5, "name": "child"},
+    ]
+    roots = build_span_tree(spans)
+    assert [root.name for root in roots] == ["orphan"]
+    assert [child.name for child in roots[0].children] == ["child"]
