@@ -1,0 +1,197 @@
+"""End-to-end serving smoke test: a 200-request chaos fleet, fully checked.
+
+    PYTHONPATH=src python scripts/serving_smoke.py [output_dir]
+
+Builds a tiny ACNN, wraps it in the hardened inference service with every
+fault type armed at a 10% per-request rate, and drives 200 requests (plus
+a sprinkle of garbage traffic) through the micro-batcher on a manual
+clock. Then checks the serving layer's whole contract:
+
+1. zero uncaught exceptions — every request resolves to a typed outcome;
+2. >= 90% of the valid requests are served (any degradation rung counts);
+3. the accounting is consistent: outcomes, the service ledger, and the
+   telemetry counters all agree, rung-by-rung and shed-reason-by-reason;
+4. faults were actually injected (the run proves resilience, not luck);
+5. a second run with the same seed is byte-identical;
+6. the telemetry trace is schema-valid end to end.
+
+The trace is left under ``<output_dir>`` (default ``results/serving``) so
+CI can upload it as an artifact. Exits non-zero on any violation.
+"""
+
+import os
+import sys
+from collections import Counter
+
+import numpy as np
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+NUM_REQUESTS = 200
+FAULT_RATE = 0.10
+SEED = 7
+
+SENTENCES = [
+    "zorvex was born in karlin .",
+    "mira designed the velkin tower .",
+    "draxby is the capital of ostavia .",
+    "the quen river flows through belcor .",
+    "tovenka built the glass spire .",
+    "the ilex bridge spans the morda .",
+]
+QUESTIONS = [
+    "where was zorvex born ?",
+    "who designed the velkin tower ?",
+    "what is the capital of ostavia ?",
+    "what river flows through belcor ?",
+    "who built the glass spire ?",
+    "what spans the morda ?",
+]
+GARBAGE = ["", "   ", "\t", "zzzq xxkw qqpy vvmn jjwz"]  # rejected, not crashed
+
+
+def build_fleet(trace_path: str | None):
+    from repro.data import QGDataset, QGExample
+    from repro.models import ModelConfig, build_model
+    from repro.observability import JsonlSink, Telemetry
+    from repro.serving import (
+        FaultPlan,
+        InferenceService,
+        ManualClock,
+        MicroBatcher,
+        ServiceConfig,
+    )
+
+    examples = [
+        QGExample(sentence=tuple(s.split()), paragraph=tuple(s.split()),
+                  question=tuple(q.split()))
+        for s, q in zip(SENTENCES, QUESTIONS)
+    ]
+    encoder, decoder = QGDataset.build_vocabs(examples, 100, 100)
+    config = ModelConfig(embedding_dim=8, hidden_size=10, num_layers=1, dropout=0.0, seed=3)
+    model = build_model("acnn", config, len(encoder), len(decoder))
+
+    telemetry = Telemetry([JsonlSink(trace_path)]) if trace_path else Telemetry([])
+    service = InferenceService(
+        model,
+        encoder,
+        decoder,
+        config=ServiceConfig(default_deadline_seconds=2.0),
+        clock=ManualClock(),
+        telemetry=telemetry,
+        fault_plan=FaultPlan(
+            seed=SEED,
+            per_request=True,
+            nan_rate=FAULT_RATE,
+            slow_rate=FAULT_RATE,
+            error_rate=FAULT_RATE,
+            slow_seconds=0.2,
+        ),
+    )
+    batcher = MicroBatcher(service, max_batch=4, queue_limit=16)
+    return service, batcher, telemetry
+
+
+def request_texts() -> list[str]:
+    words = sorted({w for s in SENTENCES for w in s.split() if w != "."})
+    rng = np.random.default_rng(555)
+    texts = []
+    for index in range(NUM_REQUESTS):
+        if index % 40 == 17:  # garbage traffic rides along
+            texts.append(GARBAGE[(index // 40) % len(GARBAGE)])
+        else:
+            size = int(rng.integers(3, 7))
+            texts.append(" ".join(rng.choice(words, size=size)))
+    return texts
+
+
+def run_fleet(trace_path: str | None):
+    from repro.serving import GenerationRequest
+
+    service, batcher, telemetry = build_fleet(trace_path)
+    outcomes = []
+    for index, text in enumerate(request_texts()):
+        outcome = batcher.submit(
+            GenerationRequest(text, request_id=f"req-{index:03d}", beam_size=3, max_length=12)
+        )
+        if outcome is not None:
+            outcomes.append(outcome)
+        if (index + 1) % 4 == 0:
+            outcomes.extend(batcher.drain())
+    outcomes.extend(batcher.drain())
+    report = service.report()
+    telemetry.close()
+    return outcomes, report
+
+
+def rows(outcomes):
+    out = []
+    for o in sorted(outcomes, key=lambda o: o.request_id):
+        if o.result is not None:
+            out.append((o.request_id, o.status, o.result.tokens, o.result.rung, o.result.attempts))
+        else:
+            out.append((o.request_id, o.status, o.error, o.reason))
+    return out
+
+
+def main() -> int:
+    from repro.observability import read_trace
+
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join("results", "serving")
+    os.makedirs(output_dir, exist_ok=True)
+    trace_path = os.path.join(output_dir, "trace.jsonl")
+    if os.path.exists(trace_path):
+        os.remove(trace_path)
+
+    print(f"[1/4] chaos fleet: {NUM_REQUESTS} requests, {FAULT_RATE:.0%} fault rate "
+          f"per kind -> {trace_path}", flush=True)
+    outcomes, report = run_fleet(trace_path)
+
+    assert len(outcomes) == NUM_REQUESTS, (
+        f"request accounting leak: {len(outcomes)} outcomes for {NUM_REQUESTS} requests"
+    )
+    statuses = Counter(o.status for o in outcomes)
+    valid = NUM_REQUESTS - statuses.get("rejected", 0)
+    served = statuses.get("served", 0)
+    print(f"      outcomes: {dict(statuses)}; injected: {report['injected']}", flush=True)
+    assert sum(report["injected"].values()) > 0, "no faults injected; chaos proves nothing"
+    assert served >= 0.9 * valid, f"served {served}/{valid} valid requests (< 90%)"
+
+    print("[2/4] checking ledger consistency", flush=True)
+    assert report["served"] == served
+    assert report["rejected"] == statuses.get("rejected", 0)
+    assert report["shed"] == statuses.get("shed", 0)
+    assert report["failed"] == statuses.get("failed", 0)
+    assert sum(report["served_by_rung"].values()) == served
+    assert sum(report["shed_by_reason"].values()) == report["shed"]
+
+    print("[3/4] validating the telemetry trace", flush=True)
+    records = list(read_trace(trace_path))  # raises SchemaViolation on any bad line
+    counters = Counter()
+    for record in records:
+        if record["kind"] == "counter":
+            counters[record["name"]] += record["value"]
+    assert counters.get("serving.served", 0) == served, "serving.served counter drifted"
+    for rung, count in report["served_by_rung"].items():
+        assert counters.get(f"serving.rung.{rung}", 0) == count, f"rung counter {rung} drifted"
+    for reason, count in report["shed_by_reason"].items():
+        assert counters.get(f"serving.shed.{reason}", 0) == count, f"shed counter {reason} drifted"
+
+    print("[4/4] repeat run must be byte-identical", flush=True)
+    outcomes_again, report_again = run_fleet(None)
+    assert rows(outcomes) == rows(outcomes_again), "outputs differ across identical runs"
+    assert report == report_again, "accounting differs across identical runs"
+
+    degraded = served - report["served_by_rung"].get("beam", 0)
+    print(
+        f"serving smoke test: OK ({served}/{valid} valid requests served, "
+        f"{degraded} degraded, {statuses.get('rejected', 0)} rejected, "
+        f"{report['shed']} shed, {report['failed']} failed; "
+        f"{sum(report['injected'].values())} faults injected)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

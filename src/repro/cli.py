@@ -7,6 +7,8 @@ Subcommands:
 - ``acnn train``     — train any model family and save a reusable bundle.
 - ``acnn evaluate``  — BLEU-1..4 / ROUGE-L of a saved bundle on a test split.
 - ``acnn generate``  — generate questions for sentences from a file or stdin.
+- ``acnn serve``     — run sentences through the hardened inference service
+  (admission, deadlines, degradation ladder, breaker; optional chaos).
 
 Every subcommand is offline-first: with no data flags it uses the synthetic
 SQuAD-style corpus, so the full train → evaluate → generate loop works on an
@@ -268,6 +270,72 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.serving import (
+        AdmissionPolicy,
+        FaultPlan,
+        GenerationRequest,
+        InferenceService,
+        MicroBatcher,
+        ServiceConfig,
+    )
+
+    bundle = ModelBundle.load(args.bundle)
+    if args.input:
+        with open(args.input, encoding="utf-8") as handle:
+            lines = [line.strip() for line in handle if line.strip()]
+    else:
+        lines = [line.strip() for line in sys.stdin if line.strip()]
+
+    telemetry = _build_telemetry(args.telemetry_dir)
+    fault_plan = None
+    if args.fault_rate > 0:
+        fault_plan = FaultPlan(
+            seed=args.fault_seed,
+            nan_rate=args.fault_rate,
+            slow_rate=args.fault_rate,
+            error_rate=args.fault_rate,
+            per_request=True,
+        )
+    service = InferenceService(
+        bundle.model,
+        bundle.encoder_vocab,
+        bundle.decoder_vocab,
+        policy=AdmissionPolicy(max_unk_density=args.max_unk_density),
+        config=ServiceConfig(default_deadline_seconds=args.deadline),
+        telemetry=telemetry,
+        fault_plan=fault_plan,
+    )
+    batcher = MicroBatcher(service, max_batch=args.max_batch, queue_limit=args.queue_limit)
+    try:
+        outcomes = []
+        for index, line in enumerate(lines):
+            request = GenerationRequest(
+                line,
+                request_id=f"req-{index}",
+                beam_size=args.beam_size,
+                max_length=args.max_length,
+            )
+            outcome = batcher.submit(request)
+            if outcome is not None:
+                outcomes.append(outcome)
+        outcomes.extend(batcher.drain())
+        for outcome in sorted(outcomes, key=lambda o: o.request_id):
+            if outcome.status == "served":
+                rung = outcome.result.rung
+                print(f"[{outcome.request_id}] ({rung}) {outcome.result.question}")
+            else:
+                detail = outcome.reason or outcome.error or ""
+                print(f"[{outcome.request_id}] {outcome.status}: {detail}")
+        print(json.dumps(service.report(), indent=2), file=sys.stderr)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="acnn", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -359,6 +427,30 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--beam-size", type=int, default=3)
     generate.add_argument("--max-length", type=int, default=24)
     generate.set_defaults(handler=_cmd_generate)
+
+    serve = subparsers.add_parser(
+        "serve", help="hardened inference service over sentences (file or stdin)"
+    )
+    serve.add_argument("--bundle", required=True)
+    serve.add_argument("--input", help="file with one sentence per line (default: stdin)")
+    serve.add_argument("--beam-size", type=int, default=3)
+    serve.add_argument("--max-length", type=int, default=24)
+    serve.add_argument("--deadline", type=float, default=5.0, help="per-request seconds")
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--queue-limit", type=int, default=32)
+    serve.add_argument("--max-unk-density", type=float, default=0.8)
+    serve.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="chaos mode: per-request probability of each injected fault kind",
+    )
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument(
+        "--telemetry-dir",
+        help="append serving telemetry to <dir>/trace.jsonl",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

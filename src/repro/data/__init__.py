@@ -7,7 +7,13 @@ from repro.data.dataset import EncodedExample, QGDataset, SourceMode
 from repro.data.embeddings import embedding_matrix_for_vocab, load_glove_text, pseudo_glove
 from repro.data.examples import QGExample
 from repro.data.splits import split_examples
-from repro.data.squad import load_du_split, load_squad_json, split_sentences
+from repro.data.squad import (
+    DatasetError,
+    LoadReport,
+    load_du_split,
+    load_squad_json,
+    split_sentences,
+)
 from repro.data.synthetic import TEMPLATE_NAMES, SyntheticConfig, SyntheticCorpus, generate_corpus
 from repro.data.tokenizer import detokenize, tokenize
 from repro.data.vocabulary import BOS, EOS, PAD, SPECIAL_TOKENS, UNK, Vocabulary
@@ -29,6 +35,8 @@ __all__ = [
     "load_glove_text",
     "pseudo_glove",
     "QGExample",
+    "DatasetError",
+    "LoadReport",
     "load_du_split",
     "load_squad_json",
     "split_sentences",

@@ -13,6 +13,11 @@ Two formats are supported:
 
 Neither file ships with this repository (offline reproduction); the synthetic
 corpus in :mod:`repro.data.synthetic` is the default substitute.
+
+Both loaders raise :class:`DatasetError` — a :class:`ValueError` carrying the
+offending file and offset — on structural problems, and support a
+skip-and-count mode: pass a :class:`LoadReport` to have per-entry defects
+counted (with reasons) instead of silently vanishing.
 """
 
 from __future__ import annotations
@@ -20,11 +25,61 @@ from __future__ import annotations
 import json
 import os
 import re
+from dataclasses import dataclass, field
 
 from repro.data.examples import QGExample
 from repro.data.tokenizer import tokenize
 
-__all__ = ["load_squad_json", "load_du_split", "split_sentences"]
+__all__ = [
+    "DatasetError",
+    "LoadReport",
+    "load_squad_json",
+    "load_du_split",
+    "split_sentences",
+]
+
+
+class DatasetError(ValueError):
+    """A malformed dataset file, with where-it-broke context.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; carries ``path`` and ``offset`` (a line
+    number for line-aligned files, a JSON path string otherwise).
+    """
+
+    def __init__(self, path, offset, detail: str) -> None:
+        location = f"{path}:{offset}" if offset is not None else str(path)
+        super().__init__(f"{location}: {detail}")
+        self.path = str(path)
+        self.offset = offset
+        self.detail = detail
+
+
+@dataclass
+class LoadReport:
+    """Skip-and-count ledger for one loader call.
+
+    Pass an instance to a loader to record what was dropped and why;
+    defective entries are skipped rather than aborting the whole load.
+    """
+
+    loaded: int = 0
+    skipped: int = 0
+    skipped_by_reason: dict[str, int] = field(default_factory=dict)
+
+    def skip(self, reason: str) -> None:
+        self.skipped += 1
+        self.skipped_by_reason[reason] = self.skipped_by_reason.get(reason, 0) + 1
+
+    def summary(self) -> str:
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(self.skipped_by_reason.items())
+        )
+        return (
+            f"loaded {self.loaded} examples, skipped {self.skipped}"
+            + (f" ({reasons})" if reasons else "")
+        )
 
 _SENTENCE_BOUNDARY = re.compile(r"(?<=[.!?])\s+")
 
@@ -48,37 +103,62 @@ def split_sentences(text: str) -> list[tuple[int, int, str]]:
     return sentences
 
 
-def load_squad_json(path: str | os.PathLike) -> list[QGExample]:
+def load_squad_json(
+    path: str | os.PathLike,
+    report: LoadReport | None = None,
+) -> list[QGExample]:
     """Parse official SQuAD v1.1 JSON into question-generation examples.
 
     Each (question, answer) pair becomes one example whose source sentence
     is the context sentence containing the first answer occurrence.
     Questions whose answer span cannot be located are skipped, mirroring the
-    preprocessing of Du et al.
+    preprocessing of Du et al.; pass ``report`` to count every skip with
+    its reason. Structural defects (bad JSON, wrong schema shapes) raise
+    :class:`DatasetError` pointing at the offending location.
     """
-    with open(path, encoding="utf-8") as handle:
-        payload = json.load(handle)
-    if "data" not in payload:
-        raise ValueError(f"{path} does not look like a SQuAD JSON file (no 'data' key)")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise DatasetError(path, f"line {error.lineno}", f"invalid JSON: {error.msg}") from error
+    if not isinstance(payload, dict) or "data" not in payload:
+        raise DatasetError(path, None, "does not look like a SQuAD JSON file (no 'data' key)")
+    if not isinstance(payload["data"], list):
+        raise DatasetError(path, "data", "'data' must be a list of articles")
 
     examples: list[QGExample] = []
-    for article in payload["data"]:
-        for paragraph in article.get("paragraphs", []):
+    for article_index, article in enumerate(payload["data"]):
+        if not isinstance(article, dict):
+            raise DatasetError(path, f"data[{article_index}]", "article is not an object")
+        for para_index, paragraph in enumerate(article.get("paragraphs", [])):
+            where = f"data[{article_index}].paragraphs[{para_index}]"
+            if not isinstance(paragraph, dict):
+                raise DatasetError(path, where, "paragraph is not an object")
             context = paragraph.get("context", "")
+            if not isinstance(context, str):
+                raise DatasetError(path, where, "'context' is not a string")
             sentences = split_sentences(context)
             paragraph_tokens = tuple(tokenize(context))
-            for qa in paragraph.get("qas", []):
+            for qa_index, qa in enumerate(paragraph.get("qas", [])):
+                if not isinstance(qa, dict):
+                    raise DatasetError(path, f"{where}.qas[{qa_index}]", "qa entry is not an object")
                 answers = qa.get("answers", [])
                 if not answers:
+                    if report is not None:
+                        report.skip("no_answers")
                     continue
                 answer = answers[0]
                 answer_start = answer.get("answer_start", -1)
                 sentence_text = _sentence_containing(sentences, answer_start)
                 if sentence_text is None:
+                    if report is not None:
+                        report.skip("answer_outside_context")
                     continue
                 sentence_tokens = tuple(tokenize(sentence_text))
                 question_tokens = tuple(tokenize(qa.get("question", "")))
                 if not sentence_tokens or not question_tokens:
+                    if report is not None:
+                        report.skip("empty_after_tokenize")
                     continue
                 examples.append(
                     QGExample(
@@ -88,6 +168,8 @@ def load_squad_json(path: str | os.PathLike) -> list[QGExample]:
                         answer=tuple(tokenize(answer.get("text", ""))),
                     )
                 )
+    if report is not None:
+        report.loaded += len(examples)
     return examples
 
 
@@ -104,6 +186,8 @@ def load_du_split(
     src_path: str | os.PathLike,
     tgt_path: str | os.PathLike,
     para_path: str | os.PathLike | None = None,
+    report: LoadReport | None = None,
+    strict: bool = False,
 ) -> list[QGExample]:
     """Load Du et al.'s preprocessed line-aligned files.
 
@@ -114,21 +198,31 @@ def load_du_split(
     para_path:
         Optional third parallel file with the containing paragraphs (used by
         the ``-para`` model variants).
+    report:
+        Skip-and-count ledger; half-empty pairs are recorded instead of
+        vanishing silently.
+    strict:
+        Raise :class:`DatasetError` (with the 1-based line number) on the
+        first half-empty pair instead of skipping it.
     """
     sources = _read_lines(src_path)
     targets = _read_lines(tgt_path)
     if len(sources) != len(targets):
-        raise ValueError(
+        raise DatasetError(
+            src_path,
+            len(sources),
             f"line count mismatch: {src_path} has {len(sources)} lines, "
-            f"{tgt_path} has {len(targets)}"
+            f"{tgt_path} has {len(targets)}",
         )
     paragraphs: list[str] | None = None
     if para_path is not None:
         paragraphs = _read_lines(para_path)
         if len(paragraphs) != len(sources):
-            raise ValueError(
+            raise DatasetError(
+                para_path,
+                len(paragraphs),
                 f"line count mismatch: {para_path} has {len(paragraphs)} lines, "
-                f"expected {len(sources)}"
+                f"expected {len(sources)}",
             )
 
     examples: list[QGExample] = []
@@ -136,9 +230,16 @@ def load_du_split(
         sentence = tuple(src.split())
         question = tuple(tgt.split())
         if not sentence or not question:
+            side = src_path if not sentence else tgt_path
+            if strict:
+                raise DatasetError(side, index + 1, "empty line in aligned pair")
+            if report is not None:
+                report.skip("empty_source" if not sentence else "empty_question")
             continue
         paragraph = tuple(paragraphs[index].split()) if paragraphs else ()
         examples.append(QGExample(sentence=sentence, paragraph=paragraph, question=question))
+    if report is not None:
+        report.loaded += len(examples)
     return examples
 
 

@@ -2,7 +2,10 @@
 
 A deterministic regex tokenizer in the style of the PTB/Stanford pipelines
 used by Du et al.'s released SQuAD split: lowercased words, numbers kept
-whole, punctuation split into its own tokens.
+whole, punctuation split into its own tokens. Words are any Unicode
+letters (``café``, ``straße``, accented names from real SQuAD contexts),
+not just ASCII; inputs that are empty, all-whitespace, or all-control
+characters tokenize to ``[]`` rather than raising.
 """
 
 from __future__ import annotations
@@ -13,9 +16,9 @@ __all__ = ["tokenize", "detokenize"]
 
 _TOKEN_PATTERN = re.compile(
     r"""
-    \d+(?:[.,]\d+)*         # numbers, incl. 1,000 and 3.14
-    | [a-zA-Z]+(?:'[a-z]+)? # words with optional clitic ('s, n't)
-    | [^\w\s]               # any single punctuation mark
+    \d+(?:[.,]\d+)*                   # numbers, incl. 1,000 and 3.14
+    | [^\W\d_]+(?:'[^\W\d_]+)?        # unicode words, optional clitic ('s, n't)
+    | [^\w\s]                         # any single punctuation mark
     """,
     re.VERBOSE,
 )
@@ -31,14 +34,24 @@ def tokenize(text: str) -> list[str]:
     >>> tokenize("Who designed the Eiffel Tower, in 1887?")
     ['who', 'designed', 'the', 'eiffel', 'tower', ',', 'in', '1887', '?']
     """
+    if not isinstance(text, str):
+        raise TypeError(f"tokenize expects a string, got {type(text).__name__}")
+    if not text or text.isspace():
+        return []
     return _TOKEN_PATTERN.findall(text.lower())
 
 
 def detokenize(tokens: list[str]) -> str:
-    """Join tokens back into a readable string (inverse-ish of tokenize)."""
+    """Join tokens back into a readable string (inverse-ish of tokenize).
+
+    Empty tokens are dropped — they carry no surface text and would
+    otherwise produce doubled separators.
+    """
     pieces: list[str] = []
     no_space_before_next = False
     for token in tokens:
+        if not token:
+            continue
         if not pieces or no_space_before_next or token in _CLOSE_PUNCT:
             pieces.append(token)
         else:

@@ -48,8 +48,13 @@ import numpy as np
 from repro.data.batching import Batch
 from repro.data.vocabulary import BOS_ID, EOS_ID, PAD_ID
 from repro.decoding.hypothesis import Hypothesis
-from repro.models.base import OOV_LOG_FLOOR, QuestionGenerator, expand_encoder_context
-from repro.observability import Telemetry, emit_gate_statistics, get_telemetry
+from repro.models.base import (
+    NonFiniteLogits,
+    OOV_LOG_FLOOR,
+    QuestionGenerator,
+    expand_encoder_context,
+)
+from repro.observability import Telemetry, emit_gate_statistics, get_telemetry, nonfinite_sentinel
 from repro.tensor.core import no_grad
 
 __all__ = [
@@ -176,6 +181,7 @@ def batched_beam_search(
     max_length: int = 30,
     length_penalty: float = 1.0,
     telemetry: Telemetry | None = None,
+    deadline=None,
 ) -> list[list[Hypothesis]]:
     """Beam-decode every example simultaneously; returns ranked pools.
 
@@ -184,6 +190,17 @@ def batched_beam_search(
     beam collected; an example whose beam hit ``max_length`` without
     finishing returns its live hypotheses unfinished, like the per-example
     beam.
+
+    ``deadline`` is an optional cooperative budget (any object with a
+    ``check()`` method, e.g. :class:`repro.serving.deadline.Deadline`):
+    it is consulted before the encode and once per beam step, and its own
+    typed error propagates the moment the budget is exhausted — the
+    serving layer catches it to fall down the degradation ladder.
+
+    A decode step that produces NaN log-probabilities raises the typed
+    :class:`~repro.models.base.NonFiniteLogits` (after firing a
+    ``health.decode.logits`` sentinel) instead of silently starving the
+    beam and returning empty hypotheses.
 
     Each call reports one ``decode.batch`` span (with an ``encode`` child),
     step/token counters, and tokens-per-second / hypotheses-per-second
@@ -201,6 +218,8 @@ def batched_beam_search(
     with no_grad(), tel.span(
         "decode.batch", extra={"examples": batch.size, "beam_size": beam_size}
     ) as span_info:
+        if deadline is not None:
+            deadline.check()
         with tel.span("encode"):
             context = model.encode(batch)
         num_examples = context.batch_size
@@ -219,8 +238,16 @@ def batched_beam_search(
         for step in range(max_length):
             if done.all():
                 break
+            if deadline is not None:
+                deadline.check()
             step_lp, new_state = model.step_log_probs(prev, state, expanded)
             steps_run += 1
+            nan_rows = np.isnan(step_lp).any(axis=1)
+            if nan_rows.any():
+                nonfinite_sentinel(
+                    tel, "decode.logits", float("nan"), phase="beam", beam_step=step
+                )
+                raise NonFiniteLogits("step_log_probs", step=step, rows=int(nan_rows.sum()))
             step_lp[:, PAD_ID] = -np.inf
             step_lp[:, BOS_ID] = -np.inf
             v_ext = step_lp.shape[1]
@@ -315,6 +342,7 @@ def batched_beam_decode(
     max_length: int = 30,
     length_penalty: float = 1.0,
     telemetry: Telemetry | None = None,
+    deadline=None,
 ) -> list[Hypothesis]:
     """Best hypothesis per example, via the batch-parallel engine."""
     pools = batched_beam_search(
@@ -324,5 +352,6 @@ def batched_beam_decode(
         max_length=max_length,
         length_penalty=length_penalty,
         telemetry=telemetry,
+        deadline=deadline,
     )
     return [pool[0] for pool in pools]

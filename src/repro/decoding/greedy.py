@@ -7,7 +7,7 @@ import numpy as np
 from repro.data.batching import Batch
 from repro.data.vocabulary import BOS_ID, EOS_ID, PAD_ID
 from repro.decoding.hypothesis import Hypothesis
-from repro.models.base import QuestionGenerator
+from repro.models.base import NonFiniteLogits, QuestionGenerator
 from repro.tensor.core import no_grad
 
 __all__ = ["greedy_decode"]
@@ -17,14 +17,22 @@ def greedy_decode(
     model: QuestionGenerator,
     batch: Batch,
     max_length: int = 30,
+    deadline=None,
 ) -> list[Hypothesis]:
     """Decode every example in the batch greedily.
 
     Returns one finished :class:`Hypothesis` per example; sequences that hit
     ``max_length`` without emitting EOS are returned unfinished.
+
+    ``deadline`` is the same cooperative budget the beam engine accepts
+    (an object with ``check()``, consulted before the encode and once per
+    step); a NaN decode step raises the typed
+    :class:`~repro.models.base.NonFiniteLogits`.
     """
     model.eval()
     with no_grad():
+        if deadline is not None:
+            deadline.check()
         context = model.encode(batch)
         state = model.initial_decoder_state(context)
         batch_size = context.batch_size
@@ -34,8 +42,13 @@ def greedy_decode(
         log_probs = np.zeros(batch_size)
         finished = np.zeros(batch_size, dtype=bool)
 
-        for _ in range(max_length):
+        for step in range(max_length):
+            if deadline is not None:
+                deadline.check()
             step_lp, state = model.step_log_probs(prev, state, context)
+            nan_rows = np.isnan(step_lp).any(axis=1)
+            if nan_rows.any():
+                raise NonFiniteLogits("step_log_probs", step=step, rows=int(nan_rows.sum()))
             step_lp[:, PAD_ID] = -np.inf
             step_lp[:, BOS_ID] = -np.inf
             choices = step_lp.argmax(axis=1)

@@ -102,9 +102,11 @@ def replace_unknowns(
         raise ValueError(f"{len(tokens)} tokens vs {len(attentions)} attention vectors")
     replaced: list[str] = []
     for token, attention in zip(tokens, attentions):
-        if token == UNK and len(source_tokens):
-            best = int(np.argmax(attention[: len(source_tokens)]))
-            replaced.append(source_tokens[best])
+        window = np.asarray(attention)[: len(source_tokens)]
+        if token == UNK and window.size and np.isfinite(window).any():
+            # NaN attention weights must not win the argmax; mask them out.
+            window = np.where(np.isfinite(window), window, -np.inf)
+            replaced.append(source_tokens[int(np.argmax(window))])
         else:
             replaced.append(token)
     return replaced

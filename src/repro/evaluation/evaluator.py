@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.data.batching import BatchIterator
+from repro.data.batching import BatchIterator, collate
 from repro.data.dataset import QGDataset
 from repro.decoding import batched_beam_decode, extended_ids_to_tokens, greedy_decode
 from repro.metrics import bleu_n_scores, corpus_rouge_l
@@ -24,12 +24,17 @@ class EvaluationResult:
     scores: dict[str, float]
     predictions: tuple[tuple[str, ...], ...]
     references: tuple[tuple[str, ...], ...]
+    skipped: int = 0
+    """Examples whose decode raised and were excluded from the scores."""
 
     def __getitem__(self, metric: str) -> float:
         return self.scores[metric]
 
     def summary(self) -> str:
-        return "  ".join(f"{name}={self.scores[name]:.2f}" for name in METRIC_NAMES)
+        line = "  ".join(f"{name}={self.scores[name]:.2f}" for name in METRIC_NAMES)
+        if self.skipped:
+            line += f"  skipped={self.skipped}"
+        return line
 
 
 def evaluate_model(
@@ -50,32 +55,52 @@ def evaluate_model(
     switch-gate statistics come from the batched beam engine itself); the
     metric computation gets its own ``metrics`` child span, and the final
     scores are emitted as ``eval.<metric>`` gauges.
+
+    A failing example does not abort the run: when a batch decode raises,
+    each member is retried alone, and any example that still fails is
+    skipped and counted (``skipped`` on the result, ``eval.skipped``
+    counter in telemetry) so one poison example cannot void a whole
+    evaluation.
     """
     tel = telemetry if telemetry is not None else get_telemetry()
     iterator = BatchIterator(dataset, batch_size=batch_size, shuffle=False)
     predictions: list[tuple[str, ...]] = []
     references: list[tuple[str, ...]] = []
+    skipped = 0
 
     if hasattr(model, "collect_gate_stats"):
         model.collect_gate_stats = tel.enabled
 
+    def _decode(batch):
+        if beam_size == 1:
+            return greedy_decode(model, batch, max_length=max_length)
+        # Batch-parallel engine: every evaluation decodes the whole
+        # batch's hypothesis frontier per step.
+        return batched_beam_decode(
+            model,
+            batch,
+            beam_size=beam_size,
+            max_length=max_length,
+            length_penalty=length_penalty,
+            telemetry=tel,
+        )
+
     eval_start = time.perf_counter()
     with tel.span("eval", extra={"examples": len(dataset), "beam_size": beam_size}):
         for batch in iterator:
-            if beam_size == 1:
-                hypotheses = greedy_decode(model, batch, max_length=max_length)
-            else:
-                # Batch-parallel engine: every evaluation decodes the whole
-                # batch's hypothesis frontier per step.
-                hypotheses = batched_beam_decode(
-                    model,
-                    batch,
-                    beam_size=beam_size,
-                    max_length=max_length,
-                    length_penalty=length_penalty,
-                    telemetry=tel,
-                )
-            for hypothesis, encoded in zip(hypotheses, batch.examples):
+            try:
+                pairs = list(zip(_decode(batch), batch.examples))
+            except Exception:  # noqa: BLE001 - isolate the poison member below
+                pairs = []
+                for encoded in batch.examples:
+                    try:
+                        solo = collate([encoded], pad_id=0)
+                        pairs.append((_decode(solo)[0], encoded))
+                    except Exception as error:  # noqa: BLE001 - skip-and-count
+                        skipped += 1
+                        tel.counter("eval.skipped")
+                        tel.log(f"eval: skipped example ({type(error).__name__}: {error})")
+            for hypothesis, encoded in pairs:
                 tokens = extended_ids_to_tokens(
                     hypothesis.token_ids, dataset.decoder_vocab, encoded.oov_tokens
                 )
@@ -83,10 +108,14 @@ def evaluate_model(
                 references.append(tuple(encoded.example.question))
 
         with tel.span("metrics"):
-            hyp_list = [list(p) if p else ["<empty>"] for p in predictions]
-            ref_list = [[list(r)] for r in references]
-            scores = bleu_n_scores(hyp_list, ref_list)
-            scores["ROUGE-L"] = corpus_rouge_l(hyp_list, ref_list)
+            if predictions:
+                hyp_list = [list(p) if p else ["<empty>"] for p in predictions]
+                ref_list = [[list(r)] for r in references]
+                scores = bleu_n_scores(hyp_list, ref_list)
+                scores["ROUGE-L"] = corpus_rouge_l(hyp_list, ref_list)
+            else:
+                # Every example was skipped; zero scores, not a crash.
+                scores = {name: 0.0 for name in METRIC_NAMES}
 
     tel.gauge("eval.examples", float(len(predictions)))
     tel.throughput("eval.examples", len(predictions), time.perf_counter() - eval_start)
@@ -96,4 +125,5 @@ def evaluate_model(
         scores=scores,
         predictions=tuple(predictions),
         references=tuple(references),
+        skipped=skipped,
     )

@@ -27,6 +27,7 @@ from repro.tensor.core import Tensor
 __all__ = [
     "EncoderContext",
     "DecoderStepState",
+    "NonFiniteLogits",
     "QuestionGenerator",
     "OOV_LOG_FLOOR",
     "expand_encoder_context",
@@ -38,6 +39,27 @@ OOV_LOG_FLOOR = -1e18
 """Log-probability stamp for extended-vocab slots a model cannot reach
 (models without a copy path). Far below any real log-probability; decoders
 treat anything at or below ``OOV_LOG_FLOOR / 10`` as non-viable."""
+
+
+class NonFiniteLogits(RuntimeError):
+    """A decode step produced NaN log-probabilities.
+
+    ``-inf`` is a legitimate masking value (PAD/BOS, unreachable OOV
+    slots), but NaN is always a contract violation — diverged weights, a
+    numerically broken step, or an injected fault. The decoders raise this
+    typed error instead of silently selecting nothing and returning empty
+    hypotheses, so a serving layer can degrade or retry explicitly.
+    """
+
+    def __init__(self, where: str, step: int | None = None, rows: int = 0) -> None:
+        detail = f" at step {step}" if step is not None else ""
+        super().__init__(
+            f"non-finite (NaN) log-probabilities from {where}{detail}"
+            + (f" in {rows} row(s)" if rows else "")
+        )
+        self.where = where
+        self.step = step
+        self.rows = rows
 
 
 @dataclass

@@ -23,6 +23,7 @@ from repro.observability.histogram import StreamingHistogram
 from repro.observability.monitors import (
     ThroughputMeter,
     emit_gate_statistics,
+    emit_state_transition,
     gate_statistics,
     nonfinite_sentinel,
     param_norm,
@@ -49,6 +50,7 @@ __all__ = [
     "StreamingHistogram",
     "ThroughputMeter",
     "emit_gate_statistics",
+    "emit_state_transition",
     "gate_statistics",
     "nonfinite_sentinel",
     "param_norm",

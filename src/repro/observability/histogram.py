@@ -83,7 +83,10 @@ class StreamingHistogram:
             estimate = ordered[low]
         else:
             fraction = position - low
-            estimate = ordered[low] * (1 - fraction) + ordered[high] * fraction
+            # lerp in the a + (b - a) * f form, clamped into its own segment:
+            # rounding can then never push neighbouring quantiles out of order.
+            estimate = ordered[low] + (ordered[high] - ordered[low]) * fraction
+            estimate = min(max(estimate, ordered[low]), ordered[high])
         # The sample can under-cover the extremes after thinning; the exact
         # tracked bounds always win.
         return min(max(estimate, self.min), self.max)

@@ -30,6 +30,7 @@ __all__ = [
     "param_norm",
     "gate_statistics",
     "emit_gate_statistics",
+    "emit_state_transition",
     "ThroughputMeter",
 ]
 
@@ -94,6 +95,28 @@ def emit_gate_statistics(
     telemetry.gauge(f"{prefix}.z_mean", stats["z_mean"], step=step)
     telemetry.gauge(f"{prefix}.z_entropy", stats["z_entropy"], step=step)
     telemetry.gauge(f"{prefix}.copy_rate", stats["copy_rate"], step=step)
+
+
+def emit_state_transition(
+    telemetry: Telemetry,
+    name: str,
+    old: str,
+    new: str,
+    step: int | None = None,
+    **context,
+) -> None:
+    """Record a state-machine edge: one counter per edge plus a log line.
+
+    Used by watchers whose *transitions* are the signal (the serving
+    circuit breaker's closed/open/half-open walk); the counter name
+    ``<name>.transition.<old>_to_<new>`` makes each edge individually
+    countable from the trace.
+    """
+    telemetry.counter(f"{name}.transition.{old}_to_{new}", 1.0, step=step)
+    details = " ".join(f"{k}={v}" for k, v in sorted(context.items()))
+    telemetry.log(
+        f"[{name}] {old} -> {new}{' ' + details if details else ''}", step=step
+    )
 
 
 class ThroughputMeter:

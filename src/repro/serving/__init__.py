@@ -1,0 +1,85 @@
+"""Hardened inference serving around the ACNN decode path.
+
+``repro.serving`` is the production-shaped layer between raw text traffic
+and the decode engines: typed request admission, per-request deadlines
+threaded through encode/decode, a degradation ladder (beam → beam-1 →
+greedy → truncated-greedy), a circuit breaker with jittered retry/backoff,
+bounded-queue micro-batching with load shedding, and a deterministic
+fault-injection seam for chaos testing. Everything reports through the
+:mod:`repro.observability` telemetry hub.
+
+Quick start::
+
+    from repro.serving import GenerationRequest, InferenceService, MicroBatcher
+
+    service = InferenceService(model, encoder_vocab, decoder_vocab)
+    result = service.handle(GenerationRequest("the tower was built in 1889 ."))
+    print(result.question, result.rung)
+
+See docs/architecture.md, "Serving & graceful degradation".
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.breaker import BreakerConfig, CircuitBreaker, RetryPolicy
+from repro.serving.deadline import Clock, Deadline, ManualClock
+from repro.serving.errors import (
+    BreakerOpen,
+    DeadlineExceeded,
+    RejectedRequest,
+    RequestFailed,
+    RequestShed,
+    ServingError,
+    is_retryable,
+)
+from repro.serving.faults import (
+    FaultInjectingModel,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+)
+from repro.serving.ladder import RUNG_NAMES, Rung, build_ladder, run_rung
+from repro.serving.requests import (
+    AdmissionPolicy,
+    GenerationRequest,
+    GenerationResult,
+    RequestValidator,
+)
+from repro.serving.service import (
+    InferenceService,
+    RequestOutcome,
+    ServiceConfig,
+    ServiceStats,
+)
+
+__all__ = [
+    "MicroBatcher",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "Clock",
+    "Deadline",
+    "ManualClock",
+    "BreakerOpen",
+    "DeadlineExceeded",
+    "RejectedRequest",
+    "RequestFailed",
+    "RequestShed",
+    "ServingError",
+    "is_retryable",
+    "FaultInjectingModel",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "RUNG_NAMES",
+    "Rung",
+    "build_ladder",
+    "run_rung",
+    "AdmissionPolicy",
+    "GenerationRequest",
+    "GenerationResult",
+    "RequestValidator",
+    "InferenceService",
+    "RequestOutcome",
+    "ServiceConfig",
+    "ServiceStats",
+]

@@ -1,0 +1,194 @@
+"""Bounded-queue micro-batching over the inference service.
+
+The batcher aggregates admitted requests into one bounded FIFO queue and
+flushes them in groups through the batch-parallel beam engine — the
+throughput path — while keeping the service's fault story intact:
+
+- **load shedding**: a ``submit`` against a full queue is shed (typed
+  outcome, ``serving.shed.queue_full`` counter) instead of growing an
+  unbounded backlog;
+- **fault isolation**: when a batched decode fails, the group falls back
+  to the per-request path, where each request runs its own degradation
+  ladder — one poison request can no longer take down its batchmates.
+
+The core stays synchronous: ``submit`` enqueues (or rejects/sheds) and
+``pump``/``drain`` serve, so tests and the chaos harness control exactly
+when work happens.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.data.batching import collate
+from repro.data.dataset import EncodedExample
+from repro.data.vocabulary import PAD_ID
+from repro.decoding.batched_beam import batched_beam_decode
+from repro.serving.deadline import Deadline
+from repro.serving.errors import BreakerOpen, RejectedRequest, RequestFailed
+from repro.serving.ladder import build_ladder
+from repro.serving.requests import GenerationRequest
+from repro.serving.service import InferenceService, RequestOutcome
+
+__all__ = ["MicroBatcher"]
+
+
+@dataclass
+class _Pending:
+    request: GenerationRequest
+    encoded: EncodedExample
+    deadline: Deadline
+    enqueued_at: float
+
+
+class MicroBatcher:
+    """Aggregates requests for the batched beam engine, with shedding."""
+
+    def __init__(
+        self,
+        service: InferenceService,
+        max_batch: int = 8,
+        queue_limit: int = 32,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.service = service
+        self.max_batch = max_batch
+        self.queue_limit = queue_limit
+        self._queue: deque[_Pending] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def _gauge_depth(self) -> None:
+        self.service.telemetry.gauge("serving.queue.depth", float(self.depth))
+
+    def submit(self, request: GenerationRequest) -> RequestOutcome | None:
+        """Admit into the queue; returns an outcome only when not enqueued.
+
+        ``None`` means the request is pending (serve it with ``pump`` /
+        ``drain``); a returned outcome is a rejection (failed admission)
+        or a shed (queue full) that never entered the queue.
+        """
+        try:
+            encoded = self.service.admit(request)
+        except RejectedRequest as error:
+            return RequestOutcome(
+                request.request_id, "rejected", error=type(error).__name__,
+                reason=error.reason,
+            )
+        if self.depth >= self.queue_limit:
+            self.service.note_shed("queue_full")
+            return RequestOutcome(
+                request.request_id, "shed", error="RequestShed", reason="queue_full"
+            )
+        self._queue.append(
+            _Pending(request, encoded, self.service.start_deadline(request),
+                     self.service.clock.now())
+        )
+        self._gauge_depth()
+        return None
+
+    # ------------------------------------------------------------------
+    def pump(self) -> list[RequestOutcome]:
+        """Serve one micro-batch from the head of the queue."""
+        if not self._queue:
+            return []
+        group = [self._queue.popleft() for _ in range(min(self.max_batch, self.depth))]
+        self._gauge_depth()
+        outcomes = self._serve_group(group)
+        return outcomes
+
+    def drain(self) -> list[RequestOutcome]:
+        """Pump until the queue is empty."""
+        outcomes: list[RequestOutcome] = []
+        while self._queue:
+            outcomes.extend(self.pump())
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _serve_group(self, group: list[_Pending]) -> list[RequestOutcome]:
+        homogeneous = len(group) > 1 and all(
+            entry.request.beam_size == group[0].request.beam_size
+            and entry.request.max_length == group[0].request.max_length
+            for entry in group
+        )
+        if homogeneous and self.service.breaker.state == "closed":
+            fast = self._try_batched(group)
+            if fast is not None:
+                return fast
+            self.service.telemetry.counter("serving.batch_fallback")
+        return [self._serve_one(entry) for entry in group]
+
+    def _try_batched(self, group: list[_Pending]) -> list[RequestOutcome] | None:
+        """One batched top-rung decode for the whole group; None on failure.
+
+        The group shares the earliest member deadline (a batch is only as
+        patient as its most urgent request). Any engine failure abandons
+        the fast path — the per-request ladder takes over, and that path
+        owns the breaker's failure accounting so faults are counted once.
+        """
+        service = self.service
+        first = group[0].request
+        batch = collate([entry.encoded for entry in group], pad_id=PAD_ID)
+        deadline = min(group, key=lambda entry: entry.deadline.expires_at).deadline
+        top_rung = build_ladder(
+            first.beam_size, first.max_length, service.config.truncated_length
+        )[0]
+        if service.injector is not None:
+            service.injector.begin_request()
+        try:
+            hypotheses = batched_beam_decode(
+                service.model,
+                batch,
+                beam_size=first.beam_size,
+                max_length=first.max_length,
+                length_penalty=service.config.length_penalty,
+                telemetry=service.telemetry,
+                deadline=deadline,
+            )
+        except Exception:  # noqa: BLE001 - any engine fault → per-request path
+            return None
+        outcomes: list[RequestOutcome] = []
+        for entry, hypothesis in zip(group, hypotheses):
+            try:
+                result = service._build_result(
+                    entry.request, entry.encoded, hypothesis, top_rung,
+                    attempts=1, started=entry.enqueued_at,
+                )
+            except Exception as error:  # noqa: BLE001 - per-request poison
+                service._note_failed()
+                outcomes.append(
+                    RequestOutcome(
+                        entry.request.request_id, "failed",
+                        error=type(error).__name__,
+                    )
+                )
+                continue
+            service.breaker.record_success()
+            service._note_served(result)
+            outcomes.append(
+                RequestOutcome(entry.request.request_id, "served", result=result)
+            )
+        return outcomes
+
+    def _serve_one(self, entry: _Pending) -> RequestOutcome:
+        service = self.service
+        try:
+            result = service.handle_admitted(entry.request, entry.encoded, entry.deadline)
+        except BreakerOpen as error:
+            return RequestOutcome(
+                entry.request.request_id, "shed", error=type(error).__name__,
+                reason="breaker_open",
+            )
+        except RequestFailed as error:
+            return RequestOutcome(
+                entry.request.request_id, "failed",
+                error=type(error.cause).__name__ if error.cause else "unknown",
+            )
+        return RequestOutcome(entry.request.request_id, "served", result=result)

@@ -1,0 +1,144 @@
+"""Circuit breaker and retry/backoff policy around the decode engine.
+
+The breaker watches a sliding window of engine outcomes. While the engine
+is healthy it stays **closed** and admits everything; when the windowed
+failure rate crosses the threshold it **opens** and the service fails
+fast (no tensor work at all) until a cooldown elapses; it then goes
+**half-open**, letting a limited number of probe requests through — enough
+consecutive successes close it again, any probe failure re-opens it.
+
+The retry policy is the other half of the fault-handling pair: jittered
+exponential backoff for *retryable* faults (see
+:func:`repro.serving.errors.is_retryable`), deterministic given its RNG
+seed so chaos runs replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.serving.deadline import Clock
+from repro.serving.errors import BreakerOpen
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "RetryPolicy"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    window: int = 20
+    """Number of most-recent engine outcomes considered."""
+    failure_threshold: float = 0.5
+    """Open when the windowed failure rate reaches this."""
+    min_samples: int = 5
+    """Never open on fewer than this many observed outcomes."""
+    cooldown_seconds: float = 5.0
+    """How long an open breaker blocks before probing (half-open)."""
+    half_open_probes: int = 2
+    """Consecutive probe successes required to close again."""
+
+
+class CircuitBreaker:
+    """Closed / open / half-open state machine over a sliding window.
+
+    ``on_transition(old, new)`` is invoked on every state change — the
+    service wires it to
+    :func:`repro.observability.monitors.emit_state_transition`.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Clock | None = None,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.clock = clock if clock is not None else Clock()
+        self.on_transition = on_transition
+        self.state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probe_successes = 0
+
+    # ------------------------------------------------------------------
+    def _transition(self, new: str) -> None:
+        old, self.state = self.state, new
+        if new == OPEN:
+            self._opened_at = self.clock.now()
+        if new == HALF_OPEN:
+            self._probe_successes = 0
+        if new == CLOSED:
+            self._outcomes.clear()
+        if self.on_transition is not None and old != new:
+            self.on_transition(old, new)
+
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def _cooldown_remaining(self) -> float:
+        return self._opened_at + self.config.cooldown_seconds - self.clock.now()
+
+    # ------------------------------------------------------------------
+    def admit(self) -> None:
+        """Gate one request; raises :class:`BreakerOpen` while open.
+
+        An open breaker whose cooldown has elapsed flips to half-open and
+        admits the caller as a probe.
+        """
+        if self.state == OPEN:
+            remaining = self._cooldown_remaining()
+            if remaining > 0:
+                raise BreakerOpen(remaining)
+            self._transition(HALF_OPEN)
+
+    def record_success(self) -> None:
+        self._outcomes.append(True)
+        if self.state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.half_open_probes:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._outcomes.append(False)
+        if self.state == HALF_OPEN:
+            # A failed probe: the engine is still sick, back off again.
+            self._transition(OPEN)
+            return
+        if (
+            self.state == CLOSED
+            and len(self._outcomes) >= self.config.min_samples
+            and self.failure_rate() >= self.config.failure_threshold
+        ):
+            self._transition(OPEN)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for retryable engine faults."""
+
+    max_attempts: int = 3
+    """Total engine attempts per request (1 = no retries)."""
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    """Fraction of the computed delay drawn uniformly at random and added
+    on top (decorrelates retry storms; deterministic under a seeded rng)."""
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 + self.jitter * float(rng.random()))

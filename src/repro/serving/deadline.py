@@ -1,0 +1,85 @@
+"""Per-request deadlines over an injectable clock.
+
+A :class:`Deadline` is the cooperative time budget the serving layer
+threads through encode/decode: the beam engine calls ``check()`` once per
+step and the typed :class:`~repro.serving.errors.DeadlineExceeded`
+propagates the moment the budget runs out, without any thread or signal
+machinery (the core stays synchronous).
+
+Clocks are injectable so the chaos suite is deterministic:
+:class:`ManualClock` only moves when something advances it (the fault
+injector's "slow step", the retry policy's backoff sleep), which makes
+deadline expiry — normally a wall-clock race — a reproducible, seedable
+event.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serving.errors import DeadlineExceeded
+
+__all__ = ["Clock", "ManualClock", "Deadline"]
+
+
+class Clock:
+    """Real time: ``monotonic`` now, genuine ``sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock that moves only when told to — determinism for chaos tests.
+
+    ``sleep`` advances instead of blocking, so backoff delays and injected
+    slow steps consume *simulated* time and every run with the same seed
+    replays identically.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._now += float(seconds)
+
+
+class Deadline:
+    """An absolute expiry instant with cooperative checks.
+
+    Decoders only need the ``check()`` method; they hold no import on this
+    module (duck-typed), so the decoding package stays independent of the
+    serving layer.
+    """
+
+    def __init__(self, budget_seconds: float, clock: Clock | None = None) -> None:
+        if budget_seconds <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget_seconds}")
+        self.clock = clock if clock is not None else Clock()
+        self.budget_seconds = float(budget_seconds)
+        self.expires_at = self.clock.now() + self.budget_seconds
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - self.clock.now()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is exhausted."""
+        remaining = self.remaining()
+        if remaining <= 0:
+            raise DeadlineExceeded(self.budget_seconds, -remaining)

@@ -1,0 +1,100 @@
+"""Typed errors of the serving layer.
+
+Every failure mode a request can hit has its own class, each carrying the
+machine-readable fields the accounting and the chaos tests assert on. The
+split that matters operationally is ``retryable``:
+
+- retryable faults (injected faults, NaN decode steps, transient engine
+  errors) are worth a jittered-backoff retry and count against the
+  circuit breaker;
+- non-retryable ones are *poison* — the same request would fail the same
+  way again — and fail fast without burning retry budget.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "RejectedRequest",
+    "DeadlineExceeded",
+    "BreakerOpen",
+    "RequestShed",
+    "RequestFailed",
+    "is_retryable",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class for every typed serving-layer error."""
+
+
+class RejectedRequest(ServingError):
+    """The request failed admission and never reached the engine.
+
+    ``reason`` is a stable machine-readable code (``empty``, ``too_long``,
+    ``unk_density``, ``invalid_type``, ``bad_parameters``) used by the
+    per-reason rejection counters.
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(f"rejected ({reason}): {message}")
+        self.reason = reason
+
+
+class DeadlineExceeded(ServingError):
+    """A cooperative deadline check found the request's budget exhausted."""
+
+    def __init__(self, budget_seconds: float, overrun_seconds: float) -> None:
+        super().__init__(
+            f"deadline of {budget_seconds:.3f}s exceeded "
+            f"by {max(0.0, overrun_seconds):.3f}s"
+        )
+        self.budget_seconds = budget_seconds
+        self.overrun_seconds = overrun_seconds
+
+
+class BreakerOpen(ServingError):
+    """The circuit breaker is open: the engine is failing, fail fast."""
+
+    def __init__(self, retry_after_seconds: float) -> None:
+        super().__init__(
+            f"circuit breaker open; retry after {max(0.0, retry_after_seconds):.3f}s"
+        )
+        self.retry_after_seconds = retry_after_seconds
+
+
+class RequestShed(ServingError):
+    """Load shedding: the bounded request queue is full."""
+
+    def __init__(self, queue_limit: int) -> None:
+        super().__init__(f"request shed: queue full ({queue_limit} pending)")
+        self.queue_limit = queue_limit
+
+
+class RequestFailed(ServingError):
+    """Every rung (and every retry) failed; carries the final cause."""
+
+    def __init__(self, cause: BaseException, attempts: int) -> None:
+        super().__init__(
+            f"request failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.cause = cause
+        self.attempts = attempts
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a fault is transient (retry/degrade) or poison (fail fast).
+
+    Explicitly marked faults win (``error.retryable``); otherwise NaN
+    decode steps (:class:`~repro.models.base.NonFiniteLogits`) count as
+    transient — diverged weights and injected chaos look identical from
+    here — while everything else (ValueError, IndexError, ...) is poison:
+    deterministic for the same request, so retrying cannot help.
+    """
+    from repro.models.base import NonFiniteLogits
+
+    marked = getattr(error, "retryable", None)
+    if marked is not None:
+        return bool(marked)
+    return isinstance(error, NonFiniteLogits)

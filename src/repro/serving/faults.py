@@ -1,0 +1,200 @@
+"""Deterministic fault injection at the encode/decode boundaries.
+
+The chaos suite needs the engine to fail in every way production fails —
+NaN logits, stalls, outright exceptions — on demand and *reproducibly*.
+:class:`FaultInjectingModel` wraps any
+:class:`~repro.models.base.QuestionGenerator` and perturbs exactly two
+boundaries (the encode call and each ``step_log_probs``), driven by a
+seeded RNG with a fixed draw order per boundary, so the same
+:class:`FaultPlan` replays the same faults at the same steps every run.
+
+Stalls advance the injector's clock: with a
+:class:`~repro.serving.deadline.ManualClock` shared with the service, a
+"slow step" consumes simulated deadline budget without any real sleeping,
+which is what makes deadline-expiry chaos tests deterministic and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.deadline import Clock
+from repro.serving.errors import ServingError
+
+__all__ = ["FaultPlan", "FaultInjector", "FaultInjectingModel", "InjectedFault"]
+
+
+class InjectedFault(ServingError):
+    """A chaos-injected engine exception; always retryable."""
+
+    retryable = True
+
+    def __init__(self, boundary: str, ordinal: int) -> None:
+        super().__init__(f"injected fault at {boundary} (injection #{ordinal})")
+        self.boundary = boundary
+        self.ordinal = ordinal
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Fault probabilities; all draws come from ``seed``.
+
+    Two scopes:
+
+    - ``per_request=False`` (default): the rates are *per-boundary*
+      probabilities, drawn independently at every encode and decode step.
+      A decode of 25 steps at ``error_rate=0.1`` is then nearly certain to
+      fault somewhere — the right dial for hammering a single code path.
+    - ``per_request=True``: the rates are *per-request* probabilities.
+      Each armed fault type fires once, at a seed-chosen boundary index
+      within the request (NaN waits for the next decode step if its index
+      lands on an encode), then disarms — the right dial for fleet-shaped
+      chaos like "10% of requests hit a fault".
+    """
+
+    seed: int = 0
+    nan_rate: float = 0.0
+    """Probability a decode step's log-probs are overwritten with NaN."""
+    slow_rate: float = 0.0
+    """Probability of a clock stall of ``slow_seconds``."""
+    error_rate: float = 0.0
+    """Probability of a raised :class:`InjectedFault`."""
+    slow_seconds: float = 0.05
+    per_request: bool = False
+    fault_horizon: int = 12
+    """Per-request mode: armed faults land on a boundary index drawn from
+    ``[0, fault_horizon)`` — small enough that short decodes still reach
+    their fault."""
+
+    @property
+    def active(self) -> bool:
+        return self.nan_rate > 0 or self.slow_rate > 0 or self.error_rate > 0
+
+
+class FaultInjector:
+    """Draws faults from the plan; counts what it injected.
+
+    Each boundary consumes a fixed number of RNG draws (3 per decode
+    step, 2 per encode) whether or not anything fires, so the fault
+    sequence depends only on the plan and the call sequence — not on
+    which earlier faults happened to fire.
+    """
+
+    def __init__(self, plan: FaultPlan, clock: Clock | None = None) -> None:
+        self.plan = plan
+        self.clock = clock if clock is not None else Clock()
+        self._rng = np.random.default_rng(plan.seed)
+        self.injected = {"nan": 0, "slow": 0, "error": 0}
+        self.faulted_requests = 0
+        self._armed: dict[str, int] = {}
+        self._boundary_index = 0
+
+    def _fires(self, rate: float) -> bool:
+        # Always draw: keeps the stream position independent of the rates.
+        return float(self._rng.random()) < rate
+
+    def _stall(self, boundary: str) -> None:
+        self.injected["slow"] += 1
+        self.clock.sleep(self.plan.slow_seconds)
+
+    def _raise(self, boundary: str) -> None:
+        self.injected["error"] += 1
+        raise InjectedFault(boundary, self.injected["error"])
+
+    # ------------------------------------------------------------------
+    # Per-request arming
+    # ------------------------------------------------------------------
+    def begin_request(self) -> None:
+        """Arm this request's faults (per-request mode; no-op otherwise).
+
+        Draws happen for every fault type on every request, so the fault
+        schedule depends only on the seed and the request sequence.
+        """
+        self._boundary_index = 0
+        self._armed = {}
+        if not self.plan.per_request:
+            return
+        for kind, rate in (
+            ("nan", self.plan.nan_rate),
+            ("slow", self.plan.slow_rate),
+            ("error", self.plan.error_rate),
+        ):
+            fires = self._fires(rate)
+            at = int(self._rng.integers(0, self.plan.fault_horizon))
+            if fires:
+                self._armed[kind] = at
+        if self._armed:
+            self.faulted_requests += 1
+
+    def _armed_fire(self, kind: str, is_step: bool) -> bool:
+        """Whether an armed fault of ``kind`` fires at this boundary."""
+        at = self._armed.get(kind)
+        if at is None or self._boundary_index < at:
+            return False
+        if kind == "nan" and not is_step:
+            return False  # NaN logits only exist at decode steps; wait.
+        del self._armed[kind]
+        return True
+
+    # ------------------------------------------------------------------
+    # Boundaries
+    # ------------------------------------------------------------------
+    def at_encode(self) -> None:
+        per_boundary = not self.plan.per_request
+        self._boundary_index += 1
+        if (per_boundary and self._fires(self.plan.slow_rate)) or self._armed_fire(
+            "slow", is_step=False
+        ):
+            self._stall("encode")
+        if (per_boundary and self._fires(self.plan.error_rate)) or self._armed_fire(
+            "error", is_step=False
+        ):
+            self._raise("encode")
+
+    def at_step(self, log_probs: np.ndarray) -> np.ndarray:
+        per_boundary = not self.plan.per_request
+        self._boundary_index += 1
+        nan = (per_boundary and self._fires(self.plan.nan_rate)) or self._armed_fire(
+            "nan", is_step=True
+        )
+        if (per_boundary and self._fires(self.plan.slow_rate)) or self._armed_fire(
+            "slow", is_step=True
+        ):
+            self._stall("step")
+        if (per_boundary and self._fires(self.plan.error_rate)) or self._armed_fire(
+            "error", is_step=True
+        ):
+            self._raise("step")
+        if nan:
+            self.injected["nan"] += 1
+            log_probs = log_probs.copy()
+            log_probs[0, :] = np.nan
+        return log_probs
+
+
+class FaultInjectingModel:
+    """A :class:`QuestionGenerator` proxy that perturbs the two boundaries.
+
+    Everything except ``encode`` and ``step_log_probs`` delegates to the
+    wrapped model, so the real engines (beam, greedy) run unmodified —
+    the chaos tests exercise the actual decode paths, not a simulation.
+    """
+
+    def __init__(self, model, injector: FaultInjector) -> None:
+        self._model = model
+        self._injector = injector
+
+    def __getattr__(self, name: str):
+        return getattr(self._model, name)
+
+    def encode(self, batch):
+        self._injector.at_encode()
+        return self._model.encode(batch)
+
+    def step_log_probs(self, prev_tokens, state, context, row_indices=None):
+        log_probs, new_state = self._model.step_log_probs(
+            prev_tokens, state, context, row_indices
+        )
+        return self._injector.at_step(log_probs), new_state

@@ -1,0 +1,92 @@
+"""The degradation ladder: how a request's decode falls, rung by rung.
+
+Under deadline pressure or repeated decode failure the service does not
+die — it serves a cheaper answer. The rungs, in order:
+
+====================  ============================================
+``beam``              full beam-``k`` search (the paper's setting)
+``beam_1``            beam search narrowed to a single hypothesis
+``greedy``            batched greedy argmax decode
+``greedy_truncated``  greedy with a short length cap, and the only
+                      rung that ignores the deadline — it is the
+                      guaranteed-terminating floor of the ladder
+====================  ============================================
+
+Every served request records which rung produced its answer, so "how
+degraded is the fleet right now" is a counter query, not a guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.batching import Batch
+from repro.decoding.batched_beam import batched_beam_decode
+from repro.decoding.greedy import greedy_decode
+from repro.decoding.hypothesis import Hypothesis
+from repro.models.base import QuestionGenerator
+
+__all__ = ["Rung", "RUNG_NAMES", "build_ladder", "run_rung"]
+
+RUNG_NAMES = ("beam", "beam_1", "greedy", "greedy_truncated")
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One decode configuration on the ladder."""
+
+    name: str
+    kind: str
+    """``beam`` (batched beam engine) or ``greedy``."""
+    beam_size: int
+    max_length: int
+    heed_deadline: bool = True
+    """The bottom rung runs deadline-blind: its tiny length cap bounds the
+    work, and serving *something* beats dying on an expired budget."""
+
+
+def build_ladder(
+    beam_size: int,
+    max_length: int,
+    truncated_length: int = 8,
+) -> tuple[Rung, ...]:
+    """The ladder for a request's (beam_size, max_length) configuration.
+
+    A beam-1 request starts at the ``greedy`` rung (its ``beam`` and
+    ``beam_1`` rungs would be the same work twice).
+    """
+    truncated = min(truncated_length, max_length)
+    rungs: list[Rung] = []
+    if beam_size > 1:
+        rungs.append(Rung("beam", "beam", beam_size, max_length))
+        rungs.append(Rung("beam_1", "beam", 1, max_length))
+    rungs.append(Rung("greedy", "greedy", 1, max_length))
+    rungs.append(Rung("greedy_truncated", "greedy", 1, truncated, heed_deadline=False))
+    return tuple(rungs)
+
+
+def run_rung(
+    rung: Rung,
+    model: QuestionGenerator,
+    batch: Batch,
+    length_penalty: float = 1.0,
+    deadline=None,
+    telemetry=None,
+) -> list[Hypothesis]:
+    """Decode ``batch`` at one rung (deadline ignored where the rung says so)."""
+    effective_deadline = deadline if rung.heed_deadline else None
+    if rung.kind == "beam":
+        return batched_beam_decode(
+            model,
+            batch,
+            beam_size=rung.beam_size,
+            max_length=rung.max_length,
+            length_penalty=length_penalty,
+            telemetry=telemetry,
+            deadline=effective_deadline,
+        )
+    if rung.kind == "greedy":
+        return greedy_decode(
+            model, batch, max_length=rung.max_length, deadline=effective_deadline
+        )
+    raise ValueError(f"unknown rung kind {rung.kind!r}")

@@ -123,3 +123,101 @@ def test_load_du_split_skips_empty_lines(tmp_path):
     src.write_text("a b\n\n")
     tgt.write_text("q ?\nr ?\n")
     assert len(load_du_split(src, tgt)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Typed dataset errors and skip-and-count loading
+# ---------------------------------------------------------------------------
+
+def test_dataset_error_is_a_value_error_with_context(tmp_path):
+    from repro.data import DatasetError
+
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"rows": []}))
+    with pytest.raises(DatasetError) as excinfo:
+        load_squad_json(path)
+    assert isinstance(excinfo.value, ValueError)
+    assert excinfo.value.path == str(path)
+    assert str(path) in str(excinfo.value)
+
+
+def test_invalid_json_reports_line(tmp_path):
+    from repro.data import DatasetError
+
+    path = tmp_path / "broken.json"
+    path.write_text('{"data": [\n  {"oops"\n')
+    with pytest.raises(DatasetError) as excinfo:
+        load_squad_json(path)
+    assert "invalid JSON" in excinfo.value.detail
+    assert "line" in str(excinfo.value.offset)
+
+
+def test_malformed_article_names_json_path(tmp_path):
+    from repro.data import DatasetError
+
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"data": ["not-an-object"]}))
+    with pytest.raises(DatasetError) as excinfo:
+        load_squad_json(path)
+    assert excinfo.value.offset == "data[0]"
+
+
+def test_squad_load_report_counts_skips(tmp_path):
+    from repro.data import LoadReport
+
+    payload = _squad_payload()
+    # One extra QA whose answer offset points outside every sentence.
+    payload["data"][0]["paragraphs"][0]["qas"].append(
+        {"question": "Broken span?", "answers": [{"text": "x", "answer_start": 10_000}]}
+    )
+    path = tmp_path / "squad.json"
+    path.write_text(json.dumps(payload))
+    report = LoadReport()
+    examples = load_squad_json(path, report=report)
+    assert len(examples) == 2
+    assert report.loaded == 2
+    assert report.skipped_by_reason == {
+        "no_answers": 1,
+        "answer_outside_context": 1,
+    }
+    assert "skipped 2" in report.summary()
+
+
+def test_du_mismatch_raises_dataset_error(tmp_path):
+    from repro.data import DatasetError
+
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    src.write_text("one line\n")
+    tgt.write_text("line a ?\nline b ?\n")
+    with pytest.raises(DatasetError) as excinfo:
+        load_du_split(src, tgt)
+    assert "mismatch" in excinfo.value.detail
+
+
+def test_du_split_report_counts_empty_pairs(tmp_path):
+    from repro.data import LoadReport
+
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    src.write_text("a b\n\nc d\n")
+    tgt.write_text("q ?\nr ?\n\n")
+    report = LoadReport()
+    examples = load_du_split(src, tgt, report=report)
+    assert len(examples) == 1
+    assert report.loaded == 1
+    assert report.skipped == 2
+    assert report.skipped_by_reason == {"empty_source": 1, "empty_question": 1}
+
+
+def test_du_split_strict_mode_raises_with_line_number(tmp_path):
+    from repro.data import DatasetError
+
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    src.write_text("a b\n\n")
+    tgt.write_text("q ?\nr ?\n")
+    with pytest.raises(DatasetError) as excinfo:
+        load_du_split(src, tgt, strict=True)
+    assert excinfo.value.offset == 2
+    assert excinfo.value.path == str(src)

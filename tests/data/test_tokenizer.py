@@ -77,3 +77,35 @@ def test_tokenize_never_raises_and_yields_nonempty_tokens(text):
 def test_tokenize_is_idempotent_through_detokenize(text):
     tokens = tokenize(text)
     assert tokenize(detokenize(tokens)) == tokens
+
+
+def test_unicode_words_kept_whole():
+    # Accented and non-Latin letters are words, not dropped or shattered.
+    assert tokenize("Café Münster") == ["café", "münster"]
+    assert tokenize("straße in москва") == ["straße", "in", "москва"]
+
+
+def test_unicode_clitics_stay_attached():
+    assert tokenize("müller's straße") == ["müller's", "straße"]
+
+
+def test_non_string_input_raises_type_error():
+    import pytest
+
+    with pytest.raises(TypeError):
+        tokenize(None)
+    with pytest.raises(TypeError):
+        tokenize(1887)
+
+
+def test_detokenize_drops_empty_tokens():
+    assert detokenize(["the", "", "cat", ""]) == "the cat"
+
+
+@given(st.text(alphabet=st.characters(codec="utf-8"), max_size=80))
+@settings(max_examples=100, deadline=None)
+def test_tokenize_handles_arbitrary_unicode(text):
+    tokens = tokenize(text)
+    assert all(tokens), "no empty tokens"
+    # Tokens never contain whitespace (stable for downstream .split()-style IO).
+    assert all(not any(ch.isspace() for ch in token) for token in tokens)

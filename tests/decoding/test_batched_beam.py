@@ -241,3 +241,31 @@ def test_unreachable_oov_slots_never_selected():
     for hyp in batched_beam_search(model, batch, beam_size=4, max_length=6)[0]:
         assert all(t < len(decoder) for t in hyp.token_ids)
         assert hyp.log_prob > -1e17
+
+
+def test_nan_logits_raise_typed_error():
+    """NaN log-probs are a typed NonFiniteLogits, not a silent empty beam.
+
+    Before the serving work, NaN rows were swallowed by the viability
+    filter and surfaced as empty hypotheses; now both engines raise a
+    retryable error naming the step.
+    """
+    from repro.decoding import greedy_decode
+    from repro.models.base import NonFiniteLogits
+
+    class _NaNModel(_ScriptedModel):
+        def step_log_probs(self, prev_tokens, state, context, row_indices=None):
+            log_probs, state = super().step_log_probs(
+                prev_tokens, state, context, row_indices
+            )
+            log_probs[:, :] = np.nan
+            return log_probs, state
+
+    model = _NaNModel({BOS_ID: {EOS_ID: -1.0}})
+    batch = _one_example_batch()
+    with pytest.raises(NonFiniteLogits) as excinfo:
+        batched_beam_decode(model, batch, beam_size=2, max_length=5)
+    assert excinfo.value.step == 0
+    assert excinfo.value.rows >= 1
+    with pytest.raises(NonFiniteLogits):
+        greedy_decode(model, batch, max_length=5)

@@ -83,3 +83,63 @@ def test_scores_are_deterministic(trained_setup):
     a = evaluate_model(model, dataset, beam_size=2, max_length=12)
     b = evaluate_model(model, dataset, beam_size=2, max_length=12)
     assert a.scores == b.scores
+
+
+# ---------------------------------------------------------------------------
+# Skip-and-count: a poison example must not void the evaluation
+# ---------------------------------------------------------------------------
+
+class _PoisonOnExample:
+    """Proxy model that raises whenever the batch contains the marked source."""
+
+    def __init__(self, model, poison_first_token_id: int):
+        self._model = model
+        self._poison = poison_first_token_id
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+    def encode(self, batch):
+        if any(ex.src_ids[0] == self._poison for ex in batch.examples):
+            raise RuntimeError("poison example")
+        return self._model.encode(batch)
+
+
+def _poison_model(model, dataset):
+    # Mark the first example by its first source id (unique leading words).
+    return _PoisonOnExample(model, dataset[0].src_ids[0])
+
+
+def test_failing_example_is_skipped_and_counted(trained_setup):
+    model, dataset = trained_setup
+    result = evaluate_model(
+        _poison_model(model, dataset), dataset, beam_size=2, max_length=12, batch_size=2
+    )
+    assert result.skipped == 1
+    assert len(result.predictions) == len(dataset) - 1
+    assert "skipped=1" in result.summary()
+    # Healthy batchmates still score.
+    assert set(result.scores) == set(METRIC_NAMES)
+
+
+def test_skipped_count_reported_in_telemetry(trained_setup, tmp_path):
+    from repro.observability import JsonlSink, Telemetry, read_trace
+
+    model, dataset = trained_setup
+    trace = tmp_path / "trace.jsonl"
+    telemetry = Telemetry([JsonlSink(str(trace))])
+    evaluate_model(
+        _poison_model(model, dataset), dataset, beam_size=2, max_length=12,
+        batch_size=2, telemetry=telemetry,
+    )
+    telemetry.close()
+    records = read_trace(str(trace))
+    skip_counters = [r for r in records if r.get("name") == "eval.skipped"]
+    assert len(skip_counters) == 1
+
+
+def test_clean_run_reports_zero_skips(trained_setup):
+    model, dataset = trained_setup
+    result = evaluate_model(model, dataset, beam_size=2, max_length=12)
+    assert result.skipped == 0
+    assert "skipped" not in result.summary()

@@ -1,0 +1,68 @@
+"""Shared fixtures for the serving suite.
+
+A tiny deterministic ACNN over a closed vocabulary: big enough to drive
+the real beam/greedy engines through the service, small enough that the
+200-request chaos run stays fast. All clocks are manual, so nothing in
+this suite ever sleeps for real.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import QGDataset, QGExample
+from repro.models import ModelConfig, build_model
+from repro.observability import Telemetry
+from repro.serving import InferenceService, ManualClock, ServiceConfig
+
+SENTENCES = [
+    "zorvex was born in karlin .",
+    "mira designed the velkin tower .",
+    "draxby is the capital of ostavia .",
+    "the quen river flows through belcor .",
+    "tovenka built the glass spire .",
+    "the ilex bridge spans the morda .",
+]
+QUESTIONS = [
+    "where was zorvex born ?",
+    "who designed the velkin tower ?",
+    "what is the capital of ostavia ?",
+    "what river flows through belcor ?",
+    "who built the glass spire ?",
+    "what spans the morda ?",
+]
+EXAMPLES = [
+    QGExample(sentence=tuple(s.split()), paragraph=tuple(s.split()), question=tuple(q.split()))
+    for s, q in zip(SENTENCES, QUESTIONS)
+]
+ENCODER, DECODER = QGDataset.build_vocabs(EXAMPLES, 100, 100)
+WORDS = sorted({word for sentence in SENTENCES for word in sentence.split() if word != "."})
+
+
+def build_tiny_model(seed: int = 0):
+    config = ModelConfig(embedding_dim=8, hidden_size=10, num_layers=1, dropout=0.0, seed=seed)
+    return build_model("acnn", config, len(ENCODER), len(DECODER))
+
+
+def build_service(model=None, **kwargs):
+    """An InferenceService on a manual clock with a quiet telemetry hub."""
+    kwargs.setdefault("clock", ManualClock())
+    kwargs.setdefault("telemetry", Telemetry([]))
+    kwargs.setdefault("config", ServiceConfig(default_deadline_seconds=5.0))
+    if model is None:
+        model = build_tiny_model()
+    return InferenceService(model, ENCODER, DECODER, **kwargs)
+
+
+def request_texts(count: int, seed: int = 99) -> list[str]:
+    """Deterministic in-vocabulary request sentences."""
+    rng = np.random.default_rng(seed)
+    texts = []
+    for _ in range(count):
+        size = int(rng.integers(3, 7))
+        texts.append(" ".join(rng.choice(WORDS, size=size)))
+    return texts
+
+
+@pytest.fixture()
+def tiny_model():
+    return build_tiny_model()

@@ -1,0 +1,105 @@
+"""Micro-batcher: queue bounds, shed accounting, batched fast path, isolation."""
+
+import pytest
+
+from repro.serving import GenerationRequest, MicroBatcher
+
+from conftest import build_service, build_tiny_model, request_texts
+
+
+def test_shed_vs_served_accounting_under_full_queue():
+    service = build_service()
+    batcher = MicroBatcher(service, max_batch=2, queue_limit=2)
+    outcomes = []
+    for index, text in enumerate(request_texts(5)):
+        outcome = batcher.submit(GenerationRequest(text, request_id=f"r{index}"))
+        if outcome is not None:
+            outcomes.append(outcome)
+    # Queue holds 2; the other 3 were shed at submission.
+    assert [o.status for o in outcomes] == ["shed"] * 3
+    assert all(o.reason == "queue_full" for o in outcomes)
+    assert batcher.depth == 2
+
+    outcomes.extend(batcher.drain())
+    assert batcher.depth == 0
+    statuses = sorted(o.status for o in outcomes)
+    assert statuses == ["served", "served", "shed", "shed", "shed"]
+    # Ledger and outcomes agree exactly.
+    assert service.stats.admitted == 5
+    assert service.stats.served == 2
+    assert service.stats.shed == 3
+    assert service.stats.shed_by_reason == {"queue_full": 3}
+    assert service.stats.finished == 5
+
+
+def test_rejected_never_consumes_queue_space():
+    service = build_service()
+    batcher = MicroBatcher(service, queue_limit=1)
+    outcome = batcher.submit(GenerationRequest(""))
+    assert outcome.status == "rejected"
+    assert batcher.depth == 0
+    assert service.stats.rejected == 1
+
+
+def test_homogeneous_batch_takes_fast_path():
+    service = build_service()
+    batcher = MicroBatcher(service, max_batch=4)
+    for index, text in enumerate(request_texts(3)):
+        assert batcher.submit(GenerationRequest(text, request_id=f"r{index}")) is None
+    outcomes = batcher.drain()
+    assert [o.status for o in outcomes] == ["served"] * 3
+    assert all(o.result.rung == "beam" for o in outcomes)
+    assert service.stats.served == 3
+
+
+def test_heterogeneous_group_served_per_request():
+    service = build_service()
+    batcher = MicroBatcher(service, max_batch=2)
+    texts = request_texts(2)
+    batcher.submit(GenerationRequest(texts[0], request_id="a", beam_size=2))
+    batcher.submit(GenerationRequest(texts[1], request_id="b", beam_size=3))
+    outcomes = batcher.drain()
+    assert [o.status for o in outcomes] == ["served", "served"]
+
+
+class GroupPoison:
+    """Fails any multi-example encode; single requests pass through."""
+
+    def __init__(self, model):
+        self._model = model
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+    def encode(self, batch):
+        if len(batch.examples) > 1:
+            raise RuntimeError("batched encode exploded")
+        return self._model.encode(batch)
+
+
+def test_batch_failure_isolates_to_per_request_path():
+    service = build_service(model=GroupPoison(build_tiny_model()))
+    batcher = MicroBatcher(service, max_batch=3)
+    for index, text in enumerate(request_texts(3)):
+        batcher.submit(GenerationRequest(text, request_id=f"r{index}"))
+    outcomes = batcher.drain()
+    # The group decode failed but every member was served individually.
+    assert [o.status for o in outcomes] == ["served"] * 3
+    assert service.stats.served == 3
+
+
+def test_pump_respects_max_batch():
+    service = build_service()
+    batcher = MicroBatcher(service, max_batch=2, queue_limit=8)
+    for index, text in enumerate(request_texts(5)):
+        batcher.submit(GenerationRequest(text, request_id=f"r{index}"))
+    assert len(batcher.pump()) == 2
+    assert batcher.depth == 3
+
+
+def test_batcher_validates_limits():
+    service = build_service()
+    with pytest.raises(ValueError):
+        MicroBatcher(service, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(service, queue_limit=0)

@@ -1,0 +1,122 @@
+"""Circuit breaker state machine and retry/backoff policy."""
+
+import numpy as np
+import pytest
+
+from repro.serving import BreakerOpen, BreakerConfig, CircuitBreaker, ManualClock, RetryPolicy
+
+
+def make_breaker(**overrides):
+    transitions = []
+    config = BreakerConfig(
+        window=overrides.pop("window", 10),
+        failure_threshold=overrides.pop("failure_threshold", 0.5),
+        min_samples=overrides.pop("min_samples", 4),
+        cooldown_seconds=overrides.pop("cooldown_seconds", 5.0),
+        half_open_probes=overrides.pop("half_open_probes", 2),
+    )
+    clock = ManualClock()
+    breaker = CircuitBreaker(
+        config, clock=clock, on_transition=lambda old, new: transitions.append((old, new))
+    )
+    return breaker, clock, transitions
+
+
+def test_starts_closed_and_admits():
+    breaker, _, _ = make_breaker()
+    assert breaker.state == "closed"
+    breaker.admit()  # no raise
+
+
+def test_stays_closed_below_min_samples():
+    breaker, _, _ = make_breaker(min_samples=4)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == "closed"
+
+
+def test_opens_at_failure_threshold():
+    breaker, _, transitions = make_breaker(min_samples=4, failure_threshold=0.5)
+    breaker.record_success()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()  # 2/4 = 50% >= threshold
+    assert breaker.state == "open"
+    assert transitions == [("closed", "open")]
+
+
+def test_open_rejects_with_retry_after():
+    breaker, clock, _ = make_breaker(cooldown_seconds=5.0)
+    for _ in range(4):
+        breaker.record_failure()
+    clock.advance(1.0)
+    with pytest.raises(BreakerOpen) as excinfo:
+        breaker.admit()
+    assert excinfo.value.retry_after_seconds == pytest.approx(4.0)
+
+
+def test_half_open_after_cooldown_then_closes_on_probes():
+    breaker, clock, transitions = make_breaker(cooldown_seconds=5.0, half_open_probes=2)
+    for _ in range(4):
+        breaker.record_failure()
+    clock.advance(5.0)
+    breaker.admit()  # cooldown elapsed: probe admitted
+    assert breaker.state == "half_open"
+    breaker.record_success()
+    assert breaker.state == "half_open"  # one probe is not enough
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert transitions == [("closed", "open"), ("open", "half_open"), ("half_open", "closed")]
+    # Closing clears the window: old failures cannot re-open it instantly.
+    assert breaker.failure_rate() == 0.0
+
+
+def test_half_open_reopens_on_probe_failure():
+    breaker, clock, transitions = make_breaker(cooldown_seconds=5.0)
+    for _ in range(4):
+        breaker.record_failure()
+    clock.advance(5.0)
+    breaker.admit()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert transitions[-1] == ("half_open", "open")
+    # The re-open restarts the cooldown from now.
+    with pytest.raises(BreakerOpen):
+        breaker.admit()
+
+
+def test_sliding_window_forgets_old_outcomes():
+    breaker, _, _ = make_breaker(window=4, min_samples=4, failure_threshold=0.5)
+    breaker.record_failure()
+    breaker.record_failure()
+    for _ in range(4):  # pushes the failures out of the window
+        breaker.record_success()
+    assert breaker.failure_rate() == 0.0
+    breaker.record_failure()
+    breaker.record_failure()  # only 2/4 in window: opens (threshold met)
+    assert breaker.state == "open"
+
+
+def test_retry_delay_is_exponential_without_jitter():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.0)
+    rng = np.random.default_rng(0)
+    assert policy.delay(1, rng) == pytest.approx(0.1)
+    assert policy.delay(2, rng) == pytest.approx(0.2)
+    assert policy.delay(3, rng) == pytest.approx(0.4)
+    assert policy.delay(10, rng) == pytest.approx(1.0)  # capped
+
+
+def test_retry_delay_jitter_is_deterministic_under_seed():
+    policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+    first = [policy.delay(n, np.random.default_rng(7)) for n in (1, 2, 3)]
+    second = [policy.delay(n, np.random.default_rng(7)) for n in (1, 2, 3)]
+    assert first == second
+    raw = [0.1, 0.2, 0.4]
+    for delay, base in zip(first, raw):
+        assert base <= delay <= base * 1.5
+
+
+def test_retry_delay_rejects_zero_attempt():
+    with pytest.raises(ValueError):
+        RetryPolicy().delay(0, np.random.default_rng(0))

@@ -1,0 +1,81 @@
+"""Deadlines, manual clocks, and cooperative expiry inside the real engines."""
+
+import pytest
+
+from repro.data import collate
+from repro.decoding import batched_beam_decode, greedy_decode
+from repro.serving import (
+    Deadline,
+    DeadlineExceeded,
+    FaultInjectingModel,
+    FaultInjector,
+    FaultPlan,
+    ManualClock,
+)
+
+from conftest import DECODER, ENCODER, EXAMPLES, build_tiny_model
+
+from repro.data import QGDataset
+
+
+def _batch():
+    dataset = QGDataset(EXAMPLES[:2], ENCODER, DECODER)
+    return collate(list(dataset), pad_id=0)
+
+
+def test_deadline_remaining_and_expiry():
+    clock = ManualClock()
+    deadline = Deadline(2.0, clock)
+    assert deadline.remaining() == pytest.approx(2.0)
+    assert not deadline.expired()
+    clock.advance(2.5)
+    assert deadline.expired()
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        deadline.check()
+    assert excinfo.value.budget_seconds == pytest.approx(2.0)
+    assert excinfo.value.overrun_seconds == pytest.approx(0.5)
+
+
+def test_deadline_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        Deadline(0.0, ManualClock())
+
+
+def test_manual_clock_rejects_backwards_advance():
+    clock = ManualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def _slow_model(clock, slow_seconds=0.2):
+    """Every encode and decode step stalls the shared clock."""
+    injector = FaultInjector(
+        FaultPlan(seed=0, slow_rate=1.0, slow_seconds=slow_seconds), clock=clock
+    )
+    return FaultInjectingModel(build_tiny_model(), injector)
+
+
+def test_deadline_expires_mid_beam():
+    clock = ManualClock()
+    model = _slow_model(clock)
+    # Encode stalls 0.2s, each step stalls 0.2s: the budget dies after the
+    # first step and the per-step check raises from inside the beam loop.
+    deadline = Deadline(0.3, clock)
+    with pytest.raises(DeadlineExceeded):
+        batched_beam_decode(model, _batch(), beam_size=2, max_length=10, deadline=deadline)
+    assert clock.now() >= 0.3
+
+
+def test_deadline_expires_mid_greedy():
+    clock = ManualClock()
+    model = _slow_model(clock)
+    deadline = Deadline(0.3, clock)
+    with pytest.raises(DeadlineExceeded):
+        greedy_decode(model, _batch(), max_length=10, deadline=deadline)
+
+
+def test_decode_without_deadline_is_unlimited():
+    clock = ManualClock()
+    model = _slow_model(clock)
+    hypotheses = batched_beam_decode(model, _batch(), beam_size=2, max_length=10)
+    assert len(hypotheses) == 2
