@@ -29,6 +29,17 @@ def main() -> None:
     parser.add_argument("--train-size", type=int, default=1500)
     parser.add_argument("--hidden", type=int, default=48)
     parser.add_argument("--out", default="runs/demo")
+    parser.add_argument(
+        "--detect-anomaly",
+        action="store_true",
+        help="check every tape op for NaN/inf; first hit names the culprit op (slower)",
+    )
+    parser.add_argument(
+        "--overflow-policy",
+        choices=["skip", "rollback", "raise"],
+        default="rollback",
+        help="non-finite batch reaction: quarantine-and-continue, snapshot rollback, or hard fail",
+    )
     args = parser.parse_args()
 
     print(f"generating corpus ({args.train_size} train examples)...")
@@ -59,7 +70,13 @@ def main() -> None:
         model,
         BatchIterator(splits["train"], batch_size=32, seed=1),
         BatchIterator(splits["dev"], batch_size=32, shuffle=False),
-        TrainerConfig(epochs=args.epochs, learning_rate=1.0, halve_at_epoch=max(2, args.epochs - 2)),
+        TrainerConfig(
+            epochs=args.epochs,
+            learning_rate=1.0,
+            halve_at_epoch=max(2, args.epochs - 2),
+            detect_anomaly=args.detect_anomaly,
+            overflow_policy=args.overflow_policy,
+        ),
         epoch_callback=lambda r: print(
             f"  epoch {r.epoch}: train {r.train_loss:.3f} (ppl {r.train_perplexity:.1f}), "
             f"dev {r.dev_loss:.3f}, lr {r.learning_rate:g}"

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""End-to-end numerical-robustness smoke test (run by the ``numerics`` CI job).
+
+Injects a NaN into the middle of a real ACNN forward pass and proves the
+whole containment chain works:
+
+1. **Provenance** — ``detect_anomaly()`` attributes the NaN to the exact
+   op (the Eq. 4 switch-gate ``sigmoid``), with shapes, dtype, creation
+   site, and the upstream causal chain.
+2. **Quarantine** — a trainer running with ``overflow_policy="skip"``
+   drops the poisoned batch (typed event + ``anomaly:sigmoid`` cause in
+   telemetry), does *not* roll back to a snapshot, and finishes the run.
+3. **Tolerance** — the finished run's final loss is finite and close to a
+   clean reference run's (one skipped batch must not derail training).
+
+Exit status 0 on success; any broken link in the chain raises.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.data import BatchIterator, QGDataset, QGExample, Vocabulary
+from repro.models import ModelConfig, build_model
+from repro.nn import numerics as numerics_module
+from repro.observability import MemorySink, Telemetry, use_telemetry
+from repro.tensor import NumericalAnomaly, detect_anomaly
+from repro.training import Trainer, TrainerConfig
+
+EPOCHS = 3
+TOLERANCE_NOTE = "one quarantined batch must not derail the run"
+
+
+def build_setup():
+    sentences = [
+        ("zorvex", "was", "born", "in", "quuxland", "."),
+        ("mira", "founded", "the", "guild", "in", "spring", "."),
+        ("the", "river", "flows", "north", "past", "the", "mill", "."),
+        ("old", "maps", "show", "a", "road", "under", "the", "lake", "."),
+    ]
+    questions = [
+        ("where", "was", "zorvex", "born", "?"),
+        ("who", "founded", "the", "guild", "?"),
+        ("which", "way", "does", "the", "river", "flow", "?"),
+        ("what", "do", "old", "maps", "show", "?"),
+    ]
+    examples = [
+        QGExample(sentence=s, paragraph=s, question=q) for s, q in zip(sentences, questions)
+    ]
+    encoder = Vocabulary.build([example.sentence for example in examples])
+    decoder = Vocabulary.build([example.question for example in examples])
+    dataset = QGDataset(examples, encoder, decoder)
+    config = ModelConfig(embedding_dim=8, hidden_size=6, num_layers=1, dropout=0.0, seed=7)
+    model = build_model("acnn", config, len(encoder), len(decoder))
+    iterator = BatchIterator(dataset, batch_size=2, shuffle=False)
+    return model, iterator
+
+
+class SigmoidPoisoner:
+    """Wraps the blessed sigmoid; poisons its input on demand, once."""
+
+    def __init__(self):
+        self.real = numerics_module.sigmoid
+        self.armed = False
+        self.fired = False
+
+    def __call__(self, x):
+        if self.armed and not self.fired:
+            self.fired = True
+            # Corrupt the already-computed input array in place: its
+            # producing op saw finite values, so the first non-finite op
+            # *output* the tape observes belongs to this sigmoid.
+            x.data.flat[0] = np.nan
+        return self.real(x)
+
+    def install(self):
+        numerics_module.sigmoid = self
+
+    def uninstall(self):
+        numerics_module.sigmoid = self.real
+
+
+def check_provenance() -> None:
+    model, iterator = build_setup()
+    batch = next(iter(iterator))
+    poisoner = SigmoidPoisoner()
+    poisoner.install()
+    poisoner.armed = True
+    try:
+        with detect_anomaly(emit_telemetry=False):
+            try:
+                model.loss(batch)
+            except NumericalAnomaly as exc:
+                assert exc.op == "sigmoid", f"attributed to {exc.op!r}, expected 'sigmoid'"
+                assert exc.kind == "nan", f"kind {exc.kind!r}"
+                assert exc.phase == "forward", f"phase {exc.phase!r}"
+                assert exc.record is not None and exc.record.site, "missing creation site"
+                assert exc.chain, "missing causal chain"
+                print(f"[1/3] provenance ok: {exc.record.describe()}")
+                print(f"      chain: {exc.chain_summary()}")
+                return
+        raise AssertionError("injected NaN was not detected by detect_anomaly()")
+    finally:
+        poisoner.uninstall()
+
+
+def run_training(inject: bool) -> tuple[Trainer, MemorySink]:
+    model, iterator = build_setup()
+    sink = MemorySink()
+    telemetry = Telemetry([sink])
+    trainer = Trainer(
+        model,
+        iterator,
+        None,
+        TrainerConfig(epochs=EPOCHS, detect_anomaly=True, overflow_policy="skip"),
+        telemetry=telemetry,
+    )
+    poisoner = SigmoidPoisoner()
+    poisoner.install()
+    poisoner.armed = inject
+    try:
+        with use_telemetry(telemetry):
+            trainer.train()
+    finally:
+        poisoner.uninstall()
+    if inject:
+        assert poisoner.fired, "poisoner never fired"
+    return trainer, sink
+
+
+def check_quarantine_and_tolerance() -> None:
+    reference, _ = run_training(inject=False)
+    injected, sink = run_training(inject=True)
+
+    assert len(injected.history) == EPOCHS, "run did not complete all epochs"
+    assert injected.overflow_skipped == 1, f"skipped {injected.overflow_skipped}, expected 1"
+    assert not injected.history.events, "quarantine must not trigger snapshot rollback"
+
+    quarantines = [r for r in sink.of_kind("run") if r["name"] == "overflow_quarantine"]
+    assert len(quarantines) == 1, f"expected 1 quarantine marker, got {len(quarantines)}"
+    cause = quarantines[0]["data"]["cause"]
+    assert cause == "anomaly:sigmoid", f"quarantine cause {cause!r}"
+
+    anomalies = [r for r in sink.of_kind("run") if r["name"] == "anomaly"]
+    assert anomalies and anomalies[0]["data"]["op"] == "sigmoid", "anomaly marker missing op"
+    print(f"[2/3] quarantine ok: cause={cause}, skipped={injected.overflow_skipped}, "
+          f"no rollback, {len(injected.history)} epochs completed")
+
+    final_ref = reference.history.records[-1].train_loss
+    final_inj = injected.history.records[-1].train_loss
+    assert np.isfinite(final_inj), f"final loss not finite: {final_inj}"
+    tolerance = max(0.5, 0.25 * abs(final_ref))
+    assert abs(final_inj - final_ref) <= tolerance, (
+        f"final loss {final_inj:.4f} vs reference {final_ref:.4f} "
+        f"exceeds tolerance {tolerance:.4f} ({TOLERANCE_NOTE})"
+    )
+    print(f"[3/3] tolerance ok: final loss {final_inj:.4f} vs reference {final_ref:.4f} "
+          f"(tolerance {tolerance:.4f})")
+
+
+def main() -> int:
+    check_provenance()
+    check_quarantine_and_tolerance()
+    print("anomaly smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

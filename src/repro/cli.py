@@ -176,6 +176,8 @@ def _cmd_train(args) -> int:
             learning_rate=args.learning_rate,
             halve_at_epoch=args.halve_at_epoch,
             log_every=args.log_every,
+            detect_anomaly=args.detect_anomaly,
+            overflow_policy=args.overflow_policy,
         ),
         epoch_callback=epoch_callback,
         resilience=resilience,
@@ -382,6 +384,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="restart bit-exactly from the latest valid snapshot in --snapshot-dir",
+    )
+    train.add_argument(
+        "--detect-anomaly",
+        action="store_true",
+        help=(
+            "debug mode: check every tape op's forward output and backward "
+            "gradient for NaN/inf; the first hit fails with the culprit op, "
+            "its shapes, and the creation site (slower — per-op bookkeeping)"
+        ),
+    )
+    train.add_argument(
+        "--overflow-policy",
+        choices=["skip", "rollback", "raise"],
+        default="rollback",
+        help=(
+            "reaction to a non-finite loss/gradient: 'skip' quarantines the "
+            "batch and keeps training (escalates after repeated hits), "
+            "'rollback' (default) lets --max-retries restore a snapshot, "
+            "'raise' fails immediately even with snapshots configured"
+        ),
     )
     train.add_argument(
         "--max-retries",

@@ -94,4 +94,4 @@ def vocabulary_coverage(
         covered += sum(1 for token in tokens if token in vocab)
     if total == 0:
         raise ValueError("no tokens to measure coverage over")
-    return covered / total
+    return covered / total  # numerics: ok — total == 0 raises above

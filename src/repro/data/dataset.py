@@ -221,4 +221,4 @@ class QGDataset:
                 total += 1
                 if not allowed and positions:
                     oov_copyable += 1
-        return oov_copyable / total if total else 0.0
+        return oov_copyable / total if total else 0.0  # numerics: ok — inline zero-check ternary

@@ -64,7 +64,7 @@ def pseudo_glove(tokens: list[str], dim: int, seed: int = 0) -> dict[str, np.nda
             rng = np.random.default_rng(_token_seed(trigram) ^ seed)
             total += rng.standard_normal(dim)
         norm = np.linalg.norm(total)
-        vectors[token] = total / norm if norm > 0 else total
+        vectors[token] = total / norm if norm > 0 else total  # numerics: ok — norm > 0 checked inline
     return vectors
 
 

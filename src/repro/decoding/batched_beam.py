@@ -169,7 +169,7 @@ def should_stop_row(
     norm_now = max(1, current_length) ** length_penalty
     norm_max = max(1, max_length) ** length_penalty
     best_bound = max(
-        max(lp / norm_now, lp / norm_max) for lp in live_log_probs
+        max(lp / norm_now, lp / norm_max) for lp in live_log_probs  # numerics: ok — length-penalty norms are >= 1
     )
     return best_finished >= best_bound
 

@@ -25,7 +25,7 @@ class Hypothesis:
         beam-searched NQG systems).
         """
         length = max(1, len(self.token_ids))
-        return self.log_prob / (length ** length_penalty)
+        return self.log_prob / (length ** length_penalty)  # numerics: ok — hypothesis length >= 1
 
     def extended(self, token_id: int, log_prob: float, finished: bool) -> "Hypothesis":
         return Hypothesis(

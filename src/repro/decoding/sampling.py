@@ -57,7 +57,7 @@ def sample_decode(
             step_lp[:, PAD_ID] = -np.inf
             step_lp[:, BOS_ID] = -np.inf
 
-            scaled = step_lp / temperature
+            scaled = step_lp / temperature  # numerics: ok — temperature validated > 0 above
             choices = np.empty(batch_size, dtype=np.int64)
             for row in range(batch_size):
                 row_scores = scaled[row]
@@ -67,8 +67,8 @@ def sample_decode(
                     mask[keep] = row_scores[keep]
                     row_scores = mask
                 shifted = row_scores - row_scores.max()
-                probs = np.exp(shifted)
-                probs /= probs.sum()
+                probs = np.exp(shifted)  # numerics: ok — shifted <= 0, exp cannot overflow
+                probs /= probs.sum()  # numerics: ok — max element contributes exp(0) = 1
                 choices[row] = rng.choice(len(probs), p=probs)
 
             chosen_lp = step_lp[np.arange(batch_size), choices]

@@ -101,13 +101,13 @@ def analyse_predictions(
     count = len(predictions)
     return PredictionAnalysis(
         num_examples=count,
-        exact_match_rate=exact / count,
-        unk_rate=with_unk / count,
-        wh_word_accuracy=wh_correct / wh_total if wh_total else float("nan"),
-        oov_entity_recall=oov_recovered / oov_gold_total if oov_gold_total else float("nan"),
-        repeated_bigram_rate=with_repeat / count,
-        mean_length=length_sum / count,
-        mean_gold_length=gold_length_sum / count,
+        exact_match_rate=exact / count,  # numerics: ok — empty predictions raises above
+        unk_rate=with_unk / count,  # numerics: ok — empty predictions raises above
+        wh_word_accuracy=wh_correct / wh_total if wh_total else float("nan"),  # numerics: ok — inline zero-check ternary
+        oov_entity_recall=oov_recovered / oov_gold_total if oov_gold_total else float("nan"),  # numerics: ok — inline zero-check ternary
+        repeated_bigram_rate=with_repeat / count,  # numerics: ok — empty predictions raises above
+        mean_length=length_sum / count,  # numerics: ok — empty predictions raises above
+        mean_gold_length=gold_length_sum / count,  # numerics: ok — empty predictions raises above
     )
 
 

@@ -136,7 +136,7 @@ def gate_statistics(traces: list[GenerationTrace]) -> dict[str, float]:
     return {
         "mean_switch_when_copying": float(np.mean(copy_gates)) if copy_gates else float("nan"),
         "mean_switch_when_generating": float(np.mean(gen_gates)) if gen_gates else float("nan"),
-        "copy_rate": len(copy_gates) / total if total else 0.0,
+        "copy_rate": len(copy_gates) / total if total else 0.0,  # numerics: ok — inline zero-check ternary
         "steps": float(total),
     }
 

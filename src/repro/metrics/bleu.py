@@ -91,9 +91,9 @@ def corpus_bleu(
             if smooth_epsilon <= 0:
                 return 0.0
             m = smooth_epsilon
-        log_precisions.append(math.log(m / t))
+        log_precisions.append(math.log(m / t))  # numerics: ok — t == 0 returns early above
 
-    geo_mean = math.exp(sum(log_precisions) / max_n)
+    geo_mean = math.exp(sum(log_precisions) / max_n)  # numerics: ok — max_n >= 1 validated
     brevity = 1.0 if hyp_length > ref_length else math.exp(1.0 - ref_length / max(1, hyp_length))
     return 100.0 * brevity * geo_mean
 

@@ -32,7 +32,7 @@ def distinct_n(outputs: Sequence[Tokens], n: int = 2) -> float:
         grams = ngrams(list(output), n)
         total += len(grams)
         unique.update(grams)
-    return len(unique) / total if total else 0.0
+    return len(unique) / total if total else 0.0  # numerics: ok — inline zero-check ternary
 
 
 def unique_output_ratio(outputs: Sequence[Tokens]) -> float:

@@ -48,7 +48,7 @@ def rouge_l_sentence(
             continue
         precision = lcs / len(hypothesis)
         recall = lcs / len(reference)
-        score = ((1 + beta ** 2) * precision * recall) / (recall + beta ** 2 * precision)
+        score = ((1 + beta ** 2) * precision * recall) / (recall + beta ** 2 * precision)  # numerics: ok — lcs > 0 here, so precision+recall > 0
         best = max(best, score)
     return best
 

@@ -40,6 +40,7 @@ from repro.models.du_attention import DuAttentionModel
 from repro.nn import Linear, Parameter, sequence_nll
 from repro.nn import init as nn_init
 from repro.nn.loss import PROBABILITY_FLOOR
+from repro.nn.numerics import np_bernoulli_entropy, np_smoothed_log, saturating_sigmoid
 from repro.tensor.core import Tensor
 from repro.tensor.ops import (
     concat,
@@ -47,7 +48,6 @@ from repro.tensor.ops import (
     gather_rows,
     masked_fill,
     minimum,
-    sigmoid,
     softmax,
 )
 
@@ -189,7 +189,15 @@ class ACNN(DuAttentionModel):
         return self.map_to_decoder_vocab(picks, self.decoder_vocab_size, UNK_ID)
 
     def switch(self, d_k: Tensor, c_k: Tensor, y_prev_embedded: Tensor) -> Tensor:
-        """Eq. 4: the adaptive copy/generate gate ``z_k`` in (0, 1)."""
+        """Eq. 4: the adaptive copy/generate gate ``z_k`` in (0, 1).
+
+        The adaptive gate is computed with a saturation guard: a gate that
+        returns exactly 0 or 1 multiplies one branch of the Eq. 2 mixture
+        by exact zero, which kills both the probability and the gradient
+        of any target token only the other branch can explain. (``fixed``
+        mode is left unguarded on purpose — 0/1 there is the requested
+        pure-attention / pure-copy ablation.)
+        """
         if self.switch_mode == "fixed":
             return Tensor(np.full((d_k.shape[0],), self.fixed_switch))
         logit = (
@@ -198,7 +206,7 @@ class ACNN(DuAttentionModel):
             + y_prev_embedded @ self.switch_y
             + self.switch_bias
         )
-        return sigmoid(logit)  # (B,)
+        return saturating_sigmoid(logit)  # (B,), in [eps, 1 - eps]
 
     # ------------------------------------------------------------------
     # Training (Eq. 1/2: maximize the mixture likelihood of gold tokens)
@@ -252,10 +260,7 @@ class ACNN(DuAttentionModel):
                 mask = valid[:, t]
                 z_values = z.data[mask]
                 gate_z_sum += float(z_values.sum())
-                clipped = np.clip(z_values, 1e-12, 1.0 - 1e-12)
-                gate_entropy_sum += float(
-                    -(clipped * np.log(clipped) + (1 - clipped) * np.log(1 - clipped)).sum()
-                )
+                gate_entropy_sum += float(np_bernoulli_entropy(z_values).sum())
                 gate_copy_sum += float((z_values > 0.5).sum())
                 gate_tokens += int(mask.sum())
 
@@ -286,7 +291,7 @@ class ACNN(DuAttentionModel):
         nll = sequence_nll(step_probs, batch.tgt_output, batch.tgt_pad_mask)
         if coverage_penalty is not None and self.coverage_loss_weight > 0:
             total_tokens = float(valid.sum())
-            nll = nll + coverage_penalty * (self.coverage_loss_weight / total_tokens)
+            nll = nll + coverage_penalty * (self.coverage_loss_weight / total_tokens)  # numerics: ok — total_tokens > 0 enforced by sequence_nll
         return nll
 
     # ------------------------------------------------------------------
@@ -319,11 +324,8 @@ class ACNN(DuAttentionModel):
 
         if self.collect_gate_stats:
             accum = self._decode_gate_accum or {"z": 0.0, "entropy": 0.0, "copy": 0.0, "tokens": 0}
-            clipped = np.clip(z, 1e-12, 1.0 - 1e-12)
             accum["z"] += float(z.sum())
-            accum["entropy"] += float(
-                -(clipped * np.log(clipped) + (1 - clipped) * np.log(1 - clipped)).sum()
-            )
+            accum["entropy"] += float(np_bernoulli_entropy(z).sum())
             accum["copy"] += float((z > 0.5).sum())
             accum["tokens"] += int(z.shape[0])
             self._decode_gate_accum = accum
@@ -333,7 +335,10 @@ class ACNN(DuAttentionModel):
             state.coverage + attn.data if state.coverage is not None else None
         )
         return (
-            np.log(extended + PROBABILITY_FLOOR),
+            # Eq. 2 probabilities can be exactly 0 (un-copyable extended
+            # ids); the smoothed log matches the historical additive guard
+            # bit-for-bit so beam scores are unchanged.
+            np_smoothed_log(extended, PROBABILITY_FLOOR),
             DecoderStepState(new_states, coverage=new_coverage),
         )
 

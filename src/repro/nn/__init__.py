@@ -12,6 +12,16 @@ from repro.nn.linear import Linear
 from repro.nn.loss import PROBABILITY_FLOOR, cross_entropy, nll_loss, sequence_nll
 from repro.nn.lstm import LSTM, BidirectionalLSTM, LSTMCell
 from repro.nn.module import Module, Parameter
+from repro.nn.numerics import (
+    EXP_MAX,
+    GATE_EPS,
+    TINY,
+    safe_div,
+    safe_exp,
+    safe_log,
+    safe_sqrt,
+    saturating_sigmoid,
+)
 
 __all__ = [
     "GlobalAttention",
@@ -27,4 +37,12 @@ __all__ = [
     "LSTMCell",
     "Module",
     "Parameter",
+    "EXP_MAX",
+    "GATE_EPS",
+    "TINY",
+    "safe_div",
+    "safe_exp",
+    "safe_log",
+    "safe_sqrt",
+    "saturating_sigmoid",
 ]

@@ -33,7 +33,7 @@ def _fast_sigmoid(x: np.ndarray) -> np.ndarray:
     # exp overflow for very negative inputs saturates to exactly 0.0, which
     # is the correct limit; suppress the harmless warning.
     with np.errstate(over="ignore"):
-        return 1.0 / (1.0 + np.exp(-x))
+        return 1.0 / (1.0 + np.exp(-x))  # numerics: ok — denominator >= 1; overflow saturates to the correct limit
 
 
 def _fused_core(

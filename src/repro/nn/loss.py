@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.numerics import safe_log
 from repro.tensor.core import Tensor
-from repro.tensor.ops import clip, gather_rows, log, log_softmax
+from repro.tensor.ops import gather_rows, log_softmax
 
 __all__ = ["nll_loss", "cross_entropy", "sequence_nll", "PROBABILITY_FLOOR"]
 
@@ -39,7 +40,7 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, mask: np.ndarray | None = N
     total = weights.sum()
     if total == 0:
         raise ValueError("nll_loss mask excludes every element")
-    return -(picked * Tensor(weights)).sum() * (1.0 / total)
+    return -(picked * Tensor(weights)).sum() * (1.0 / total)  # numerics: ok — total == 0 raises above
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
@@ -79,7 +80,7 @@ def sequence_nll(
 
     loss_terms = []
     for k, prob in enumerate(step_probs):
-        log_p = log(clip(prob, PROBABILITY_FLOOR, 1.0))
+        log_p = safe_log(prob, floor=PROBABILITY_FLOOR, ceiling=1.0)
         weight = Tensor(valid[:, k].astype(float))
         loss_terms.append((log_p * weight).sum())
     total = loss_terms[0]

@@ -95,7 +95,7 @@ class StreamingHistogram:
     def mean(self) -> float:
         if self.count == 0:
             raise ValueError("empty histogram has no mean")
-        return self.total / self.count
+        return self.total / self.count  # numerics: ok — count == 0 raises above
 
     # ------------------------------------------------------------------
     def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":

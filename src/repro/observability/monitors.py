@@ -79,9 +79,9 @@ def gate_statistics(z_sum: float, entropy_sum: float, copy_sum: float, tokens: i
     if tokens <= 0:
         return {"z_mean": 0.0, "z_entropy": 0.0, "copy_rate": 0.0, "tokens": 0}
     return {
-        "z_mean": z_sum / tokens,
-        "z_entropy": entropy_sum / tokens,
-        "copy_rate": copy_sum / tokens,
+        "z_mean": z_sum / tokens,  # numerics: ok — tokens <= 0 returns early above
+        "z_entropy": entropy_sum / tokens,  # numerics: ok — tokens <= 0 returns early above
+        "copy_rate": copy_sum / tokens,  # numerics: ok — tokens <= 0 returns early above
         "tokens": int(tokens),
     }
 

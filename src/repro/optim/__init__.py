@@ -1,10 +1,11 @@
 """Optimization: SGD/Adam, gradient clipping, learning-rate schedules."""
 
-from repro.optim.clipping import clip_grad_norm, grad_norm
+from repro.optim.clipping import NonFiniteGradError, clip_grad_norm, grad_norm
 from repro.optim.optimizers import SGD, Adam, Optimizer
 from repro.optim.schedules import ConstantSchedule, DecayAfterEpoch, HalveAtEpoch, Schedule
 
 __all__ = [
+    "NonFiniteGradError",
     "clip_grad_norm",
     "grad_norm",
     "SGD",

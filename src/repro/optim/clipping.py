@@ -6,13 +6,32 @@ without clipping; OpenNMT's default global-norm clip is reproduced here.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
 
 from repro.nn.module import Parameter
 
-__all__ = ["clip_grad_norm", "grad_norm"]
+__all__ = ["clip_grad_norm", "grad_norm", "NonFiniteGradError"]
+
+
+class NonFiniteGradError(ArithmeticError):
+    """The global gradient norm is NaN/inf, so clipping cannot rescale.
+
+    A non-finite norm means at least one gradient element overflowed or
+    went NaN upstream. Silently returning the NaN norm (the historical
+    behavior) let the comparison ``norm > max_norm`` evaluate False, so
+    the poisoned gradients were applied to the parameters *unclipped* —
+    one bad batch corrupted the weights. Callers choose a policy via
+    ``on_nonfinite``; the trainer maps its overflow policy onto it.
+    """
+
+    def __init__(self, norm: float, parameter_names: list[str] | None = None):
+        names = f" (first offenders: {', '.join(parameter_names)})" if parameter_names else ""
+        super().__init__(f"gradient norm is {norm}{names}")
+        self.norm = norm
+        self.parameter_names = parameter_names or []
 
 
 def grad_norm(parameters: Sequence[Parameter]) -> float:
@@ -21,17 +40,58 @@ def grad_norm(parameters: Sequence[Parameter]) -> float:
     for param in parameters:
         if param.grad is not None:
             total += float((param.grad * param.grad).sum())
-    return float(np.sqrt(total))
+    return float(np.sqrt(total))  # numerics: ok — sum of squares is >= 0
 
 
-def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+def _nonfinite_parameter_names(parameters: Sequence[Parameter], limit: int = 3) -> list[str]:
+    names = []
+    for index, param in enumerate(parameters):
+        if param.grad is not None and not np.isfinite(param.grad).all():
+            names.append(getattr(param, "name", None) or f"parameter[{index}]")
+            if len(names) >= limit:
+                break
+    return names
+
+
+def clip_grad_norm(
+    parameters: Sequence[Parameter],
+    max_norm: float,
+    on_nonfinite: str = "raise",
+) -> float:
     """Rescale gradients in place so their global norm is at most ``max_norm``.
 
     Returns the pre-clipping norm, which the trainer logs.
+
+    Parameters
+    ----------
+    on_nonfinite:
+        What to do when the global norm is NaN/inf:
+
+        - ``"raise"`` (default): raise :class:`NonFiniteGradError` naming the
+          first offending parameters. The gradients are left untouched so the
+          caller can inspect or quarantine them.
+        - ``"zero"``: zero every gradient in place and return ``inf`` —
+          the subsequent optimizer step becomes a no-op.
+        - ``"propagate"``: legacy behavior — return the non-finite norm and
+          leave the gradients unclipped. Only for callers that check the
+          returned norm themselves.
     """
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
+    if on_nonfinite not in ("raise", "zero", "propagate"):
+        raise ValueError(
+            f"on_nonfinite must be 'raise', 'zero', or 'propagate', got {on_nonfinite!r}"
+        )
     norm = grad_norm(parameters)
+    if not math.isfinite(norm):
+        if on_nonfinite == "raise":
+            raise NonFiniteGradError(norm, _nonfinite_parameter_names(parameters))
+        if on_nonfinite == "zero":
+            for param in parameters:
+                if param.grad is not None:
+                    param.grad[...] = 0.0
+            return float("inf")
+        return norm
     if norm > max_norm:
         scale = max_norm / (norm + 1e-12)
         for param in parameters:

@@ -150,9 +150,9 @@ class Adam(Optimizer):
             grad = param.grad
             self._m[index] = self.beta1 * self._m[index] + (1.0 - self.beta1) * grad
             self._v[index] = self.beta2 * self._v[index] + (1.0 - self.beta2) * grad * grad
-            m_hat = self._m[index] / bias1
-            v_hat = self._v[index] / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            m_hat = self._m[index] / bias1  # numerics: ok — bias1 = 1 - beta1**t > 0
+            v_hat = self._v[index] / bias2  # numerics: ok — bias2 = 1 - beta2**t > 0
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)  # numerics: ok — Adam denominator carries +eps; sqrt of v >= 0
 
     def state_dict(self) -> dict:
         state = super().state_dict()

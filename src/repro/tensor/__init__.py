@@ -6,8 +6,20 @@ the differentiable ops the paper's equations need, numerical gradient
 checking, and checkpoint serialization.
 """
 
+from repro.tensor.anomaly import (
+    NumericalAnomaly,
+    OpRecord,
+    detect_anomaly,
+    is_anomaly_enabled,
+    provenance_of,
+)
 from repro.tensor.core import DEFAULT_DTYPE, Tensor, ensure_tensor, is_grad_enabled, no_grad
-from repro.tensor.gradcheck import GradientCheckError, check_gradients, numerical_gradient
+from repro.tensor.gradcheck import (
+    GradientCheckError,
+    check_finite_gradients,
+    check_gradients,
+    numerical_gradient,
+)
 from repro.tensor.ops import (
     abs_,
     clip,
@@ -36,12 +48,18 @@ from repro.tensor.profiler import TapeProfile
 from repro.tensor.serialization import load_arrays, save_arrays
 
 __all__ = [
+    "NumericalAnomaly",
+    "OpRecord",
+    "detect_anomaly",
+    "is_anomaly_enabled",
+    "provenance_of",
     "DEFAULT_DTYPE",
     "Tensor",
     "ensure_tensor",
     "is_grad_enabled",
     "no_grad",
     "GradientCheckError",
+    "check_finite_gradients",
     "check_gradients",
     "numerical_gradient",
     "abs_",

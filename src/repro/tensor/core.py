@@ -36,6 +36,11 @@ _GRAD_ENABLED = True
 # so the per-op overhead is one falsy check.
 _PROFILES: list = []
 
+# Active anomaly-detection states (see repro.tensor.anomaly). Normally empty;
+# while a ``detect_anomaly()`` context is open, every op records provenance
+# and checks its forward output, and every gradient write is checked.
+_ANOMALY: list = []
+
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd tape."""
@@ -97,7 +102,15 @@ class Tensor:
         Optional label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward_fn", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward_fn",
+        "_parents",
+        "name",
+        "_provenance",
+    )
 
     def __init__(
         self,
@@ -185,12 +198,18 @@ class Tensor:
             if _PROFILES:
                 for profile in _PROFILES:
                     profile.record(out.data.size)
+        if _ANOMALY:
+            for state in _ANOMALY:
+                state.on_op(out, tuple(parents), backward_fn)
         return out
 
     def _accumulate_grad(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
         grad = _unbroadcast(np.asarray(grad), self.data.shape)
+        if _ANOMALY:
+            for state in _ANOMALY:
+                state.on_grad(self, grad)
         if self.grad is None:
             self.grad = grad.astype(self.data.dtype, copy=True)
         else:
@@ -231,9 +250,21 @@ class Tensor:
 
         ordered = self._topological_order()
         self._accumulate_grad(grad)
+        anomaly_states = tuple(_ANOMALY)
         for node in reversed(ordered):
             if node._backward_fn is not None and node.grad is not None:
-                node._backward_fn(node.grad)
+                if anomaly_states:
+                    # Attribute gradient writes made by this node's backward
+                    # closure to this node's op (see repro.tensor.anomaly).
+                    for state in anomaly_states:
+                        state.enter_backward(node)
+                    try:
+                        node._backward_fn(node.grad)
+                    finally:
+                        for state in anomaly_states:
+                            state.exit_backward()
+                else:
+                    node._backward_fn(node.grad)
                 # Free the tape eagerly: interior activations are not needed
                 # once their gradient has been propagated.
                 if node is not self:
@@ -302,11 +333,11 @@ class Tensor:
 
     def __truediv__(self, other) -> "Tensor":
         other = ensure_tensor(other)
-        out_data = self.data / other.data
+        out_data = self.data / other.data  # numerics: ok — primitive __truediv__ — anomaly mode attributes the op
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate_grad(grad / other.data)
-            other._accumulate_grad(-grad * self.data / (other.data * other.data))
+            self._accumulate_grad(grad / other.data)  # numerics: ok — primitive div backward — mirrors forward denominator
+            other._accumulate_grad(-grad * self.data / (other.data * other.data))  # numerics: ok — primitive div backward — mirrors forward denominator
 
         return Tensor._from_op(out_data, (self, other), backward)
 
@@ -414,7 +445,7 @@ class Tensor:
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         """Arithmetic mean over all elements or the given axis/axes."""
         count = self.data.size if axis is None else _axis_size(self.data.shape, axis)
-        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)  # numerics: ok — empty-axis mean raises in sum()
 
 
 def _is_basic_index(key) -> bool:

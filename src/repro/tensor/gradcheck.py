@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.tensor.core import Tensor
 
-__all__ = ["numerical_gradient", "check_gradients", "GradientCheckError"]
+__all__ = [
+    "numerical_gradient",
+    "check_gradients",
+    "check_finite_gradients",
+    "GradientCheckError",
+]
 
 
 class GradientCheckError(AssertionError):
@@ -41,7 +46,7 @@ def numerical_gradient(
         flat_param[i] = original - epsilon
         minus = fn().item()
         flat_param[i] = original
-        flat_grad[i] = (plus - minus) / (2.0 * epsilon)
+        flat_grad[i] = (plus - minus) / (2.0 * epsilon)  # numerics: ok — epsilon validated > 0
     return grad
 
 
@@ -77,3 +82,38 @@ def check_gradients(
                 f"({parameter.name or 'unnamed'}): max abs error {worst:.3e}\n"
                 f"analytic:\n{got}\nnumeric:\n{numeric}"
             )
+
+
+def check_finite_gradients(
+    fn: Callable[[], Tensor],
+    parameters: Sequence[Tensor],
+) -> float:
+    """Assert ``fn``'s output and every tape gradient are finite.
+
+    The adversarial companion to :func:`check_gradients`: on degenerate
+    inputs (saturated logits, fully-masked rows, zero probabilities) a
+    finite-difference comparison is meaningless — clamped kernels have
+    legitimate zero-gradient regions — but the *stability contract* still
+    holds: no NaN/inf may reach the loss or any gradient. Returns the loss
+    value so callers can make further assertions.
+
+    Raises
+    ------
+    GradientCheckError
+        If the output or any parameter gradient is non-finite.
+    """
+    for parameter in parameters:
+        parameter.zero_grad()
+    loss = fn()
+    value = loss.item()
+    if not np.isfinite(value):
+        raise GradientCheckError(f"non-finite output {value}")
+    loss.backward()
+    for index, parameter in enumerate(parameters):
+        if parameter.grad is not None and not np.isfinite(parameter.grad).all():
+            bad = parameter.grad[~np.isfinite(parameter.grad)]
+            raise GradientCheckError(
+                f"non-finite gradient for parameter {index} "
+                f"({parameter.name or 'unnamed'}): first offender {bad.flat[0]}"
+            )
+    return value

@@ -56,8 +56,8 @@ def sigmoid(x: Tensor) -> Tensor:
     data = x.data
     out_data = np.empty_like(data)
     positive = data >= 0
-    out_data[positive] = 1.0 / (1.0 + np.exp(-data[positive]))
-    exp_x = np.exp(data[~positive])
+    out_data[positive] = 1.0 / (1.0 + np.exp(-data[positive]))  # numerics: ok — stable sigmoid: exp of negative values only
+    exp_x = np.exp(data[~positive])  # numerics: ok — stable sigmoid: exp of negative values only
     out_data[~positive] = exp_x / (1.0 + exp_x)
 
     def backward(grad: np.ndarray) -> None:
@@ -78,7 +78,7 @@ def relu(x: Tensor) -> Tensor:
 
 def exp(x: Tensor) -> Tensor:
     """Elementwise exponential."""
-    out_data = np.exp(x.data)
+    out_data = np.exp(x.data)  # numerics: ok — primitive exp op — safe_exp is the guarded form
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate_grad(grad * out_data)
@@ -88,20 +88,20 @@ def exp(x: Tensor) -> Tensor:
 
 def log(x: Tensor) -> Tensor:
     """Elementwise natural logarithm."""
-    out_data = np.log(x.data)
+    out_data = np.log(x.data)  # numerics: ok — primitive log op — safe_log is the guarded form
 
     def backward(grad: np.ndarray) -> None:
-        x._accumulate_grad(grad / x.data)
+        x._accumulate_grad(grad / x.data)  # numerics: ok — log backward: domain matches forward input
 
     return Tensor._from_op(out_data, (x,), backward)
 
 
 def sqrt(x: Tensor) -> Tensor:
     """Elementwise square root."""
-    out_data = np.sqrt(x.data)
+    out_data = np.sqrt(x.data)  # numerics: ok — primitive sqrt op — safe_sqrt is the guarded form
 
     def backward(grad: np.ndarray) -> None:
-        x._accumulate_grad(grad * 0.5 / out_data)
+        x._accumulate_grad(grad * 0.5 / out_data)  # numerics: ok — sqrt backward: domain matches forward input
 
     return Tensor._from_op(out_data, (x,), backward)
 
@@ -153,11 +153,41 @@ def minimum(x: Tensor, y: Tensor) -> Tensor:
     return Tensor._from_op(out_data, (x, y), backward)
 
 
+def _shift_max(data: np.ndarray, axis: int) -> np.ndarray:
+    """Max along ``axis`` with ``-inf`` rows replaced by 0.
+
+    The max-shift trick breaks on a row that is entirely ``-inf`` (a fully
+    masked attention row): ``x - (-inf)`` is NaN. Substituting a finite
+    shift keeps the row computable (``exp(-inf) = 0``); the denominators
+    are guarded separately. NaN and ``+inf`` maxima are left alone on
+    purpose — those indicate invalid inputs and must stay detectable (see
+    :mod:`repro.tensor.anomaly`), not be silently laundered into numbers.
+    """
+    max_ = data.max(axis=axis, keepdims=True)
+    neginf = np.isneginf(max_)
+    if neginf.any():
+        max_ = np.where(neginf, 0.0, max_)
+    return max_
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp_x = np.exp(shifted)
-    out_data = exp_x / exp_x.sum(axis=axis, keepdims=True)
+    """Numerically stable softmax along ``axis``.
+
+    Stabilized kernel: the classic max-shift handles arbitrarily large
+    finite logits, and rows that are entirely ``-inf`` (fully masked)
+    return all-zero rows instead of NaN. Well-conditioned inputs take the
+    identical code path bit-for-bit.
+    """
+    if x.data.shape[axis] == 0:
+        return _empty_like_op(x)
+    shifted = x.data - _shift_max(x.data, axis)
+    exp_x = np.exp(shifted)  # numerics: ok — max-shifted input <= 0 (or -inf rows)
+    denom = exp_x.sum(axis=axis, keepdims=True)
+    zero = denom == 0.0
+    if zero.any():
+        # Fully-masked rows: no mass anywhere; return zeros, not NaN.
+        denom = np.where(zero, 1.0, denom)
+    out_data = exp_x / denom  # numerics: ok — denominator guarded > 0
 
     def backward(grad: np.ndarray) -> None:
         inner = (grad * out_data).sum(axis=axis, keepdims=True)
@@ -167,16 +197,36 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    """Numerically stable log-softmax along ``axis``.
+
+    Stabilized kernel: log-sum-exp with max-shift; fully ``-inf`` (masked)
+    rows yield ``-inf`` log-probabilities (the honest value) rather than
+    NaN. Well-conditioned inputs are byte-identical to the naive form.
+    """
+    if x.data.shape[axis] == 0:
+        return _empty_like_op(x)
+    shifted = x.data - _shift_max(x.data, axis)
+    norm = np.exp(shifted).sum(axis=axis, keepdims=True)  # numerics: ok — max-shifted
+    zero = norm == 0.0
+    if zero.any():
+        norm = np.where(zero, 1.0, norm)
+    log_norm = np.log(norm)  # numerics: ok — norm guarded >= smallest exp term
     out_data = shifted - log_norm
-    soft = np.exp(out_data)
+    soft = np.exp(out_data)  # numerics: ok — log-probabilities are <= 0
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate_grad(grad - soft * grad.sum(axis=axis, keepdims=True))
 
     return Tensor._from_op(out_data, (x,), backward)
+
+
+def _empty_like_op(x: Tensor) -> Tensor:
+    """Degenerate empty-axis reduction: identity op over zero elements."""
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_grad(grad)
+
+    return Tensor._from_op(x.data.copy(), (x,), backward)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -237,7 +287,7 @@ def max_(x: Tensor, axis: int, keepdims: bool = False) -> Tensor:
         mask = x.data == max_expanded
         # Split gradient evenly among ties so the sum of gradients is exact.
         counts = mask.sum(axis=axis, keepdims=True)
-        x._accumulate_grad(expanded * mask / counts)
+        x._accumulate_grad(expanded * mask / counts)  # numerics: ok — mean backward: counts >= 1 on non-empty axes
 
     return Tensor._from_op(out_data, (x,), backward)
 
@@ -253,7 +303,7 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     if not training or p == 0.0:
         return x
-    keep = (rng.random(x.data.shape) >= p) / (1.0 - p)
+    keep = (rng.random(x.data.shape) >= p) / (1.0 - p)  # numerics: ok — dropout validates p < 1
     out_data = x.data * keep
 
     def backward(grad: np.ndarray) -> None:

@@ -3,6 +3,7 @@
 from repro.training.bundle import ModelBundle
 from repro.training.checkpoint import CheckpointCorrupted, load_checkpoint, save_checkpoint
 from repro.training.history import EpochRecord, RecoveryEvent, TrainingHistory
+from repro.training.overflow import BatchQuarantined, DynamicLossScaler, OverflowPolicy
 from repro.training.resilience import ResilienceConfig, SnapshotStore
 from repro.training.trainer import (
     EmptyEvaluationError,
@@ -20,6 +21,9 @@ __all__ = [
     "EpochRecord",
     "RecoveryEvent",
     "TrainingHistory",
+    "BatchQuarantined",
+    "DynamicLossScaler",
+    "OverflowPolicy",
     "ResilienceConfig",
     "SnapshotStore",
     "EmptyEvaluationError",

@@ -20,7 +20,7 @@ import os
 import signal as signal_module
 import threading
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Callable
 
@@ -35,11 +35,13 @@ from repro.observability import (
     nonfinite_sentinel,
     param_norm,
 )
-from repro.optim import SGD, HalveAtEpoch, clip_grad_norm
+from repro.optim import SGD, HalveAtEpoch, NonFiniteGradError, clip_grad_norm
 from repro.optim.optimizers import Optimizer
 from repro.optim.schedules import Schedule
+from repro.tensor.anomaly import NumericalAnomaly, detect_anomaly
 from repro.tensor.core import no_grad
 from repro.training.history import EpochRecord, RecoveryEvent, TrainingHistory
+from repro.training.overflow import BatchQuarantined, DynamicLossScaler, OverflowPolicy
 from repro.training.resilience import (
     ResilienceConfig,
     SnapshotStore,
@@ -75,6 +77,9 @@ class TrainingDiverged(RuntimeError):
         self.cause = cause
         """Machine-readable divergence cause, copied into the
         :class:`~repro.training.history.RecoveryEvent` on rollback."""
+        self.allow_recovery = True
+        """False under ``overflow_policy="raise"``: the user asked for a
+        hard failure, so snapshot rollback must not swallow it."""
 
 
 class TrainingInterrupted(RuntimeError):
@@ -106,6 +111,21 @@ class TrainerConfig:
     """Stop after this many epochs without dev-loss improvement (None = off)."""
     log_every: int = 0
     """Print a progress line every N batches (0 = silent)."""
+    detect_anomaly: bool = False
+    """Run forward/backward inside :func:`repro.tensor.detect_anomaly`:
+    the first non-finite op output or gradient raises with the full causal
+    chain (op name, shapes, creation site). Adds per-op bookkeeping cost —
+    meant for debugging a diverging run, not the default loop."""
+    overflow_policy: str = OverflowPolicy.ROLLBACK
+    """What a non-finite loss/gradient does to the run: ``"skip"``
+    quarantines the batch and continues, ``"rollback"`` (default, the
+    historical behavior) raises :class:`TrainingDiverged` so the
+    resilience layer can restore a snapshot, ``"raise"`` raises without
+    attempting recovery even when resilience is configured."""
+    overflow_max_consecutive: int = 5
+    """Under ``"skip"``: escalate to :class:`TrainingDiverged` after this
+    many consecutive quarantined batches — a model that cannot produce a
+    finite step anymore has diverged."""
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -114,6 +134,11 @@ class TrainerConfig:
             raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
         if self.clip_norm <= 0:
             raise ValueError(f"clip_norm must be positive, got {self.clip_norm}")
+        OverflowPolicy.validate(self.overflow_policy)
+        if self.overflow_max_consecutive < 1:
+            raise ValueError(
+                f"overflow_max_consecutive must be >= 1, got {self.overflow_max_consecutive}"
+            )
 
 
 class Trainer:
@@ -159,6 +184,7 @@ class Trainer:
         epoch_callback: Callable[[EpochRecord], None] | None = None,
         resilience: ResilienceConfig | None = None,
         telemetry: Telemetry | None = None,
+        loss_scaler: DynamicLossScaler | None = None,
     ) -> None:
         self.model = model
         self.train_iterator = train_iterator
@@ -175,6 +201,13 @@ class Trainer:
         self.schedule = schedule or HalveAtEpoch(self.optimizer, self.config.halve_at_epoch)
         self.epoch_callback = epoch_callback
         self.resilience = resilience
+        if loss_scaler is None and self.config.overflow_policy == OverflowPolicy.SKIP:
+            # Inert by default (scale 1.0, growth off): supplies the
+            # quarantine bookkeeping without perturbing the arithmetic.
+            loss_scaler = DynamicLossScaler()
+        self.loss_scaler = loss_scaler
+        self.overflow_skipped = 0
+        """Total batches quarantined under ``overflow_policy="skip"``."""
         self.history = TrainingHistory()
         self.best_state: dict | None = None
         self._embeddings = [m for m in model.modules() if isinstance(m, Embedding)]
@@ -196,44 +229,86 @@ class Trainer:
         self._resume_accum: dict | None = None
 
     # ------------------------------------------------------------------
+    def _overflow_failure(
+        self, cause: str, message: str, value: float | None = None
+    ) -> ArithmeticError | RuntimeError:
+        """Build the exception the configured overflow policy calls for."""
+        if self.config.overflow_policy == OverflowPolicy.SKIP:
+            return BatchQuarantined(message, cause=cause, step=self._step + 1, value=value)
+        exc = TrainingDiverged(message, cause=cause)
+        exc.allow_recovery = self.config.overflow_policy != OverflowPolicy.RAISE
+        return exc
+
     def train_batch(self, batch: Batch) -> tuple[float, float]:
         """One optimization step; returns (loss, pre-clip gradient norm).
 
         Raises
         ------
+        BatchQuarantined
+            Under ``overflow_policy="skip"``, if the loss or gradients are
+            NaN/inf (or an anomaly fires): the batch is dropped, nothing
+            was applied to the parameters.
         TrainingDiverged
-            If the loss or the gradient norm is NaN/inf.
+            Under the other policies, for the same conditions.
         """
         telemetry = self.telemetry
         self.model.train()
-        with telemetry.span("forward"):
-            loss = self.model.loss(batch)
-        loss_value = loss.item()
-        # The sentinel fires *before* the raise, so the trace records the
-        # failure (and the resilience rollback can carry its cause) even
-        # when recovery later rewrites the run's tail.
-        if not nonfinite_sentinel(
-            telemetry, "loss", loss_value, lr=self.optimizer.lr, batch=batch.size
-        ):
-            raise TrainingDiverged(
-                f"non-finite training loss {loss_value} "
-                f"(lr={self.optimizer.lr:g}, batch of {batch.size})",
-                cause="nonfinite_loss",
-            )
-        with telemetry.span("backward"):
-            loss.backward()
+        scaler = self.loss_scaler
+        anomaly_guard = detect_anomaly() if self.config.detect_anomaly else nullcontext()
+        try:
+            with anomaly_guard:
+                with telemetry.span("forward"):
+                    loss = self.model.loss(batch)
+                loss_value = loss.item()
+                # The sentinel fires *before* the raise, so the trace records
+                # the failure (and the resilience rollback can carry its
+                # cause) even when recovery later rewrites the run's tail.
+                if not nonfinite_sentinel(
+                    telemetry, "loss", loss_value, lr=self.optimizer.lr, batch=batch.size
+                ):
+                    raise self._overflow_failure(
+                        "nonfinite_loss",
+                        f"non-finite training loss {loss_value} "
+                        f"(lr={self.optimizer.lr:g}, batch of {batch.size})",
+                        value=loss_value,
+                    )
+                with telemetry.span("backward"):
+                    if scaler is not None and scaler.active:
+                        (loss * scaler.scale).backward()
+                    else:
+                        loss.backward()
+        except NumericalAnomaly as exc:
+            # detect_anomaly already emitted anomaly.* telemetry; here the
+            # culprit op becomes the typed cause so a rollback's
+            # RecoveryEvent (or the quarantine marker) names it.
+            raise self._overflow_failure(
+                f"anomaly:{exc.op}",
+                f"numerical anomaly ({exc.kind} in {exc.phase} of op '{exc.op}'): {exc}",
+            ) from exc
         for embedding in self._embeddings:
             embedding.zero_padding_grad()
-        norm = clip_grad_norm(self.optimizer.parameters, self.config.clip_norm)
-        if not nonfinite_sentinel(telemetry, "grad_norm", norm, lr=self.optimizer.lr):
-            raise TrainingDiverged(
-                f"non-finite gradient norm (lr={self.optimizer.lr:g}); "
-                "consider a lower learning rate or tighter clip_norm",
-                cause="nonfinite_grad_norm",
+        if scaler is not None and scaler.active:
+            unscale = 1.0 / scaler.scale  # numerics: ok — scaler.scale > 0 invariant
+            for param in self.optimizer.parameters:
+                if param.grad is not None:
+                    param.grad *= unscale
+        try:
+            norm = clip_grad_norm(
+                self.optimizer.parameters, self.config.clip_norm, on_nonfinite="raise"
             )
+        except NonFiniteGradError as exc:
+            nonfinite_sentinel(telemetry, "grad_norm", exc.norm, lr=self.optimizer.lr)
+            raise self._overflow_failure(
+                "nonfinite_grad_norm",
+                f"non-finite gradient norm (lr={self.optimizer.lr:g}, {exc}); "
+                "consider a lower learning rate or tighter clip_norm",
+                value=exc.norm,
+            ) from exc
         with telemetry.span("optimizer_step"):
             self.optimizer.step()
         self.model.zero_grad()
+        if scaler is not None:
+            scaler.on_good_step()
         return loss_value, norm
 
     def evaluate_loss(self, iterator: BatchIterator) -> float:
@@ -248,7 +323,7 @@ class Trainer:
                 total_tokens += tokens
         if total_tokens == 0:
             raise EmptyEvaluationError("evaluation iterator produced no target tokens")
-        return total_loss / total_tokens
+        return total_loss / total_tokens  # numerics: ok — total_tokens == 0 raises above
 
     # ------------------------------------------------------------------
     # Run-state capture / restore
@@ -270,6 +345,8 @@ class Trainer:
             "epochs_without_improvement": self._epochs_without_improvement,
             "retries_used": self._retries_used,
             "finished": self._finished,
+            "overflow_skipped": self.overflow_skipped,
+            "loss_scaler": self.loss_scaler.state_dict() if self.loss_scaler else None,
             "has_best": self.best_state is not None,
             "optimizer": optimizer_state["scalars"],
             "schedule": self.schedule.state_dict(),
@@ -306,6 +383,10 @@ class Trainer:
         self._epochs_without_improvement = int(meta["epochs_without_improvement"])
         self._retries_used = max(self._retries_used, int(meta["retries_used"]))
         self._finished = bool(meta.get("finished", False))
+        self.overflow_skipped = int(meta.get("overflow_skipped", 0))
+        scaler_state = meta.get("loss_scaler")
+        if scaler_state and self.loss_scaler is not None:
+            self.loss_scaler.load_state_dict(scaler_state)
         self._step = int(meta["step"])
 
         telemetry_state = meta.get("telemetry")
@@ -389,6 +470,44 @@ class Trainer:
         )
 
     # ------------------------------------------------------------------
+    # Overflow quarantine (overflow_policy="skip")
+    # ------------------------------------------------------------------
+    def _quarantine_batch(self, exc: BatchQuarantined, epoch: int, batch_index: int) -> None:
+        """Drop a non-finite batch: zero its gradients, count it, escalate
+        to :class:`TrainingDiverged` after too many in a row."""
+        self.model.zero_grad()
+        self.overflow_skipped += 1
+        scaler = self.loss_scaler
+        consecutive = self.overflow_skipped
+        scale = 1.0
+        if scaler is not None:
+            scale = scaler.on_overflow()
+            consecutive = scaler.consecutive_overflows
+        self.telemetry.counter("train.overflow.skipped")
+        self.telemetry.run_marker(
+            "overflow_quarantine",
+            cause=exc.cause,
+            epoch=epoch,
+            batch=batch_index,
+            skipped_total=self.overflow_skipped,
+            consecutive=consecutive,
+            scale=scale,
+        )
+        self.telemetry.log(
+            f"[overflow] quarantined batch {batch_index} of epoch {epoch} "
+            f"({exc.cause}); {consecutive} consecutive, {self.overflow_skipped} total"
+        )
+        if consecutive >= self.config.overflow_max_consecutive:
+            diverged = TrainingDiverged(
+                f"{consecutive} consecutive batches quarantined "
+                f"(last cause: {exc.cause}); escalating skip to divergence",
+                cause=exc.cause,
+            )
+            diverged.epoch = epoch
+            diverged.batches_done = batch_index - 1
+            raise diverged from exc
+
+    # ------------------------------------------------------------------
     # Divergence recovery
     # ------------------------------------------------------------------
     def _attempt_recovery(self, exc: TrainingDiverged) -> tuple[dict, dict] | None:
@@ -459,7 +578,11 @@ class Trainer:
                 try:
                     return self._run(resume_state)
                 except TrainingDiverged as exc:
-                    recovered = self._attempt_recovery(exc)
+                    recovered = (
+                        self._attempt_recovery(exc)
+                        if getattr(exc, "allow_recovery", True)
+                        else None
+                    )
                     if recovered is None:
                         exc.recovery_log = list(self._recovery_events)
                         self.history.events = list(self._recovery_events)
@@ -541,6 +664,9 @@ class Trainer:
                     telemetry.set_step(self._step + 1)
                     try:
                         loss, norm = self.train_batch(batch)
+                    except BatchQuarantined as exc:
+                        self._quarantine_batch(exc, epoch, batch_index)
+                        continue
                     except TrainingDiverged as exc:
                         exc.epoch = epoch
                         exc.batches_done = batch_index - 1

@@ -279,3 +279,42 @@ def test_scheduled_sampling_feedback_stays_in_decoder_vocab(tiny_config, tiny_vo
     model.train()
     loss = model.loss(tiny_batch)
     assert np.isfinite(loss.item())
+
+
+# ----------------------------------------------------------------------
+# Numerical hardening of the Eq. 2/4 mixture (saturated-gate regression)
+# ----------------------------------------------------------------------
+def test_saturated_gate_keeps_loss_and_grads_finite(tiny_config, tiny_vocabs, tiny_batch):
+    """Regression: a hugely confident switch gate used to return exact 1.0,
+    zeroing the generate branch; gold tokens only that branch explains got
+    probability 0 and the Eq. 7 log hit the floor with dead gradients."""
+    model = _acnn(tiny_config, tiny_vocabs)
+    model.switch_bias.data[...] = 1e5  # drive sigmoid into exact saturation
+    loss = model.loss(tiny_batch)
+    assert np.isfinite(loss.item())
+    loss.backward()
+    for parameter in model.parameters():
+        if parameter.grad is not None:
+            assert np.isfinite(parameter.grad).all(), parameter.name
+
+
+def test_adaptive_gate_never_exactly_saturates(tiny_config, tiny_vocabs):
+    model = _acnn(tiny_config, tiny_vocabs).eval()
+    d = Tensor(np.full((2, tiny_config.hidden_size), 1e6))
+    c = Tensor(np.full((2, 2 * tiny_config.hidden_size), 1e6))
+    y = Tensor(np.full((2, tiny_config.embedding_dim), 1e6))
+    for sign in (1.0, -1.0):
+        z = model.switch(d * sign, c * sign, y * sign).data
+        assert np.all(z > 0.0) and np.all(z < 1.0)
+
+
+def test_fixed_switch_extremes_stay_exact(tiny_config, tiny_vocabs):
+    """0/1 fixed gates are deliberate ablations (pure attention / pure
+    copy) and must NOT be touched by the saturation guard."""
+    rng = np.random.default_rng(9)
+    d = Tensor(rng.standard_normal((2, tiny_config.hidden_size)))
+    c = Tensor(rng.standard_normal((2, 2 * tiny_config.hidden_size)))
+    y = Tensor(rng.standard_normal((2, tiny_config.embedding_dim)))
+    for value in (0.0, 1.0):
+        model = _acnn(tiny_config, tiny_vocabs, switch_mode="fixed", fixed_switch=value)
+        np.testing.assert_array_equal(model.switch(d, c, y).data, value)

@@ -9,6 +9,7 @@ from repro.optim import (
     ConstantSchedule,
     DecayAfterEpoch,
     HalveAtEpoch,
+    NonFiniteGradError,
     clip_grad_norm,
     grad_norm,
 )
@@ -49,6 +50,41 @@ def test_clip_noop_when_below_threshold():
 def test_clip_rejects_nonpositive_max_norm():
     with pytest.raises(ValueError):
         clip_grad_norm([_param_with_grad([1.0])], max_norm=0.0)
+
+
+def test_clip_nan_grad_raises_by_default():
+    """Regression: a NaN norm used to fail ``norm > max_norm`` silently and
+    leave the poisoned gradients in place for the optimizer to apply."""
+    healthy = _param_with_grad([1e6, -1e6])
+    poisoned = _param_with_grad([np.nan, 1.0])
+    with pytest.raises(NonFiniteGradError) as excinfo:
+        clip_grad_norm([healthy, poisoned], max_norm=1.0)
+    assert np.isnan(excinfo.value.norm)
+    assert excinfo.value.parameter_names  # names the offender
+    # Gradients are untouched so the caller can quarantine/inspect them.
+    assert np.allclose(healthy.grad, [1e6, -1e6])
+    assert np.isnan(poisoned.grad[0])
+
+
+def test_clip_nonfinite_zero_policy_neutralizes_step():
+    healthy = _param_with_grad([3.0])
+    poisoned = _param_with_grad([np.inf])
+    returned = clip_grad_norm([healthy, poisoned], max_norm=1.0, on_nonfinite="zero")
+    assert returned == np.inf
+    assert np.allclose(healthy.grad, [0.0])
+    assert np.allclose(poisoned.grad, [0.0])
+
+
+def test_clip_nonfinite_propagate_policy_is_legacy_behavior():
+    poisoned = _param_with_grad([np.nan])
+    returned = clip_grad_norm([poisoned], max_norm=1.0, on_nonfinite="propagate")
+    assert np.isnan(returned)
+    assert np.isnan(poisoned.grad[0])
+
+
+def test_clip_rejects_unknown_nonfinite_policy():
+    with pytest.raises(ValueError):
+        clip_grad_norm([_param_with_grad([1.0])], max_norm=1.0, on_nonfinite="ignore")
 
 
 def _optimizer():

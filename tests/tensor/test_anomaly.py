@@ -1,0 +1,137 @@
+"""Tests for tape-level anomaly detection and op provenance."""
+
+import numpy as np
+import pytest
+
+from repro.observability import MemorySink, Telemetry, use_telemetry
+from repro.tensor import (
+    NumericalAnomaly,
+    Tensor,
+    detect_anomaly,
+    exp,
+    is_anomaly_enabled,
+    log,
+    provenance_of,
+    softmax,
+    sqrt,
+    tanh,
+)
+
+
+def test_disabled_by_default():
+    assert not is_anomaly_enabled()
+    x = Tensor(np.array([-1.0]), requires_grad=True)
+    out = log(x)  # produces nan silently when the mode is off
+    assert np.isnan(out.data[0])
+    assert provenance_of(out) is None
+
+
+def test_context_toggles_flag():
+    with detect_anomaly():
+        assert is_anomaly_enabled()
+    assert not is_anomaly_enabled()
+
+
+def test_forward_nan_names_culprit_op():
+    x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+    with detect_anomaly(emit_telemetry=False):
+        with pytest.raises(NumericalAnomaly) as excinfo:
+            log(x)
+    anomaly = excinfo.value
+    assert anomaly.op == "log"
+    assert anomaly.phase == "forward"
+    assert anomaly.kind == "nan"
+    assert "test_anomaly.py" in anomaly.record.site
+
+
+def test_forward_inf_detected():
+    x = Tensor(np.array([1000.0]), requires_grad=True)
+    with detect_anomaly(emit_telemetry=False):
+        with pytest.raises(NumericalAnomaly) as excinfo:
+            exp(x)
+    assert excinfo.value.op == "exp"
+    assert excinfo.value.kind == "inf"
+
+
+def test_causal_chain_tracks_producers():
+    x = Tensor(np.array([500.0]), requires_grad=True)
+    with detect_anomaly(emit_telemetry=False):
+        with pytest.raises(NumericalAnomaly) as excinfo:
+            doubled = x * 2.0
+            exp(doubled)  # exp(1000) -> inf
+    chain_ops = [record.op for record in excinfo.value.chain]
+    assert chain_ops[0] == "exp"
+    assert "__mul__" in chain_ops
+
+
+def test_backward_anomaly_attributed_to_op():
+    # sqrt'(0) = 0.5 / 0 = inf: forward is clean, backward mints the inf.
+    x = Tensor(np.array([0.0, 4.0]), requires_grad=True)
+    with detect_anomaly(emit_telemetry=False):
+        out = sqrt(x).sum()
+        with pytest.raises(NumericalAnomaly) as excinfo:
+            out.backward()
+    anomaly = excinfo.value
+    assert anomaly.phase == "backward"
+    assert anomaly.kind == "inf"
+    assert anomaly.op == "sqrt"
+
+
+def test_check_backward_only():
+    x = Tensor(np.array([-1.0]), requires_grad=True)
+    with detect_anomaly(check_forward=False, emit_telemetry=False):
+        out = log(x)  # nan allowed through
+        assert np.isnan(out.data[0])
+
+
+def test_clean_graph_raises_nothing():
+    x = Tensor(np.array([0.5, -0.5]), requires_grad=True)
+    with detect_anomaly(emit_telemetry=False):
+        loss = (tanh(x) * tanh(x)).sum()
+        loss.backward()
+    assert np.isfinite(x.grad).all()
+
+
+def test_provenance_recorded_inside_context():
+    x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    with detect_anomaly(emit_telemetry=False):
+        out = softmax(x, axis=-1)
+    record = provenance_of(out)
+    assert record is not None
+    assert record.op == "softmax"
+    assert record.output_shape == (2,)
+
+
+def test_poisoned_input_noted_in_message():
+    x = Tensor(np.array([np.nan]), requires_grad=True)
+    with detect_anomaly(emit_telemetry=False):
+        with pytest.raises(NumericalAnomaly, match="already non-finite"):
+            x * 2.0
+
+
+def test_telemetry_emission():
+    sink = MemorySink()
+    hub = Telemetry([sink])
+    x = Tensor(np.array([-1.0]), requires_grad=True)
+    with use_telemetry(hub):
+        with detect_anomaly():
+            with pytest.raises(NumericalAnomaly):
+                log(x)
+    markers = [r for r in sink.of_kind("run") if r["name"] == "anomaly"]
+    assert len(markers) == 1
+    payload = markers[0]["data"]
+    assert payload["op"] == "log"
+    assert payload["phase"] == "forward"
+    assert payload["chain"]
+    counters = [r for r in sink.of_kind("counter") if r["name"] == "anomaly.forward"]
+    assert counters
+
+
+def test_nested_contexts_do_not_interfere():
+    x = Tensor(np.array([-1.0]), requires_grad=True)
+    with detect_anomaly(emit_telemetry=False):
+        with detect_anomaly(emit_telemetry=False):
+            with pytest.raises(NumericalAnomaly):
+                log(x)
+        assert is_anomaly_enabled()
+    assert not is_anomaly_enabled()

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 
 
 def test_stats_synthetic(capsys):
@@ -144,6 +144,46 @@ def test_train_on_du_split(tmp_path):
             "--num-layers", "1",
             "--dropout", "0.0",
             "--batch-size", "8",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    assert (out / "model.npz").exists()
+
+
+def test_train_parser_numerics_flags_default_off():
+    args = build_parser().parse_args(["train", "--out", "x"])
+    assert args.detect_anomaly is False
+    assert args.overflow_policy == "rollback"
+
+
+def test_train_parser_accepts_numerics_flags():
+    args = build_parser().parse_args(
+        ["train", "--out", "x", "--detect-anomaly", "--overflow-policy", "skip"]
+    )
+    assert args.detect_anomaly is True
+    assert args.overflow_policy == "skip"
+
+
+def test_train_parser_rejects_unknown_overflow_policy(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["train", "--out", "x", "--overflow-policy", "ignore"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_train_with_numerics_flags_end_to_end(tmp_path):
+    out = tmp_path / "numerics"
+    code = main(
+        [
+            "train",
+            "--train-size", "60",
+            "--epochs", "1",
+            "--hidden-size", "8",
+            "--embedding-dim", "8",
+            "--num-layers", "1",
+            "--dropout", "0.0",
+            "--detect-anomaly",
+            "--overflow-policy", "skip",
             "--out", str(out),
         ]
     )

@@ -1,0 +1,294 @@
+"""Tests for overflow-skip training: quarantine, escalation, loss scaling."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, QGDataset, QGExample, Vocabulary
+from repro.models import ModelConfig, build_model
+from repro.observability import MemorySink, Telemetry
+from repro.optim import NonFiniteGradError
+from repro.training import (
+    BatchQuarantined,
+    DynamicLossScaler,
+    OverflowPolicy,
+    Trainer,
+    TrainerConfig,
+    TrainingDiverged,
+)
+from repro.training.resilience import ResilienceConfig
+
+
+def _setup(num_examples: int = 1):
+    base = [
+        (("zorvex", "was", "born", "."), ("where", "was", "zorvex", "born", "?")),
+        (("mira", "leads", "the", "guild", "."), ("who", "leads", "the", "guild", "?")),
+        (("rain", "fell", "all", "night", "."), ("when", "did", "rain", "fall", "?")),
+    ]
+    examples = [
+        QGExample(sentence=s, paragraph=s, question=q)
+        for s, q in (base * ((num_examples + len(base) - 1) // len(base)))[:num_examples]
+    ]
+    encoder = Vocabulary.build([example.sentence for example in examples])
+    decoder = Vocabulary.build([example.question for example in examples])
+    dataset = QGDataset(examples, encoder, decoder)
+    config = ModelConfig(embedding_dim=6, hidden_size=5, num_layers=1, dropout=0.0, seed=0)
+    model = build_model("acnn", config, len(encoder), len(decoder))
+    iterator = BatchIterator(dataset, batch_size=1, shuffle=False)
+    return model, iterator
+
+
+class LossPoisoner:
+    """Wraps model.loss; scales the loss to NaN on chosen call numbers."""
+
+    def __init__(self, model, poison_calls: set[int]):
+        self._real = model.loss
+        self._poison = poison_calls
+        self.calls = 0
+
+    def __call__(self, batch):
+        self.calls += 1
+        loss = self._real(batch)
+        if self.calls in self._poison:
+            return loss * float("nan")
+        return loss
+
+
+# ----------------------------------------------------------------------
+# DynamicLossScaler
+# ----------------------------------------------------------------------
+def test_scaler_defaults_are_inert():
+    scaler = DynamicLossScaler()
+    assert scaler.scale == 1.0
+    assert not scaler.active
+    scaler.on_good_step()
+    assert scaler.scale == 1.0  # growth disabled by default
+
+
+def test_scaler_backs_off_and_regrows():
+    scaler = DynamicLossScaler(init_scale=8.0, growth_interval=2)
+    assert scaler.on_overflow() == 4.0
+    assert scaler.consecutive_overflows == 1
+    scaler.on_good_step()
+    assert scaler.consecutive_overflows == 0
+    assert scaler.scale == 4.0
+    scaler.on_good_step()
+    assert scaler.scale == 8.0  # grew after growth_interval good steps
+
+
+def test_scaler_respects_bounds():
+    scaler = DynamicLossScaler(init_scale=2.0**-14)
+    assert scaler.on_overflow() == scaler.min_scale
+    scaler = DynamicLossScaler(init_scale=2.0**16, growth_interval=1)
+    assert scaler.on_good_step() == scaler.max_scale
+
+
+def test_scaler_state_roundtrip():
+    scaler = DynamicLossScaler(init_scale=4.0, growth_interval=3)
+    scaler.on_overflow()
+    scaler.on_good_step()
+    restored = DynamicLossScaler()
+    restored.load_state_dict(scaler.state_dict())
+    assert restored.scale == scaler.scale
+    assert restored.good_steps == scaler.good_steps
+    assert restored.overflows == scaler.overflows
+
+
+def test_scaler_validates_arguments():
+    with pytest.raises(ValueError):
+        DynamicLossScaler(init_scale=0.0)
+    with pytest.raises(ValueError):
+        DynamicLossScaler(backoff_factor=1.5)
+    with pytest.raises(ValueError):
+        DynamicLossScaler(growth_factor=1.0)
+
+
+# ----------------------------------------------------------------------
+# TrainerConfig policy plumbing
+# ----------------------------------------------------------------------
+def test_config_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="overflow_policy"):
+        TrainerConfig(overflow_policy="ignore")
+
+
+def test_config_rejects_bad_max_consecutive():
+    with pytest.raises(ValueError, match="overflow_max_consecutive"):
+        TrainerConfig(overflow_policy="skip", overflow_max_consecutive=0)
+
+
+def test_policy_constants():
+    assert OverflowPolicy.ALL == ("skip", "rollback", "raise")
+
+
+# ----------------------------------------------------------------------
+# Skip policy: quarantine and continue
+# ----------------------------------------------------------------------
+def test_skip_policy_quarantines_and_completes():
+    model, iterator = _setup(num_examples=3)
+    sink = MemorySink()
+    trainer = Trainer(
+        model,
+        iterator,
+        None,
+        TrainerConfig(epochs=2, overflow_policy="skip"),
+        telemetry=Telemetry([sink]),
+    )
+    model.loss = LossPoisoner(model, poison_calls={2})  # 2nd batch of epoch 1
+    history = trainer.train()
+    assert len(history) == 2
+    assert trainer.overflow_skipped == 1
+    assert not history.events  # no snapshot rollback happened
+    markers = [r for r in sink.of_kind("run") if r["name"] == "overflow_quarantine"]
+    assert len(markers) == 1
+    assert markers[0]["data"]["cause"] == "nonfinite_loss"
+    counters = sink.named("train.overflow.skipped")
+    assert counters
+    assert all(np.isfinite(record.train_loss) for record in history.records)
+
+
+def test_skipped_batch_does_not_move_parameters():
+    model, iterator = _setup(num_examples=1)
+    trainer = Trainer(
+        model, iterator, None, TrainerConfig(epochs=1, overflow_policy="skip")
+    )
+    before = {k: v.copy() for k, v in model.state_dict().items()}
+    model.loss = LossPoisoner(model, poison_calls={1})  # only batch poisoned
+    trainer.train()
+    after = model.state_dict()
+    for key, value in before.items():
+        np.testing.assert_array_equal(value, after[key])
+
+
+def test_skip_escalates_after_max_consecutive():
+    model, iterator = _setup(num_examples=1)
+    trainer = Trainer(
+        model,
+        iterator,
+        None,
+        TrainerConfig(
+            epochs=12, overflow_policy="skip", overflow_max_consecutive=3
+        ),
+    )
+    model.loss = LossPoisoner(model, poison_calls=set(range(1, 100)))
+    with pytest.raises(TrainingDiverged, match="consecutive batches quarantined"):
+        trainer.train()
+    assert trainer.overflow_skipped == 3
+
+
+def test_good_step_resets_consecutive_count():
+    model, iterator = _setup(num_examples=2)
+    trainer = Trainer(
+        model,
+        iterator,
+        None,
+        TrainerConfig(epochs=3, overflow_policy="skip", overflow_max_consecutive=2),
+    )
+    # Poison every first batch of each epoch: 1-2 good, never 2 in a row.
+    model.loss = LossPoisoner(model, poison_calls={1, 3, 5})
+    history = trainer.train()
+    assert len(history) == 3
+    assert trainer.overflow_skipped == 3
+
+
+def test_nonfinite_grad_quarantined_with_typed_cause(monkeypatch):
+    model, iterator = _setup(num_examples=2)
+    sink = MemorySink()
+    trainer = Trainer(
+        model,
+        iterator,
+        None,
+        TrainerConfig(epochs=1, overflow_policy="skip"),
+        telemetry=Telemetry([sink]),
+    )
+    calls = {"n": 0}
+    from repro.training import trainer as trainer_module
+    real_clip = trainer_module.clip_grad_norm
+
+    def clip_with_fault(parameters, max_norm, on_nonfinite="raise"):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise NonFiniteGradError(float("nan"), ["parameter[0]"])
+        return real_clip(parameters, max_norm, on_nonfinite=on_nonfinite)
+
+    monkeypatch.setattr(trainer_module, "clip_grad_norm", clip_with_fault)
+    history = trainer.train()
+    assert len(history) == 1
+    markers = [r for r in sink.of_kind("run") if r["name"] == "overflow_quarantine"]
+    assert markers[0]["data"]["cause"] == "nonfinite_grad_norm"
+
+
+# ----------------------------------------------------------------------
+# Raise policy: no recovery even with resilience configured
+# ----------------------------------------------------------------------
+def test_raise_policy_skips_recovery(tmp_path):
+    model, iterator = _setup(num_examples=1)
+    trainer = Trainer(
+        model,
+        iterator,
+        None,
+        TrainerConfig(epochs=2, overflow_policy="raise"),
+        resilience=ResilienceConfig(directory=tmp_path / "snaps", max_retries=5),
+    )
+    model.loss = LossPoisoner(model, poison_calls={2})
+    with pytest.raises(TrainingDiverged) as excinfo:
+        trainer.train()
+    assert not excinfo.value.recovery_log  # rollback was not attempted
+    assert not excinfo.value.allow_recovery
+
+
+def test_rollback_policy_still_recovers(tmp_path):
+    model, iterator = _setup(num_examples=1)
+    trainer = Trainer(
+        model,
+        iterator,
+        None,
+        TrainerConfig(epochs=2, overflow_policy="rollback"),
+        resilience=ResilienceConfig(directory=tmp_path / "snaps", max_retries=5),
+    )
+    model.loss = LossPoisoner(model, poison_calls={2})
+    history = trainer.train()
+    assert len(history) == 2
+    assert len(history.events) == 1  # one rollback, cause carried through
+    assert history.events[0].cause == "nonfinite_loss"
+
+
+# ----------------------------------------------------------------------
+# Loss scaling
+# ----------------------------------------------------------------------
+def test_power_of_two_loss_scale_is_bit_identical():
+    model_a, iterator_a = _setup(num_examples=2)
+    model_b, iterator_b = _setup(num_examples=2)
+    Trainer(
+        model_a, iterator_a, None, TrainerConfig(epochs=1, overflow_policy="skip")
+    ).train()
+    Trainer(
+        model_b,
+        iterator_b,
+        None,
+        TrainerConfig(epochs=1, overflow_policy="skip"),
+        loss_scaler=DynamicLossScaler(init_scale=4.0),
+    ).train()
+    for key, value in model_a.state_dict().items():
+        np.testing.assert_array_equal(value, model_b.state_dict()[key])
+
+
+def test_scaler_backs_off_on_quarantine():
+    model, iterator = _setup(num_examples=2)
+    scaler = DynamicLossScaler(init_scale=4.0)
+    trainer = Trainer(
+        model,
+        iterator,
+        None,
+        TrainerConfig(epochs=1, overflow_policy="skip"),
+        loss_scaler=scaler,
+    )
+    model.loss = LossPoisoner(model, poison_calls={1})
+    trainer.train()
+    assert scaler.overflows == 1
+    assert scaler.scale == 2.0
+
+
+def test_batch_quarantined_is_typed():
+    exc = BatchQuarantined("boom", cause="nonfinite_loss", step=7, value=float("nan"))
+    assert isinstance(exc, ArithmeticError)
+    assert exc.cause == "nonfinite_loss"
+    assert exc.step == 7
