@@ -42,6 +42,16 @@ DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
 #: The one module allowed to touch the raw primitives without waivers.
 BLESSED = {Path("src/repro/nn/numerics.py")}
 
+#: Fused-kernel files where waivers do NOT excuse raw transcendental calls.
+#: These run inside arena replay, where a silent NaN has no tape node to
+#: blame — every log/exp/sqrt must route through repro.nn.numerics so the
+#: guarded kernels (np_fast_sigmoid, np_stable_softmax, np_safe_*) are the
+#: only transcendental code paths.
+STRICT_FUSED = {
+    Path("src/repro/nn/functional.py"),
+    Path("src/repro/tensor/lazy.py"),
+}
+
 WAIVER = "# numerics: ok"
 
 DANGEROUS_NUMPY_FUNCS = {"log", "log2", "log10", "exp", "expm1", "sqrt", "power"}
@@ -108,24 +118,34 @@ def _is_safe_denominator(node: ast.expr) -> bool:
 
 
 class _NumericsVisitor(ast.NodeVisitor):
-    def __init__(self, path: Path, waived_lines: set[int]):
+    def __init__(self, path: Path, waived_lines: set[int], strict: bool = False):
         self.path = path
         self.waived = waived_lines
+        self.strict = strict
         self.findings: list[Finding] = []
 
-    def _flag(self, node: ast.AST, message: str) -> None:
-        if node.lineno in self.waived:
+    def _flag(self, node: ast.AST, message: str, waivable: bool = True) -> None:
+        if waivable and node.lineno in self.waived:
             return
         self.findings.append(Finding(self.path, node.lineno, node.col_offset, message))
 
     def visit_Call(self, node: ast.Call) -> None:
         if _is_numpy_attr(node.func) and node.func.attr in DANGEROUS_NUMPY_FUNCS:
-            self._flag(
-                node,
-                f"raw np.{node.func.attr} — use repro.nn.numerics "
-                f"(np_safe_{node.func.attr if node.func.attr != 'power' else 'exp'} "
-                f"or a tensor helper), or add a '{WAIVER} — <reason>' waiver",
-            )
+            if self.strict:
+                self._flag(
+                    node,
+                    f"raw np.{node.func.attr} in a fused-kernel file — waivers do "
+                    "not apply here; route through repro.nn.numerics "
+                    "(np_fast_sigmoid, np_stable_softmax, np_safe_*)",
+                    waivable=False,
+                )
+            else:
+                self._flag(
+                    node,
+                    f"raw np.{node.func.attr} — use repro.nn.numerics "
+                    f"(np_safe_{node.func.attr if node.func.attr != 'power' else 'exp'} "
+                    f"or a tensor helper), or add a '{WAIVER} — <reason>' waiver",
+                )
         self.generic_visit(node)
 
     def visit_BinOp(self, node: ast.BinOp) -> None:
@@ -148,7 +168,7 @@ class _NumericsVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_file(path: Path) -> list[Finding]:
+def lint_file(path: Path, strict: bool = False) -> list[Finding]:
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
@@ -157,7 +177,7 @@ def lint_file(path: Path) -> list[Finding]:
     waived = {
         number for number, line in enumerate(source.splitlines(), start=1) if WAIVER in line
     }
-    visitor = _NumericsVisitor(path, waived)
+    visitor = _NumericsVisitor(path, waived, strict=strict)
     visitor.visit(tree)
     return visitor.findings
 
@@ -184,7 +204,7 @@ def main(arguments: list[str]) -> int:
         if relative in BLESSED:
             continue
         checked += 1
-        findings.extend(lint_file(path))
+        findings.extend(lint_file(path, strict=relative in STRICT_FUSED))
     for finding in findings:
         print(finding)
     status = "clean" if not findings else f"{len(findings)} finding(s)"

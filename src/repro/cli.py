@@ -48,9 +48,25 @@ from repro.training import (
     TrainerConfig,
     TrainingInterrupted,
 )
+from repro.tensor.lazy import set_fusion_enabled
 from repro.training.bundle import ModelBundle
 
 __all__ = ["main"]
+
+
+def _add_fusion_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fusion",
+        action="store_true",
+        help="enable lazy kernel fusion (staged execution with arena "
+        "replay; identical outputs, fewer Python-level ops per step)",
+    )
+
+
+def _apply_fusion(args) -> None:
+    """Raise the process-wide fusion default when ``--fusion`` was passed."""
+    if getattr(args, "fusion", False):
+        set_fusion_enabled(True)
 
 
 def _build_telemetry(telemetry_dir: str | None) -> Telemetry | None:
@@ -104,6 +120,8 @@ def _cmd_stats(args) -> int:
 
 def _cmd_train(args) -> int:
     from repro.data import split_examples
+
+    _apply_fusion(args)
 
     examples = _load_examples(args)
     train_examples, dev_examples, _ = split_examples(
@@ -217,6 +235,7 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    _apply_fusion(args)
     bundle = ModelBundle.load(args.bundle)
     examples = _load_examples(args)
     test_examples = examples[-args.num_examples:] if args.num_examples else examples
@@ -248,6 +267,7 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    _apply_fusion(args)
     bundle = ModelBundle.load(args.bundle)
     if args.input:
         with open(args.input, encoding="utf-8") as handle:
@@ -274,6 +294,8 @@ def _cmd_generate(args) -> int:
 
 def _cmd_serve(args) -> int:
     import json
+
+    _apply_fusion(args)
 
     from repro.serving import (
         AdmissionPolicy,
@@ -429,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="emit a per-batch progress line every N batches (0 = per-epoch only)",
     )
+    _add_fusion_flag(train)
     train.set_defaults(handler=_cmd_train)
 
     evaluate = subparsers.add_parser("evaluate", help="score a saved bundle")
@@ -441,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir",
         help="append decode/eval telemetry to <dir>/trace.jsonl",
     )
+    _add_fusion_flag(evaluate)
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     generate = subparsers.add_parser("generate", help="generate questions for sentences")
@@ -448,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--input", help="file with one sentence per line (default: stdin)")
     generate.add_argument("--beam-size", type=int, default=3)
     generate.add_argument("--max-length", type=int, default=24)
+    _add_fusion_flag(generate)
     generate.set_defaults(handler=_cmd_generate)
 
     serve = subparsers.add_parser(
@@ -472,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir",
         help="append serving telemetry to <dir>/trace.jsonl",
     )
+    _add_fusion_flag(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     return parser

@@ -18,6 +18,7 @@ import numpy as np
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor.core import Tensor
+from repro.tensor.lazy import is_lazy_enabled
 from repro.tensor.ops import expand_dims, masked_fill, softmax, tanh
 
 __all__ = ["GlobalAttention"]
@@ -93,6 +94,20 @@ class GlobalAttention(Module):
             ``weights`` is ``(B, T)`` (``a_{k,t}``), summing to one over the
             non-padded positions.
         """
+        if coverage is None and is_lazy_enabled():
+            # Lazy mode: the whole score→mask→softmax→context chain runs as
+            # one fused kernel (byte-identical numpy sequence; arena-replayed
+            # under no_grad). Coverage mixes a history tensor into the scores
+            # and keeps the elementary-op path below.
+            from repro.nn.functional import fused_attention
+
+            return fused_attention(
+                decoder_state,
+                encoder_states,
+                self.weight,
+                pad_mask=pad_mask,
+                mask_value=_MASK_VALUE,
+            )
         scores = self.scores(decoder_state, encoder_states)
         if coverage is not None:
             if self.coverage_weight is None:

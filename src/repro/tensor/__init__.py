@@ -14,6 +14,15 @@ from repro.tensor.anomaly import (
     provenance_of,
 )
 from repro.tensor.core import DEFAULT_DTYPE, Tensor, ensure_tensor, is_grad_enabled, no_grad
+from repro.tensor.lazy import (
+    Arena,
+    compile_graph,
+    fusion_context,
+    is_lazy_enabled,
+    lazy,
+    resolve_fusion,
+    set_fusion_enabled,
+)
 from repro.tensor.gradcheck import (
     GradientCheckError,
     check_finite_gradients,
@@ -58,6 +67,13 @@ __all__ = [
     "ensure_tensor",
     "is_grad_enabled",
     "no_grad",
+    "Arena",
+    "lazy",
+    "compile_graph",
+    "fusion_context",
+    "is_lazy_enabled",
+    "resolve_fusion",
+    "set_fusion_enabled",
     "GradientCheckError",
     "check_finite_gradients",
     "check_gradients",

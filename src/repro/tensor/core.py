@@ -14,6 +14,7 @@ performs a topological sort of the recorded graph and accumulates gradients.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -48,23 +49,42 @@ def is_grad_enabled() -> bool:
 
 
 class no_grad:
-    """Context manager that disables tape recording inside its block.
+    """Context manager / decorator that disables tape recording.
 
     Mirrors the familiar framework idiom::
 
         with no_grad():
             logits = model(batch)   # no graph is built
+
+        @no_grad()
+        def decode(batch): ...     # the whole function runs tape-free
+
+    Saved state lives on a per-entry stack, so one instance can be nested
+    inside itself (serving wraps the engines, which wrap their own step
+    loops) and an exception anywhere in the block restores the previous
+    mode correctly.
     """
+
+    def __init__(self) -> None:
+        self._saved: list[bool] = []
 
     def __enter__(self) -> "no_grad":
         global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
+        self._saved.append(_GRAD_ENABLED)
         _GRAD_ENABLED = False
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_ENABLED = self._saved.pop()
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with self:
+                return fn(*args, **kwargs)
+
+        return wrapper
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -221,11 +241,43 @@ class Tensor:
         Indexing-style ops (slicing, embedding gathers) accumulate into this
         buffer directly instead of materializing a dense zero gradient per
         backward call — the difference between O(slice) and O(tensor) work
-        per recurrent timestep.
+        per recurrent timestep. Writers must go through
+        :meth:`_scatter_grad` so anomaly detection still sees the write.
         """
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
         return self.grad
+
+    def _scatter_grad(self, key, grad: np.ndarray, basic: bool = False) -> None:
+        """Indexed gradient accumulation through the anomaly-checked path.
+
+        The sparse twin of :meth:`_accumulate_grad`: embedding gathers,
+        ``gather_rows`` and slicing scatter into :meth:`_grad_buffer`
+        instead of materializing dense gradients, but the write must not
+        bypass :func:`~repro.tensor.anomaly.detect_anomaly` — both the
+        incoming gradient and the updated buffer region are checked (the
+        buffer check catches non-finites *minted by the accumulation
+        itself*, e.g. two large finite updates at one index overflowing
+        to inf). ``basic=True`` uses the fast non-aliasing ``+=`` path for
+        basic (int/slice) indexing; otherwise ``np.add.at`` handles
+        repeated indices.
+        """
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad)
+        anomaly_states = _ANOMALY
+        if anomaly_states:
+            for state in anomaly_states:
+                state.on_grad(self, grad)
+        buffer = self._grad_buffer()
+        if basic:
+            buffer[key] += grad
+        else:
+            np.add.at(buffer, key, grad)
+        if anomaly_states:
+            written = buffer[key] if basic else buffer
+            for state in anomaly_states:
+                state.on_grad(self, written)
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -419,14 +471,9 @@ class Tensor:
         basic = _is_basic_index(key)
 
         def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            buffer = self._grad_buffer()
-            if basic:
-                # Basic indexing never aliases, so += is safe and fast.
-                buffer[key] += grad
-            else:
-                np.add.at(buffer, key, grad)
+            # Basic indexing never aliases, so += is safe and fast; either
+            # way the write goes through the anomaly-checked scatter path.
+            self._scatter_grad(key, grad, basic=basic)
 
         return Tensor._from_op(out_data, (self,), backward)
 

@@ -229,6 +229,15 @@ def _empty_like_op(x: Tensor) -> Tensor:
     return Tensor._from_op(x.data.copy(), (x,), backward)
 
 
+def _identity(x: Tensor) -> Tensor:
+    """A distinct identity node sharing ``x``'s data (gradient passes through)."""
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_grad(grad)
+
+    return Tensor._from_op(x.data, (x,), backward)
+
+
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along an existing axis."""
     tensors = [ensure_tensor(t) for t in tensors]
@@ -298,11 +307,19 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     The surviving activations are scaled by ``1 / (1 - p)`` so the expected
     value is unchanged, matching Srivastava et al. (2014) as used in the paper
     (``p = 0.3``).
+
+    The no-op cases (``p == 0.0`` or eval mode) return a proper *identity
+    node* — a distinct tensor sharing the input's data — never the input
+    object itself. Aliasing the input broke two graph invariants: arena
+    buffer planning in :mod:`repro.tensor.lazy` assumes distinct graph
+    nodes are distinct objects, and :class:`~repro.tensor.profiler.TapeProfile`
+    node counts differed between train (``p > 0``: one node) and eval /
+    ``p == 0`` graphs (zero nodes) for the same model.
     """
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     if not training or p == 0.0:
-        return x
+        return _identity(x)
     keep = (rng.random(x.data.shape) >= p) / (1.0 - p)  # numerics: ok — dropout validates p < 1
     out_data = x.data * keep
 
@@ -329,10 +346,12 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     out_data = weight.data[indices]
 
     def backward(grad: np.ndarray) -> None:
-        if not weight.requires_grad:
-            return
-        buffer = weight._grad_buffer()
-        np.add.at(buffer, indices.reshape(-1), grad.reshape(-1, weight.data.shape[1]))
+        # Through the anomaly-checked scatter path: a non-finite embedding
+        # gradient (or one minted by the accumulation itself) must trip
+        # detect_anomaly() like any dense gradient write.
+        weight._scatter_grad(
+            indices.reshape(-1), grad.reshape(-1, weight.data.shape[1])
+        )
 
     return Tensor._from_op(out_data, (weight,), backward)
 
@@ -375,9 +394,6 @@ def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:
     out_data = x.data[rows, indices]
 
     def backward(grad: np.ndarray) -> None:
-        if not x.requires_grad:
-            return
-        buffer = x._grad_buffer()
-        np.add.at(buffer, (rows, indices), grad)
+        x._scatter_grad((rows, indices), grad)
 
     return Tensor._from_op(out_data, (x,), backward)

@@ -80,7 +80,10 @@ def test_embedding_gradcheck():
 def test_dropout_eval_is_identity():
     layer = Dropout(0.5, seed=0).eval()
     x = Tensor(np.ones((3, 3)))
-    assert layer(x) is x
+    out = layer(x)
+    # Identity values through a distinct tape node (no object aliasing).
+    assert out is not x
+    assert out.data is x.data
 
 
 def test_dropout_train_masks_and_scales():

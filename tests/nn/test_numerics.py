@@ -190,3 +190,64 @@ def test_np_bernoulli_entropy_matches_legacy_arithmetic():
     clipped = np.clip(z, 1e-12, 1.0 - 1e-12)
     legacy = -(clipped * np.log(clipped) + (1 - clipped) * np.log(1 - clipped))
     np.testing.assert_array_equal(np_bernoulli_entropy(z), legacy)
+
+
+# ----------------------------------------------------------------------
+# Fused-kernel array twins: np_fast_sigmoid / np_stable_softmax
+# ----------------------------------------------------------------------
+def test_np_fast_sigmoid_matches_gate_formula_bytes():
+    from repro.nn.numerics import np_fast_sigmoid
+
+    x = np.linspace(-30.0, 30.0, 101)
+    # Twin of the historical LSTM gate nonlinearity (plain formulation),
+    # not of ops.sigmoid's split-sign kernel — those agree only to ulps.
+    expected = 1.0 / (1.0 + np.exp(-x))
+    np.testing.assert_array_equal(np_fast_sigmoid(x), expected)
+    out = np.empty_like(x)
+    result = np_fast_sigmoid(x, out=out)
+    assert result is out
+    np.testing.assert_array_equal(out, expected)
+    np.testing.assert_allclose(out, sigmoid(Tensor(x)).data, rtol=1e-15)
+
+
+def test_np_fast_sigmoid_saturates_and_propagates_nan():
+    from repro.nn.numerics import np_fast_sigmoid
+
+    assert np_fast_sigmoid(np.array([-1e4]))[0] == 0.0  # overflow -> correct limit
+    assert np_fast_sigmoid(np.array([1e4]))[0] == 1.0
+    assert np.isnan(np_fast_sigmoid(np.array([np.nan]))[0])  # never laundered
+
+
+def test_np_stable_softmax_matches_tape_softmax_bytes():
+    from repro.nn.numerics import np_stable_softmax
+
+    rng = np.random.default_rng(0)
+    for scores in [
+        rng.standard_normal((4, 7)),
+        rng.standard_normal((4, 7)) * 1e4,  # extreme logits
+        np.where(rng.random((4, 7)) < 0.4, -1e9, rng.standard_normal((4, 7))),
+    ]:
+        expected = softmax(Tensor(scores), axis=1).data
+        np.testing.assert_array_equal(np_stable_softmax(scores, axis=1), expected)
+        out = np.empty_like(scores)
+        result = np_stable_softmax(scores, axis=1, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, expected)
+
+
+def test_np_stable_softmax_fully_masked_row_returns_zeros():
+    from repro.nn.numerics import np_stable_softmax
+
+    scores = np.array([[-np.inf, -np.inf], [0.0, 1.0]])
+    result = np_stable_softmax(scores, axis=1)
+    np.testing.assert_array_equal(result[0], 0.0)
+    assert result[1].sum() == pytest.approx(1.0)
+    # identical to the tape op's guarded kernel
+    np.testing.assert_array_equal(result, softmax(Tensor(scores), axis=1).data)
+
+
+def test_np_stable_softmax_does_not_launder_nan():
+    from repro.nn.numerics import np_stable_softmax
+
+    scores = np.array([[0.0, np.nan, 1.0]])
+    assert np.isnan(np_stable_softmax(scores, axis=1)).any()

@@ -135,3 +135,44 @@ def test_nested_contexts_do_not_interfere():
                 log(x)
         assert is_anomaly_enabled()
     assert not is_anomaly_enabled()
+
+
+def test_scatter_overflow_in_indexed_accumulation_detected():
+    """Regression: embedding/gather backwards write into the sparse grad
+    buffer with ``np.add.at``, bypassing ``_accumulate_grad``. Each incoming
+    gradient here is finite, so the per-node check passes — the inf is
+    *minted inside the accumulation* (two ~1e308 updates at one row).
+    The seed code raised nothing and silently poisoned the buffer; the
+    scatter path must check the written region."""
+    from repro.tensor import embedding_lookup
+
+    weight = Tensor(np.zeros((4, 2)), requires_grad=True)
+    out = embedding_lookup(weight, np.array([1, 1]))  # duplicate row
+    with detect_anomaly(emit_telemetry=False):
+        with pytest.raises(NumericalAnomaly) as excinfo:
+            with np.errstate(over="ignore"):
+                out.backward(np.full((2, 2), 1e308))
+    assert excinfo.value.kind == "inf"
+    assert excinfo.value.phase == "backward"
+
+
+def test_scatter_checks_incoming_gradient_too():
+    """A NaN arriving at the scatter site is reported even when the target
+    buffer write alone would mask it (NaN + 0 scatter regions)."""
+    from repro.tensor import gather_rows
+
+    x = Tensor(np.zeros((3, 4)), requires_grad=True)
+    picked = gather_rows(x, np.array([0, 2, 1]))
+    seed = np.array([1.0, np.nan, 1.0])
+    with detect_anomaly(emit_telemetry=False):
+        with pytest.raises(NumericalAnomaly) as excinfo:
+            picked.backward(seed)
+    assert excinfo.value.kind == "nan"
+
+
+def test_slice_backward_through_checked_scatter():
+    """Basic-slice backwards also route through the checked scatter path
+    and stay correct (values accumulate exactly as before the fix)."""
+    x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+    (x[:, 1:] * 2.0).sum().backward()
+    np.testing.assert_array_equal(x.grad, [[0.0, 2.0, 2.0], [0.0, 2.0, 2.0]])

@@ -1,0 +1,376 @@
+"""Lazy execution mode: arena replay, graph staging, and the equivalence
+contract (fusion on must be byte-identical to eager for forwards and
+tolerance-pinned for backwards), plus the reentrancy-audited ``no_grad``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import QGDataset, QGExample, Vocabulary, collate
+from repro.decoding import batched_beam_decode
+from repro.decoding.greedy import greedy_decode
+from repro.models import ModelConfig, build_model
+from repro.tensor import Tensor, no_grad
+from repro.tensor.core import is_grad_enabled
+from repro.tensor.lazy import (
+    Arena,
+    arena_fast_path,
+    compile_graph,
+    fusion_context,
+    fusion_enabled,
+    is_lazy_enabled,
+    lazy,
+    resolve_fusion,
+    set_fusion_enabled,
+    signature_of,
+)
+from repro.tensor.profiler import TapeProfile
+
+_WORDS = ["zorvex", "karlin", "tower", "river", "1887", "ostavia", "velkin"]
+_QWORDS = ["where", "what", "who", "is", "was", "the", "?"]
+
+
+def _synthetic_batch(seed: int, num_examples: int = 4):
+    rng = np.random.default_rng(seed)
+    examples = []
+    for _ in range(num_examples):
+        sentence = tuple(rng.choice(_WORDS, size=rng.integers(3, 7)))
+        question = tuple(rng.choice(_QWORDS, size=rng.integers(2, 5)))
+        examples.append(QGExample(sentence=sentence, paragraph=sentence, question=question))
+    encoder = Vocabulary.build([e.sentence for e in examples])
+    decoder = Vocabulary(_QWORDS)
+    dataset = QGDataset(examples, encoder, decoder)
+    return encoder, decoder, collate(list(dataset), pad_id=0)
+
+
+def _model(family, encoder, decoder, seed=3, layers=2):
+    config = ModelConfig(
+        embedding_dim=8, hidden_size=10, num_layers=layers, dropout=0.0, seed=seed
+    )
+    return build_model(family, config, len(encoder), len(decoder))
+
+
+# ---------------------------------------------------------------------------
+# Arena
+# ---------------------------------------------------------------------------
+def test_arena_trace_then_replay():
+    arena = Arena()
+    first = arena.buffer("slot", (3, 4))
+    again = arena.buffer("slot", (3, 4))
+    assert first is again
+    assert arena.stats() == {"slots": 1, "hits": 1, "misses": 1, "nbytes": first.nbytes}
+
+
+def test_arena_rotate_ping_pongs():
+    arena = Arena()
+    a = arena.buffer("state", (2, 2), rotate=2)
+    b = arena.buffer("state", (2, 2), rotate=2)
+    c = arena.buffer("state", (2, 2), rotate=2)
+    assert a is not b
+    assert a is c  # cycle of two
+
+
+def test_arena_distinguishes_key_shape_dtype():
+    arena = Arena()
+    assert arena.buffer("k", (2,)) is not arena.buffer("k2", (2,))
+    assert arena.buffer("k", (2,)) is not arena.buffer("k", (3,))
+    assert arena.buffer("k", (2,)) is not arena.buffer("k", (2,), dtype=np.float32)
+
+
+def test_arena_reset_starts_new_trace():
+    arena = Arena()
+    arena.buffer("x", (2,))
+    arena.reset()
+    assert arena.stats()["slots"] == 0
+    arena.buffer("x", (2,))
+    assert arena.misses == 2
+
+
+def test_tape_profile_counts_arena_traffic():
+    arena = Arena()
+    with TapeProfile() as profile:
+        arena.buffer("x", (4,))
+        arena.buffer("x", (4,))
+    assert profile.arena_misses == 1
+    assert profile.arena_hits == 1
+    assert profile.arena_bytes == 4 * 8
+
+
+# ---------------------------------------------------------------------------
+# Mode plumbing: contexts, defaults, fast-path gating
+# ---------------------------------------------------------------------------
+def test_lazy_context_and_decorator():
+    assert not is_lazy_enabled()
+    with lazy():
+        assert is_lazy_enabled()
+        with lazy():  # nests
+            assert is_lazy_enabled()
+        assert is_lazy_enabled()
+    assert not is_lazy_enabled()
+
+    @lazy()
+    def staged():
+        return is_lazy_enabled()
+
+    assert staged()
+    assert not is_lazy_enabled()
+
+
+def test_lazy_exception_safe():
+    with pytest.raises(RuntimeError):
+        with lazy():
+            raise RuntimeError("boom")
+    assert not is_lazy_enabled()
+
+
+def test_fast_path_requires_no_grad_and_no_anomaly():
+    from repro.tensor import detect_anomaly
+
+    assert arena_fast_path() is None
+    with lazy() as ctx:
+        # grad enabled by default -> node fusion only, no raw arena
+        assert arena_fast_path() is None
+        with no_grad():
+            assert arena_fast_path() is ctx.arena
+            with detect_anomaly(emit_telemetry=False):
+                assert arena_fast_path() is None
+            assert arena_fast_path() is ctx.arena
+
+
+def test_fusion_default_off_and_resolution():
+    assert not fusion_enabled()  # zero behavior change out of the box
+    assert resolve_fusion(None) is False
+    assert resolve_fusion(True) is True
+    previous = set_fusion_enabled(True)
+    try:
+        assert previous is False
+        assert resolve_fusion(None) is True
+        assert resolve_fusion(False) is False
+    finally:
+        set_fusion_enabled(False)
+
+
+def test_fusion_context_is_noop_when_off_or_nested():
+    from contextlib import nullcontext
+
+    assert isinstance(fusion_context(), nullcontext)  # off -> no-op
+    assert isinstance(fusion_context(True), lazy)
+    with lazy():
+        # already staged: inner loops share the outer arena
+        assert isinstance(fusion_context(True), nullcontext)
+
+
+# ---------------------------------------------------------------------------
+# Shape signatures and compile_graph
+# ---------------------------------------------------------------------------
+def test_signature_distinguishes_shapes_and_scalars():
+    a = signature_of(Tensor(np.zeros((2, 3))), beam=3)
+    b = signature_of(Tensor(np.zeros((2, 3))), beam=3)
+    c = signature_of(Tensor(np.zeros((2, 4))), beam=3)
+    d = signature_of(Tensor(np.zeros((2, 3))), beam=5)
+    assert a == b
+    assert a != c
+    assert a != d
+
+
+def test_compile_graph_traces_once_per_signature():
+    calls = []
+
+    @compile_graph
+    def step(x):
+        calls.append(x.shape)
+        assert is_lazy_enabled()
+        arena = arena_fast_path()
+        buf = arena.buffer("out", x.shape)
+        np.multiply(x, 2.0, out=buf)
+        return buf
+
+    with no_grad():
+        first = step(np.ones((2, 2)))
+        second = step(np.ones((2, 2)))
+        assert first is second  # replayed through the same buffer
+        step(np.ones((3, 2)))  # new signature -> new buffer plan
+    assert step.arena.misses == 2
+    assert step.arena.hits == 1
+    assert step.signatures[signature_of(np.ones((2, 2)))] == 2
+
+
+# ---------------------------------------------------------------------------
+# Equivalence contract: fusion on == fusion off, byte for byte
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("family", ["seq2seq", "du-attention", "acnn"])
+def test_beam_decode_fusion_byte_identical(family):
+    encoder, decoder, batch = _synthetic_batch(seed=11)
+    model = _model(family, encoder, decoder)
+    off = batched_beam_decode(model, batch, beam_size=3, max_length=10)
+    on = batched_beam_decode(model, batch, beam_size=3, max_length=10, fusion=True)
+    assert [h.token_ids for h in off] == [h.token_ids for h in on]
+    assert [h.log_prob for h in off] == [h.log_prob for h in on]  # exact
+    assert [h.finished for h in off] == [h.finished for h in on]
+
+
+@pytest.mark.parametrize("family", ["seq2seq", "du-attention", "acnn"])
+def test_greedy_decode_fusion_byte_identical(family):
+    encoder, decoder, batch = _synthetic_batch(seed=5)
+    model = _model(family, encoder, decoder, layers=3)  # stacked cells share shapes
+    off = greedy_decode(model, batch, max_length=10)
+    on = greedy_decode(model, batch, max_length=10, fusion=True)
+    assert [h.token_ids for h in off] == [h.token_ids for h in on]
+    assert [h.log_prob for h in off] == [h.log_prob for h in on]
+
+
+def test_coverage_model_keeps_eager_attention_but_matches():
+    encoder, decoder, batch = _synthetic_batch(seed=23)
+    config = ModelConfig(embedding_dim=8, hidden_size=10, num_layers=1, dropout=0.0, seed=7)
+    model = build_model("acnn", config, len(encoder), len(decoder), use_coverage=True)
+    off = batched_beam_decode(model, batch, beam_size=3, max_length=8)
+    on = batched_beam_decode(model, batch, beam_size=3, max_length=8, fusion=True)
+    assert [h.token_ids for h in off] == [h.token_ids for h in on]
+    assert [h.log_prob for h in off] == [h.log_prob for h in on]
+
+
+@pytest.mark.parametrize("family", ["seq2seq", "du-attention", "acnn"])
+def test_loss_and_gradients_match_under_fusion(family):
+    encoder, decoder, batch = _synthetic_batch(seed=7)
+    eager_model = _model(family, encoder, decoder)
+    fused_model = _model(family, encoder, decoder)
+
+    eager_loss = eager_model.loss(batch)
+    eager_loss.backward()
+    with lazy():
+        fused_loss = fused_model.loss(batch)
+        fused_loss.backward()
+
+    assert eager_loss.item() == fused_loss.item()  # forward byte-identical
+    for p_eager, p_fused in zip(eager_model.parameters(), fused_model.parameters()):
+        if p_eager.grad is None:
+            assert p_fused.grad is None
+            continue
+        # Backwards are tolerance-pinned: the hand-written fused backward
+        # sums in a different order than the elementary chain.
+        np.testing.assert_allclose(p_fused.grad, p_eager.grad, rtol=1e-10, atol=1e-12)
+
+
+def test_trainer_config_fusion_flag_matches_eager():
+    from repro.data.batching import BatchIterator
+    from repro.training import Trainer, TrainerConfig
+
+    rng = np.random.default_rng(19)
+    examples = []
+    for _ in range(4):
+        sentence = tuple(rng.choice(_WORDS, size=rng.integers(3, 7)))
+        question = tuple(rng.choice(_QWORDS, size=rng.integers(2, 5)))
+        examples.append(QGExample(sentence=sentence, paragraph=sentence, question=question))
+    encoder = Vocabulary.build([e.sentence for e in examples])
+    decoder = Vocabulary(_QWORDS)
+    dataset = QGDataset(examples, encoder, decoder)
+    batch = collate(list(dataset), pad_id=0)
+
+    def run(fusion):
+        model = _model("acnn", encoder, decoder, seed=3)
+        trainer = Trainer(
+            model,
+            BatchIterator(dataset, batch_size=4, seed=1),
+            config=TrainerConfig(epochs=1, fusion=fusion),
+        )
+        return trainer.train_batch(batch)
+
+    loss_off, norm_off = run(False)
+    loss_on, norm_on = run(True)
+    assert loss_off == loss_on
+    np.testing.assert_allclose(norm_on, norm_off, rtol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# Node budget / allocation behavior of replayed steps
+# ---------------------------------------------------------------------------
+def test_replayed_decode_allocates_nothing_after_trace():
+    """After the first step per shape signature, steps are pure replay:
+    zero tape nodes and zero new arena buffers (O(1) — in fact 0 — graph
+    work per step)."""
+    encoder, decoder, batch = _synthetic_batch(seed=3)
+    model = _model("acnn", encoder, decoder)
+    with TapeProfile() as profile:
+        batched_beam_decode(model, batch, beam_size=3, max_length=12, fusion=True)
+    assert profile.nodes == 0  # inference tape stays empty
+    assert profile.arena_hits > 0  # steps actually replayed
+    assert profile.arena_misses > 0  # ... after a trace phase
+
+    # Decode again with identical shapes through a shared compiled step:
+    # every step must be a pure arena replay (no new allocations at all).
+    step = compile_graph(model.step_log_probs)
+    model.eval()
+    with no_grad():
+        context = model.encode(batch)
+        from repro.models.base import expand_encoder_context
+
+        expanded = expand_encoder_context(context, 3)
+        state = model.initial_decoder_state(expanded)
+        prev = np.zeros(batch.size * 3, dtype=np.int64)
+        # Trace phase: the first call allocates every slot, the second
+        # fills the other half of each rotate=2 ping-pong slot.
+        _, state = step(prev, state, expanded)
+        _, state = step(prev, state, expanded)
+        trace_misses = step.arena.misses
+        with TapeProfile() as replay_profile:
+            for _ in range(5):
+                _, state = step(prev, state, expanded)
+    assert step.arena.misses == trace_misses  # no allocation growth
+    assert replay_profile.arena_misses == 0
+    assert replay_profile.arena_hits > 0
+    assert replay_profile.nodes == 0
+
+
+def test_fused_training_step_has_constant_node_budget():
+    """Under fusion each decoder step adds a fixed small number of tape
+    nodes regardless of how many elementary ops the chains would take."""
+    encoder, decoder, batch = _synthetic_batch(seed=13)
+    time_steps = batch.tgt_input.shape[1]
+
+    model_eager = _model("acnn", encoder, decoder)
+    with TapeProfile() as eager_profile:
+        model_eager.loss(batch)
+
+    model_fused = _model("acnn", encoder, decoder)
+    with TapeProfile() as fused_profile, lazy():
+        model_fused.loss(batch)
+
+    assert fused_profile.nodes < eager_profile.nodes
+    # The fused chains replace ~15 elementary nodes per step (attention ~10
+    # + copy chain ~4) with 2; everything else is unchanged.
+    saved_per_step = (eager_profile.nodes - fused_profile.nodes) / time_steps
+    assert saved_per_step >= 8
+
+
+# ---------------------------------------------------------------------------
+# no_grad: decorator form, nesting, exception safety (reentrancy audit)
+# ---------------------------------------------------------------------------
+def test_no_grad_as_decorator():
+    @no_grad()
+    def compute(x):
+        assert not is_grad_enabled()
+        return x * 2.0
+
+    x = Tensor(np.ones(3), requires_grad=True)
+    out = compute(x)
+    assert is_grad_enabled()
+    assert not out.requires_grad
+
+
+def test_no_grad_nested_and_exception_safe():
+    assert is_grad_enabled()
+    with pytest.raises(ValueError):
+        with no_grad():
+            with no_grad():
+                raise ValueError("inner")
+    assert is_grad_enabled()
+
+
+def test_no_grad_single_instance_reentrant():
+    guard = no_grad()
+    with guard:
+        assert not is_grad_enabled()
+        with guard:  # reusing one instance must still restore correctly
+            assert not is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()

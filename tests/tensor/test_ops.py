@@ -151,7 +151,14 @@ def test_max_gradcheck_distinct_values():
 def test_dropout_disabled_in_eval_mode():
     x = Tensor(np.ones((4, 4)))
     out = T.dropout(x, 0.5, np.random.default_rng(0), training=False)
-    assert out is x
+    # No-op dropout must still be a distinct graph node (the historical
+    # `return x` aliased input and output identities); the data is shared,
+    # and gradients flow through unchanged.
+    assert out is not x
+    assert out.data is x.data
+    x2 = Tensor(np.ones((4, 4)), requires_grad=True)
+    T.dropout(x2, 0.0, np.random.default_rng(0), training=True).sum().backward()
+    assert np.array_equal(x2.grad, np.ones((4, 4)))
 
 
 def test_dropout_scales_survivors():
