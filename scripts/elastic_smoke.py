@@ -1,0 +1,189 @@
+"""End-to-end smoke test + scaling benchmark for the elastic runtime.
+
+    PYTHONPATH=src python scripts/elastic_smoke.py [--bench-out FILE]
+
+Trains one tiny synthetic setup three times — 1, 2, and 4 gradient
+workers, with a worker KILLED mid-run in the 4-worker configuration — and
+asserts the whole determinism-and-recovery contract at once:
+
+- every run finishes (the injected kill degrades the run, never ends it);
+- final parameters are byte-identical across all three runs;
+- per-epoch train/dev losses are identical across all three runs;
+- the killed worker was detected, restarted, and its micro-batch was
+  recomputed bit-exactly;
+- zero orphaned worker processes survive any run.
+
+With ``--bench-out`` it additionally writes throughput / scaling-efficiency
+numbers (per worker count) in the repo's BENCH_*.json format. Exits
+non-zero on any violated assertion.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tests", "training"))
+
+EPOCHS = 3
+MICROBATCHES_PER_STEP = 4  # pinned: defines ONE trajectory for all runs
+KILL_PLAN = {2: 2}  # 4-worker run: kill rank 2 on its 2nd micro-batch
+
+
+def _build_setup():
+    from repro.data import BatchIterator, QGDataset
+    from repro.data.synthetic import SyntheticConfig, generate_corpus
+    from repro.models import ModelConfig, build_model
+
+    # Big enough that per-micro-batch compute dominates the gradient IPC —
+    # otherwise the scaling numbers only measure pipe bandwidth.
+    corpus = generate_corpus(SyntheticConfig(num_train=96, num_dev=16, num_test=1, seed=5))
+    encoder, decoder = QGDataset.build_vocabs(corpus.train, 500, 120)
+    train_set = QGDataset(corpus.train, encoder, decoder)
+    dev_set = QGDataset(corpus.dev, encoder, decoder)
+    model = build_model(
+        "acnn",
+        ModelConfig(embedding_dim=32, hidden_size=48, num_layers=1, dropout=0.3, seed=0),
+        len(encoder),
+        len(decoder),
+    )
+    dev_iterator = BatchIterator(dev_set, batch_size=8, shuffle=False)
+    return model, train_set, dev_iterator
+
+
+def _run(workers: int, fault_plan=None):
+    from faults import assert_no_orphans
+    from repro.training import ElasticConfig, ElasticTrainer, TrainerConfig, WorkerFaultPlan
+
+    model, train_set, dev_iterator = _build_setup()
+    if fault_plan is not None:
+        fault_plan = WorkerFaultPlan(kill_on_compute=fault_plan)
+    trainer = ElasticTrainer(
+        model,
+        train_set,
+        batch_size=8,
+        dev_iterator=dev_iterator,
+        config=TrainerConfig(epochs=EPOCHS, learning_rate=0.5),
+        elastic=ElasticConfig(
+            workers=workers,
+            microbatches_per_step=MICROBATCHES_PER_STEP,
+            worker_timeout=10.0,
+            heartbeat_interval=0.1,
+            restart_backoff=0.05,
+        ),
+        fault_plan=fault_plan,
+        run_seed=7,
+    )
+    spawned: list[int] = []
+    original_spawn = trainer._spawn_worker
+    trainer._spawn_worker = lambda handle: (original_spawn(handle), spawned.append(handle.process.pid))[0]
+
+    start = time.perf_counter()
+    history = trainer.train()
+    wall = time.perf_counter() - start
+
+    assert trainer.live_worker_pids() == [], f"workers={workers}: pool not shut down"
+    assert_no_orphans(spawned)
+    examples_seen = len(train_set) * EPOCHS
+    tokens_seen = sum(len(ex.tgt_output_ids) for ex in train_set.encoded) * EPOCHS
+    return {
+        "workers": workers,
+        "params": trainer.model.state_dict(),
+        "losses": [(r.train_loss, r.dev_loss) for r in history.records],
+        "wall_seconds": wall,
+        "examples_per_second": examples_seen / wall,
+        "tokens_per_second": tokens_seen / wall,
+        "worker_deaths": trainer.worker_deaths,
+        "worker_restarts": trainer.worker_restarts,
+    }
+
+
+def main() -> int:
+    import numpy as np
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-out", default=None, help="write BENCH-format JSON here")
+    args = parser.parse_args()
+
+    runs = []
+    for workers, fault_plan in ((1, None), (2, None), (4, KILL_PLAN)):
+        label = f"workers={workers}" + (" (+1 injected kill)" if fault_plan else "")
+        print(f"[{len(runs) + 1}/3] {label}", flush=True)
+        runs.append(_run(workers, fault_plan))
+        print(
+            f"    {runs[-1]['wall_seconds']:.1f}s, "
+            f"{runs[-1]['examples_per_second']:.1f} examples/s, "
+            f"deaths={runs[-1]['worker_deaths']}",
+            flush=True,
+        )
+
+    reference = runs[0]
+    for other in runs[1:]:
+        assert other["losses"] == reference["losses"], (
+            f"loss trajectory diverged at workers={other['workers']}:\n"
+            f"  reference: {reference['losses']}\n  observed:  {other['losses']}"
+        )
+        assert reference["params"].keys() == other["params"].keys()
+        for name in reference["params"]:
+            assert np.array_equal(reference["params"][name], other["params"][name]), (
+                f"parameter {name} differs at workers={other['workers']}"
+            )
+    killed = runs[2]
+    assert killed["worker_deaths"] == 1, f"expected 1 injected death, saw {killed['worker_deaths']}"
+    assert killed["worker_restarts"] == 1, "killed worker was not restarted"
+
+    if args.bench_out:
+        base = reference["examples_per_second"]
+        payload = {
+            "benchmark": "elastic_training",
+            "description": (
+                "elastic data-parallel training throughput at 1/2/4 gradient "
+                "workers on a tiny synthetic corpus; the 4-worker run absorbs "
+                "one injected worker kill"
+            ),
+            "command": "PYTHONPATH=src python scripts/elastic_smoke.py --bench-out BENCH_elastic_training.json",
+            "equivalence": "final parameters and per-epoch losses byte-identical across all worker counts",
+            "host_cpus": os.cpu_count(),
+            "configs": [
+                {
+                    "name": f"workers_{run['workers']}"
+                    + ("_one_kill" if run["worker_deaths"] else ""),
+                    "workers": run["workers"],
+                    "wall_seconds": run["wall_seconds"],
+                    "examples_per_second": run["examples_per_second"],
+                    "tokens_per_second": run["tokens_per_second"],
+                    "speedup_vs_1_worker": round(run["examples_per_second"] / base, 2),
+                    "scaling_efficiency": round(
+                        run["examples_per_second"] / (base * run["workers"]), 2
+                    ),
+                    "worker_deaths": run["worker_deaths"],
+                    "worker_restarts": run["worker_restarts"],
+                }
+                for run in runs
+            ],
+            "note": (
+                "speedup is bounded by host_cpus (worker processes time-slice "
+                "one core on a single-CPU container) and the model is small, "
+                "so per-step gradient IPC is a visible fraction of compute; "
+                "the benchmark's point is the bit-exact equivalence column "
+                "under real process parallelism and an injected kill, with "
+                "throughput honestly recorded for the host it ran on"
+            ),
+        }
+        with open(args.bench_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"bench numbers written to {args.bench_out}")
+
+    print(
+        "elastic smoke test: OK (bit-exact parity at 1/2/4 workers, "
+        "kill absorbed, zero orphans)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,7 +3,9 @@
     PYTHONPATH=src python scripts/resilience_smoke.py
 
 The orchestrator spawns three child processes against one tiny synthetic
-corpus:
+corpus, driven by the shared process harness in
+``tests/training/faults.py`` (spawn in own group, marker-synchronized
+signals, orphan sweep):
 
 1. ``reference`` — trains uninterrupted and records its history + final
    parameters;
@@ -21,16 +23,22 @@ restarts rather than in-process simulation. Exits non-zero on any mismatch.
 
 import json
 import os
-import signal
-import subprocess
 import sys
 import tempfile
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tests", "training"))
 
 EPOCHS = 4
 INTERRUPT_AFTER_EPOCH = 2
+
+# Children re-enter this file through ``python -c`` (how the harness spawns
+# processes); argv then carries the role line main() dispatches on.
+_CHILD_SCRIPT = (
+    "import runpy, sys\n"
+    f"runpy.run_path({os.path.abspath(__file__)!r}, run_name='__main__')\n"
+)
 
 
 def _train(snapshot_dir=None, resume=False):
@@ -94,18 +102,25 @@ def _child(role, snapdir, out_prefix):
 
 
 def _spawn(role, snapdir, out_prefix):
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
-    return subprocess.Popen(
-        [sys.executable, os.path.abspath(__file__), "--role", role, snapdir, out_prefix],
-        stdout=subprocess.PIPE,
-        text=True,
+    from faults import spawn_process
+
+    env = {
+        "PYTHONPATH": os.path.join(REPO_ROOT, "src")
+        + os.pathsep
+        + os.environ.get("PYTHONPATH", "")
+    }
+    return spawn_process(
+        _CHILD_SCRIPT,
+        args=["--role", role, snapdir, out_prefix],
         env=env,
+        cwd=REPO_ROOT,
     )
 
 
 def _orchestrate():
     import numpy as np
+
+    from faults import assert_no_orphans, interrupt_group, wait_for_marker
 
     from repro.tensor.serialization import load_arrays
 
@@ -120,12 +135,15 @@ def _orchestrate():
 
         print(f"[2/3] victim run (SIGINT after epoch {INTERRUPT_AFTER_EPOCH})", flush=True)
         victim = _spawn("victim", snapdir, ref_prefix)
-        for line in victim.stdout:
-            print(f"  victim: {line}", end="", flush=True)
-            if line.strip() == f"EPOCH {INTERRUPT_AFTER_EPOCH} DONE":
-                victim.send_signal(signal.SIGINT)
+        seen = wait_for_marker(
+            victim, f"EPOCH {INTERRUPT_AFTER_EPOCH} DONE", timeout=600
+        )
+        for line in seen:
+            print(f"  victim: {line}", flush=True)
+        interrupt_group(victim)
         code = victim.wait(timeout=600)
         assert code == 130, f"victim should exit 130 after graceful SIGINT, got {code}"
+        assert_no_orphans([victim.pid])
 
         print("[3/3] resume run (fresh process)", flush=True)
         resumed = _spawn("resume", snapdir, res_prefix)

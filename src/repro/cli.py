@@ -43,6 +43,8 @@ from repro.evaluation import analyse_predictions, evaluate_model
 from repro.models import ModelConfig, build_model
 from repro.observability import JsonlSink, Telemetry, TerminalSink
 from repro.training import (
+    ElasticConfig,
+    ElasticTrainer,
     ResilienceConfig,
     Trainer,
     TrainerConfig,
@@ -185,22 +187,39 @@ def _cmd_train(args) -> int:
         else:
             print(line)
 
-    trainer = Trainer(
-        model,
-        BatchIterator(train_set, batch_size=args.batch_size, seed=args.seed),
-        BatchIterator(dev_set, batch_size=args.batch_size, shuffle=False),
-        TrainerConfig(
-            epochs=args.epochs,
-            learning_rate=args.learning_rate,
-            halve_at_epoch=args.halve_at_epoch,
-            log_every=args.log_every,
-            detect_anomaly=args.detect_anomaly,
-            overflow_policy=args.overflow_policy,
-        ),
-        epoch_callback=epoch_callback,
-        resilience=resilience,
-        telemetry=telemetry,
+    trainer_config = TrainerConfig(
+        epochs=args.epochs,
+        learning_rate=args.learning_rate,
+        halve_at_epoch=args.halve_at_epoch,
+        log_every=args.log_every,
+        detect_anomaly=args.detect_anomaly,
+        overflow_policy=args.overflow_policy,
     )
+    use_elastic = args.elastic or args.workers is not None
+    if use_elastic:
+        workers = args.workers if args.workers is not None else 2
+        trainer = ElasticTrainer(
+            model,
+            train_set,
+            batch_size=args.batch_size,
+            dev_iterator=BatchIterator(dev_set, batch_size=args.batch_size, shuffle=False),
+            config=trainer_config,
+            elastic=ElasticConfig(workers=workers, worker_timeout=args.worker_timeout),
+            epoch_callback=epoch_callback,
+            resilience=resilience,
+            telemetry=telemetry,
+            run_seed=args.seed,
+        )
+    else:
+        trainer = Trainer(
+            model,
+            BatchIterator(train_set, batch_size=args.batch_size, seed=args.seed),
+            BatchIterator(dev_set, batch_size=args.batch_size, shuffle=False),
+            trainer_config,
+            epoch_callback=epoch_callback,
+            resilience=resilience,
+            telemetry=telemetry,
+        )
     try:
         history = trainer.train(resume_from=snapshot_dir if args.resume else None)
     except TrainingInterrupted as exc:
@@ -450,6 +469,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="emit a per-batch progress line every N batches (0 = per-epoch only)",
+    )
+    train.add_argument(
+        "--elastic",
+        action="store_true",
+        help=(
+            "train on the elastic multiprocess runtime: a coordinator "
+            "supervises gradient workers with heartbeats, restarts or "
+            "retires dead ones, and degrades to inline computation rather "
+            "than dying; bit-identical parameters at any worker count"
+        ),
+    )
+    train.add_argument(
+        "--workers",
+        type=int,
+        help=(
+            "gradient worker processes for --elastic (implies --elastic; "
+            "default 2; 0 computes inline in the coordinator)"
+        ),
+    )
+    train.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "seconds without a worker heartbeat before the supervisor "
+            "declares it dead and re-shards its micro-batches"
+        ),
     )
     _add_fusion_flag(train)
     train.set_defaults(handler=_cmd_train)

@@ -2,7 +2,7 @@
 
 from repro.data.analysis import CorpusStatistics, corpus_statistics, vocabulary_coverage
 from repro.data.augmentation import augment_examples, rename_entities
-from repro.data.batching import Batch, BatchIterator, collate
+from repro.data.batching import Batch, BatchIterator, collate, plan_batches
 from repro.data.dataset import EncodedExample, QGDataset, SourceMode
 from repro.data.embeddings import embedding_matrix_for_vocab, load_glove_text, pseudo_glove
 from repro.data.examples import QGExample
@@ -28,6 +28,7 @@ __all__ = [
     "Batch",
     "BatchIterator",
     "collate",
+    "plan_batches",
     "EncodedExample",
     "QGDataset",
     "SourceMode",

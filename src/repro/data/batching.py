@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.data.dataset import EncodedExample
 
-__all__ = ["Batch", "collate", "BatchIterator"]
+__all__ = ["Batch", "collate", "plan_batches", "BatchIterator"]
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,48 @@ def collate(examples: Sequence[EncodedExample], pad_id: int) -> Batch:
     )
 
 
+def plan_batches(
+    lengths: Sequence[int],
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+    bucket_multiplier: int = 16,
+) -> list[list[int]]:
+    """One epoch's batch composition as example-index lists.
+
+    The stateless core of :class:`BatchIterator`: shuffle the example
+    order, sort by source length inside pools of
+    ``batch_size * bucket_multiplier`` (length-homogeneous batches without
+    a fixed global order), chunk, and shuffle the batch order. All
+    randomness comes from ``rng``, so callers that derive the generator
+    from ``(run seed, epoch)`` — the sharded data pipeline in
+    :mod:`repro.training.sharding` does — get the identical global batch
+    sequence at any world size.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(len(lengths))
+    if shuffle:
+        rng.shuffle(order)
+
+    # Bucket: sort by source length inside pools so batches are
+    # length-homogeneous without fixing a global order.
+    pool_size = batch_size * bucket_multiplier
+    sorted_order: list[int] = []
+    for start in range(0, len(order), pool_size):
+        pool = order[start: start + pool_size]
+        pool = sorted(pool, key=lambda i: lengths[i])
+        sorted_order.extend(pool)
+
+    batches = [
+        sorted_order[start: start + batch_size]
+        for start in range(0, len(sorted_order), batch_size)
+    ]
+    if shuffle:
+        rng.shuffle(batches)
+    return batches
+
+
 class BatchIterator:
     """Length-bucketed, shuffled mini-batches over a dataset.
 
@@ -115,7 +157,10 @@ class BatchIterator:
     shuffle:
         Shuffle example order and batch order each epoch.
     seed:
-        Seed for the shuffling generator.
+        Seed for the shuffling generator, or an already-constructed
+        ``numpy.random.Generator`` to consume directly — shard workers
+        inject split seed streams this way. The int path is byte-identical
+        to what it always was (pinned by a golden-order test).
     bucket_multiplier:
         Examples are sorted by source length within pools of
         ``batch_size * bucket_multiplier`` before chunking.
@@ -127,7 +172,7 @@ class BatchIterator:
         batch_size: int,
         pad_id: int = 0,
         shuffle: bool = True,
-        seed: int = 0,
+        seed: int | np.random.Generator = 0,
         bucket_multiplier: int = 16,
     ) -> None:
         if batch_size < 1:
@@ -137,30 +182,24 @@ class BatchIterator:
         self.pad_id = pad_id
         self.shuffle = shuffle
         self.bucket_multiplier = bucket_multiplier
-        self._rng = np.random.default_rng(seed)
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
         return (len(self.examples) + self.batch_size - 1) // self.batch_size
 
+    def plan_epoch(self) -> list[list[int]]:
+        """Advance the shuffle stream and return this epoch's index plan."""
+        return plan_batches(
+            [len(ex.src_ids) for ex in self.examples],
+            self.batch_size,
+            self._rng,
+            shuffle=self.shuffle,
+            bucket_multiplier=self.bucket_multiplier,
+        )
+
     def __iter__(self) -> Iterator[Batch]:
-        order = np.arange(len(self.examples))
-        if self.shuffle:
-            self._rng.shuffle(order)
-
-        # Bucket: sort by source length inside pools so batches are
-        # length-homogeneous without fixing a global order.
-        pool_size = self.batch_size * self.bucket_multiplier
-        sorted_order: list[int] = []
-        for start in range(0, len(order), pool_size):
-            pool = order[start: start + pool_size]
-            pool = sorted(pool, key=lambda i: len(self.examples[i].src_ids))
-            sorted_order.extend(pool)
-
-        batches = [
-            sorted_order[start: start + self.batch_size]
-            for start in range(0, len(sorted_order), self.batch_size)
-        ]
-        if self.shuffle:
-            self._rng.shuffle(batches)
-        for indices in batches:
+        for indices in self.plan_epoch():
             yield collate([self.examples[i] for i in indices], pad_id=self.pad_id)

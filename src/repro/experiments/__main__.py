@@ -90,6 +90,27 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="emit a per-batch progress line every N batches (0 = per-epoch only)",
     )
+    parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help=(
+            "train each system on the elastic multiprocess runtime "
+            "(coordinator + supervised gradient workers; bit-identical "
+            "parameters at any worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="gradient worker processes for --elastic (implies --elastic; default 2)",
+    )
+    parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=30.0,
+        help="seconds without a heartbeat before a worker is declared dead",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -148,6 +169,20 @@ def main(argv: list[str] | None = None) -> int:
             runner_kwargs["log_every"] = args.log_every
             if args.telemetry_dir is not None and not args.quiet:
                 print(f"telemetry traces under {args.telemetry_dir}")
+
+    if args.elastic or args.workers is not None:
+        if not experiment.supports_elastic:
+            print(
+                f"note: {experiment.key} does not support --elastic/--workers; "
+                "running single-process",
+                file=sys.stderr,
+            )
+        else:
+            runner_kwargs["elastic"] = True
+            runner_kwargs["workers"] = args.workers if args.workers is not None else 2
+            runner_kwargs["worker_timeout"] = args.worker_timeout
+            if not args.quiet:
+                print(f"elastic training with {runner_kwargs['workers']} workers")
 
     result = experiment.runner(scale, verbose=not args.quiet, **runner_kwargs)
     print()

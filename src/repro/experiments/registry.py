@@ -43,6 +43,9 @@ class Experiment:
     supports_telemetry: bool = False
     """Whether the runner accepts ``telemetry_dir``/``log_every`` keyword
     arguments and writes per-system structured event traces."""
+    supports_elastic: bool = False
+    """Whether the runner accepts ``workers``/``worker_timeout``/``elastic``
+    keyword arguments and can train on the elastic multiprocess runtime."""
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -59,6 +62,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         bench_target="benchmarks/bench_table1.py",
         supports_resume=True,
         supports_telemetry=True,
+        supports_elastic=True,
     ),
     "table2": Experiment(
         key="table2",
@@ -70,6 +74,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         bench_target="benchmarks/bench_table2.py",
         supports_resume=True,
         supports_telemetry=True,
+        supports_elastic=True,
     ),
     "figure1": Experiment(
         key="figure1",

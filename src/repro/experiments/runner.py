@@ -25,6 +25,7 @@ from repro.models.base import QuestionGenerator
 from repro.observability import JsonlSink, Telemetry, TerminalSink, use_telemetry
 from repro.tensor.serialization import CheckpointCorrupted, atomic_write
 from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.elastic import ElasticConfig, ElasticTrainer
 from repro.training.history import TrainingHistory
 from repro.training.resilience import ResilienceConfig
 from repro.training.trainer import Trainer
@@ -189,6 +190,9 @@ def run_system(
     snapshot_every: int = 0,
     telemetry_dir: str | os.PathLike | None = None,
     log_every: int = 0,
+    workers: int | None = None,
+    worker_timeout: float = 30.0,
+    elastic: bool = False,
 ) -> SystemRun:
     """Train one system and evaluate it on the test split.
 
@@ -206,6 +210,13 @@ def run_system(
     events of another; snapshots record the trace cursor, and a resumed run
     continues the same file with no gaps or duplicates. ``log_every`` > 0
     overrides the scale's per-batch progress cadence.
+
+    ``elastic=True`` (or ``workers`` set) trains on the elastic
+    multiprocess runtime (:class:`~repro.training.elastic.ElasticTrainer`):
+    ``workers`` gradient processes (default 2; 0 = inline) supervised with
+    ``worker_timeout``-second heartbeats. Snapshots/resume/telemetry work
+    unchanged, but elastic and single-process snapshots are not
+    interchangeable.
     """
     corpus = corpus or generate_corpus(scale.synthetic_config())
     train_ds, dev_ds, test_ds = prepare_datasets(
@@ -280,16 +291,34 @@ def run_system(
     if log_every:
         config = replace(config, log_every=log_every)
 
+    use_elastic = elastic or workers is not None
     try:
-        trainer = Trainer(
-            model,
-            train_iterator,
-            dev_iterator,
-            config,
-            epoch_callback=callback,
-            resilience=resilience,
-            telemetry=telemetry,
-        )
+        if use_elastic:
+            trainer = ElasticTrainer(
+                model,
+                train_ds,
+                batch_size=scale.batch_size,
+                dev_iterator=dev_iterator,
+                config=config,
+                elastic=ElasticConfig(
+                    workers=workers if workers is not None else 2,
+                    worker_timeout=worker_timeout,
+                ),
+                epoch_callback=callback,
+                resilience=resilience,
+                telemetry=telemetry,
+                run_seed=scale.model_seed + spec.seed_offset,
+            )
+        else:
+            trainer = Trainer(
+                model,
+                train_iterator,
+                dev_iterator,
+                config,
+                epoch_callback=callback,
+                resilience=resilience,
+                telemetry=telemetry,
+            )
         start = time.perf_counter()
         if telemetry is not None:
             with use_telemetry(telemetry):

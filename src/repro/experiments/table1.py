@@ -70,6 +70,9 @@ def run_table1(
     snapshot_every: int = 0,
     telemetry_dir: str | None = None,
     log_every: int = 0,
+    workers: int | None = None,
+    worker_timeout: float = 30.0,
+    elastic: bool = False,
 ) -> Table1Result:
     """Train and evaluate every Table 1 system on a shared corpus.
 
@@ -95,6 +98,9 @@ def run_table1(
             snapshot_every=snapshot_every,
             telemetry_dir=telemetry_dir,
             log_every=log_every,
+            workers=workers,
+            worker_timeout=worker_timeout,
+            elastic=elastic,
         )
         result.runs[spec.label] = run
         if verbose:

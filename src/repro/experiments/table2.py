@@ -62,6 +62,9 @@ def run_table2(
     snapshot_every: int = 0,
     telemetry_dir: str | None = None,
     log_every: int = 0,
+    workers: int | None = None,
+    worker_timeout: float = 30.0,
+    elastic: bool = False,
 ) -> Table2Result:
     """Train ACNN-para once per truncation length on a shared corpus."""
     corpus = generate_corpus(scale.synthetic_config())
@@ -89,6 +92,9 @@ def run_table2(
             snapshot_every=snapshot_every,
             telemetry_dir=telemetry_dir,
             log_every=log_every,
+            workers=workers,
+            worker_timeout=worker_timeout,
+            elastic=elastic,
         )
         result.runs[label] = run
         if verbose:

@@ -24,9 +24,11 @@ from repro.observability.monitors import (
     ThroughputMeter,
     emit_gate_statistics,
     emit_state_transition,
+    emit_worker_pool,
     gate_statistics,
     nonfinite_sentinel,
     param_norm,
+    scaling_efficiency,
 )
 from repro.observability.schema import SchemaViolation, read_trace, validate_line, validate_record
 from repro.observability.sinks import JsonlSink, MemorySink, Sink, TerminalSink
@@ -54,6 +56,8 @@ __all__ = [
     "gate_statistics",
     "nonfinite_sentinel",
     "param_norm",
+    "scaling_efficiency",
+    "emit_worker_pool",
     "SchemaViolation",
     "read_trace",
     "validate_line",

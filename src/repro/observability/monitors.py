@@ -31,6 +31,8 @@ __all__ = [
     "gate_statistics",
     "emit_gate_statistics",
     "emit_state_transition",
+    "scaling_efficiency",
+    "emit_worker_pool",
     "ThroughputMeter",
 ]
 
@@ -117,6 +119,42 @@ def emit_state_transition(
     telemetry.log(
         f"[{name}] {old} -> {new}{' ' + details if details else ''}", step=step
     )
+
+
+def scaling_efficiency(busy_seconds: float, wall_seconds: float, world_size: int) -> float:
+    """Fraction of the pool's wall-clock capacity spent computing.
+
+    ``busy_seconds`` is the sum of per-micro-batch compute time reported by
+    the workers; capacity is ``wall_seconds * world_size``. 1.0 means every
+    worker computed the whole time (perfect scaling); the gap is dispatch,
+    IPC, reduction, and supervision overhead. Degenerate windows (no wall
+    time, empty pool) report 0.0 rather than dividing by zero.
+    """
+    capacity = wall_seconds * world_size
+    if capacity <= 0.0 or busy_seconds < 0.0:
+        return 0.0
+    return min(1.0, busy_seconds / capacity)  # numerics: ok — capacity <= 0 returns early
+
+
+def emit_worker_pool(
+    telemetry: Telemetry,
+    prefix: str,
+    heartbeat_ages: dict[int, float],
+    world_size: int,
+    efficiency: float | None = None,
+    step: int | None = None,
+) -> None:
+    """Gauge the elastic pool's health: membership, per-worker heartbeats.
+
+    ``heartbeat_ages`` maps live worker rank → seconds since its last
+    heartbeat; the supervisor calls this every step so a stalling worker is
+    visible in the trace *before* its timeout fires.
+    """
+    telemetry.gauge(f"{prefix}.world_size", float(world_size), step=step)
+    for rank, age in sorted(heartbeat_ages.items()):
+        telemetry.gauge(f"{prefix}.worker{rank}.heartbeat_age", float(age), step=step)
+    if efficiency is not None:
+        telemetry.gauge(f"{prefix}.scaling_efficiency", float(efficiency), step=step)
 
 
 class ThroughputMeter:

@@ -58,6 +58,7 @@ __all__ = [
     "TrainingDiverged",
     "TrainingInterrupted",
     "EmptyEvaluationError",
+    "evaluate_mean_loss",
 ]
 
 
@@ -98,6 +99,26 @@ class EmptyEvaluationError(RuntimeError):
     it with run context instead of killing a multi-hour run with an opaque
     traceback.
     """
+
+
+def evaluate_mean_loss(model: QuestionGenerator, iterator: BatchIterator) -> float:
+    """Token-weighted mean loss over an iterator (no dropout, no graph).
+
+    Shared by :class:`Trainer` and the elastic coordinator
+    (:mod:`repro.training.elastic`), so both runtimes report dev loss from
+    the identical code path.
+    """
+    model.eval()
+    total_loss = 0.0
+    total_tokens = 0
+    with no_grad():
+        for batch in iterator:
+            tokens = batch.num_target_tokens
+            total_loss += model.loss(batch).item() * tokens
+            total_tokens += tokens
+    if total_tokens == 0:
+        raise EmptyEvaluationError("evaluation iterator produced no target tokens")
+    return total_loss / total_tokens  # numerics: ok — total_tokens == 0 raises above
 
 
 @dataclass(frozen=True)
@@ -323,17 +344,7 @@ class Trainer:
 
     def evaluate_loss(self, iterator: BatchIterator) -> float:
         """Token-weighted mean dev loss (no dropout, no graph)."""
-        self.model.eval()
-        total_loss = 0.0
-        total_tokens = 0
-        with no_grad():
-            for batch in iterator:
-                tokens = batch.num_target_tokens
-                total_loss += self.model.loss(batch).item() * tokens
-                total_tokens += tokens
-        if total_tokens == 0:
-            raise EmptyEvaluationError("evaluation iterator produced no target tokens")
-        return total_loss / total_tokens  # numerics: ok — total_tokens == 0 raises above
+        return evaluate_mean_loss(self.model, iterator)
 
     # ------------------------------------------------------------------
     # Run-state capture / restore

@@ -1,6 +1,6 @@
 """Deterministic fault-injection harness for the resilience chaos tests.
 
-Three fault families, mirroring how training runs actually die:
+In-process fault families, mirroring how training runs actually die:
 
 - :func:`crash_on_nth_publish` — the process is killed mid-persistence.
   Atomic writes publish via ``repro.tensor.serialization._publish`` (the
@@ -12,11 +12,31 @@ Three fault families, mirroring how training runs actually die:
   paper's lr=1.0 produces on an unlucky batch.
 - :func:`truncate_file` / :func:`corrupt_file` — the artifact survives the
   crash but the bytes did not (torn page, bad disk, partial copy).
+
+Process-level harness (elastic chaos suite, signal regression tests, and
+``scripts/resilience_smoke.py`` / ``scripts/elastic_smoke.py``), driving a
+real training *process* from outside:
+
+- :func:`spawn_process` / :func:`wait_for_marker` — start a training
+  subprocess in its own process group and block until it prints a chosen
+  progress marker, so signals land at a deterministic phase of the run.
+- :func:`interrupt_group` — deliver SIGINT to the whole group, exactly
+  what Ctrl-C does to a foreground pool (coordinator *and* workers).
+- :func:`descendant_pids` / :func:`assert_no_orphans` — enumerate a
+  process's live descendants via /proc and assert the pool reaped them.
+
+Worker-level injection (kill/stall/corrupt at an exact compute command)
+lives in the product seam :class:`repro.training.elastic.WorkerFaultPlan`;
+this module only supplies the outside-the-process machinery.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import subprocess
+import sys
+import time
 from contextlib import contextmanager
 from unittest import mock
 
@@ -31,6 +51,13 @@ __all__ = [
     "nan_loss_on_nth_batch",
     "truncate_file",
     "corrupt_file",
+    "MarkerTimeout",
+    "spawn_process",
+    "wait_for_marker",
+    "interrupt_group",
+    "descendant_pids",
+    "pid_alive",
+    "assert_no_orphans",
 ]
 
 
@@ -127,3 +154,118 @@ def corrupt_file(path: str | os.PathLike, offset: int | None = None) -> None:
         byte = handle.read(1)
         handle.seek(position)
         handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+# ----------------------------------------------------------------------
+# Process-level harness
+# ----------------------------------------------------------------------
+class MarkerTimeout(AssertionError):
+    """The subprocess never printed the expected progress marker."""
+
+
+def spawn_process(
+    script: str,
+    *,
+    args: list[str] | None = None,
+    env: dict | None = None,
+    cwd: str | os.PathLike | None = None,
+) -> subprocess.Popen:
+    """Run ``python -c script`` in its own process group, stdout piped.
+
+    The new session means :func:`interrupt_group` can SIGINT the child and
+    every process it forks (the elastic worker pool) in one delivery — the
+    same fan-out a terminal Ctrl-C produces — without touching the test
+    runner's own group.
+    """
+    merged = dict(os.environ)
+    if env:
+        merged.update(env)
+    return subprocess.Popen(
+        [sys.executable, "-u", "-c", script] + (args or []),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        start_new_session=True,
+        env=merged,
+        cwd=cwd,
+    )
+
+
+def wait_for_marker(
+    process: subprocess.Popen, marker: str, timeout: float = 120.0
+) -> list[str]:
+    """Read stdout lines until one contains ``marker``; returns lines so far.
+
+    Raises :class:`MarkerTimeout` (with everything captured) if the process
+    exits or the deadline passes first — a chaos test must fail with the
+    child's output, not hang.
+    """
+    deadline = time.monotonic() + timeout
+    lines: list[str] = []
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line:
+            lines.append(line.rstrip("\n"))
+            if marker in line:
+                return lines
+            continue
+        if process.poll() is not None:
+            break
+        time.sleep(0.01)
+    raise MarkerTimeout(
+        f"marker {marker!r} not seen (exit={process.poll()}); output so far:\n"
+        + "\n".join(lines)
+    )
+
+
+def interrupt_group(process: subprocess.Popen, sig: int = signal.SIGINT) -> None:
+    """Deliver ``sig`` to the subprocess's whole process group (Ctrl-C)."""
+    os.killpg(os.getpgid(process.pid), sig)
+
+
+def descendant_pids(pid: int) -> list[int]:
+    """All live descendants of ``pid``, via /proc (Linux only)."""
+    children: dict[int, list[int]] = {}
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat") as handle:
+                fields = handle.read().rsplit(")", 1)[1].split()
+            children.setdefault(int(fields[1]), []).append(int(entry))
+        except (OSError, IndexError, ValueError):
+            continue  # raced with process exit
+    found: list[int] = []
+    frontier = [pid]
+    while frontier:
+        parent = frontier.pop()
+        for child in children.get(parent, []):
+            found.append(child)
+            frontier.append(child)
+    return found
+
+
+def pid_alive(pid: int) -> bool:
+    """True if ``pid`` exists and is not a zombie."""
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            state = handle.read().rsplit(")", 1)[1].split()[0]
+        return state != "Z"
+    except OSError:
+        return False
+
+
+def assert_no_orphans(pids: list[int], timeout: float = 10.0) -> None:
+    """Assert every pid exits (or is reaped) within ``timeout`` seconds.
+
+    Gives the supervisor a grace window to finish its own shutdown, then
+    fails with the survivors — the invariant the elastic pool must uphold
+    on every exit path (completion, interrupt, crash).
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        survivors = [pid for pid in pids if pid_alive(pid)]
+        if not survivors:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"orphaned worker processes survived: {survivors}")
