@@ -13,7 +13,13 @@ clock. Then checks the serving layer's whole contract:
    telemetry counters all agree, rung-by-rung and shed-reason-by-reason;
 4. faults were actually injected (the run proves resilience, not luck);
 5. a second run with the same seed is byte-identical;
-6. the telemetry trace is schema-valid end to end.
+6. the telemetry trace is schema-valid end to end;
+7. a mixed-length chaos fleet through the continuous-batching engine
+   sustains >= 1.5x the static micro-batcher's served-requests per
+   simulated second (per-boundary stall faults advance a manual clock at
+   every encode/decode step, so "time" is deterministic step accounting),
+   byte-identical across repeat runs; the comparison is written to
+   ``BENCH_continuous_batching.json`` in the repo root.
 
 The trace is left under ``<output_dir>`` (default ``results/serving``) so
 CI can upload it as an artifact. Exits non-zero on any violation.
@@ -135,6 +141,173 @@ def rows(outcomes):
     return out
 
 
+# ----------------------------------------------------------------------
+# Static vs. continuous throughput under a mixed-length chaos fleet
+# ----------------------------------------------------------------------
+BENCH_REQUESTS = 96
+STEP_SECONDS = 0.05
+LENGTH_MIX = [4, 8, 12]  # cohabiting short/medium/long requests
+MIN_SPEEDUP = 1.5
+
+
+def build_bench_service():
+    """A service whose every encode/step boundary costs STEP_SECONDS of
+    simulated time (batch-size-independent step cost), with a sprinkle of
+    NaN and error chaos riding along — all on a manual clock."""
+    from repro.data import QGDataset, QGExample
+    from repro.models import ModelConfig, build_model
+    from repro.observability import Telemetry
+    from repro.serving import FaultPlan, InferenceService, ManualClock, ServiceConfig
+
+    examples = [
+        QGExample(sentence=tuple(s.split()), paragraph=tuple(s.split()),
+                  question=tuple(q.split()))
+        for s, q in zip(SENTENCES, QUESTIONS)
+    ]
+    encoder, decoder = QGDataset.build_vocabs(examples, 100, 100)
+    config = ModelConfig(embedding_dim=8, hidden_size=10, num_layers=1, dropout=0.0, seed=3)
+    model = build_model("acnn", config, len(encoder), len(decoder))
+    clock = ManualClock()
+    service = InferenceService(
+        model,
+        encoder,
+        decoder,
+        # Deadlines off the table: this phase measures pure throughput.
+        config=ServiceConfig(default_deadline_seconds=10_000.0),
+        clock=clock,
+        telemetry=Telemetry([]),
+        fault_plan=FaultPlan(
+            seed=SEED,
+            slow_rate=1.0,
+            slow_seconds=STEP_SECONDS,
+            nan_rate=0.01,
+            error_rate=0.01,
+        ),
+    )
+    return service, clock
+
+
+def bench_requests():
+    from repro.serving import GenerationRequest
+
+    words = sorted({w for s in SENTENCES for w in s.split() if w != "."})
+    rng = np.random.default_rng(777)
+    requests = []
+    for index in range(BENCH_REQUESTS):
+        size = int(rng.integers(3, 7))
+        requests.append(
+            GenerationRequest(
+                " ".join(rng.choice(words, size=size)),
+                request_id=f"bench-{index:03d}",
+                beam_size=3,
+                max_length=LENGTH_MIX[index % len(LENGTH_MIX)],
+            )
+        )
+    return requests
+
+
+def run_static_bench():
+    from repro.serving import MicroBatcher
+
+    service, clock = build_bench_service()
+    batcher = MicroBatcher(service, max_batch=4, queue_limit=BENCH_REQUESTS)
+    outcomes = []
+    for request in bench_requests():
+        outcome = batcher.submit(request)
+        if outcome is not None:
+            outcomes.append(outcome)
+    outcomes.extend(batcher.drain())
+    return outcomes, clock.now(), service
+
+
+def run_continuous_bench():
+    from repro.serving import ContinuousBatchingEngine, EngineConfig
+
+    service, clock = build_bench_service()
+    engine = ContinuousBatchingEngine(
+        service,
+        EngineConfig(max_rows=12, queue_limit=BENCH_REQUESTS, admit_per_step=4, pad_to=12),
+    )
+    outcomes = []
+    for request in bench_requests():
+        outcome = engine.submit(request)
+        if outcome is not None:
+            outcomes.append(outcome)
+    outcomes.extend(engine.drain())
+    return outcomes, clock.now(), service, engine
+
+
+def run_throughput_bench(bench_path: str):
+    import json
+
+    static_outcomes, static_seconds, _ = run_static_bench()
+    continuous_outcomes, continuous_seconds, service, engine = run_continuous_bench()
+
+    repeat_outcomes, repeat_seconds, _, _ = run_continuous_bench()
+    assert rows(continuous_outcomes) == rows(repeat_outcomes), (
+        "continuous bench differs across identical runs"
+    )
+    assert continuous_seconds == repeat_seconds
+
+    static_served = sum(1 for o in static_outcomes if o.status == "served")
+    continuous_served = sum(1 for o in continuous_outcomes if o.status == "served")
+    assert len(static_outcomes) == len(continuous_outcomes) == BENCH_REQUESTS
+    assert static_served >= 0.9 * BENCH_REQUESTS
+    assert continuous_served >= 0.9 * BENCH_REQUESTS
+
+    static_rate = static_served / static_seconds
+    continuous_rate = continuous_served / continuous_seconds
+    speedup = continuous_rate / static_rate
+
+    payload = {
+        "benchmark": "continuous_batching",
+        "description": (
+            "served-requests per simulated second, mixed-length chaos fleet "
+            "(beam 3, lengths 4/8/12 interleaved): step-level continuous "
+            "batching vs the static MicroBatcher. Every encode/decode "
+            "boundary costs one deterministic clock stall, so throughput is "
+            "pure step accounting; NaN/error chaos rides along."
+        ),
+        "command": "PYTHONPATH=src python scripts/serving_smoke.py",
+        "requests": BENCH_REQUESTS,
+        "step_seconds": STEP_SECONDS,
+        "length_mix": LENGTH_MIX,
+        "static": {
+            "frontend": "MicroBatcher(max_batch=4)",
+            "served": static_served,
+            "sim_seconds": round(static_seconds, 2),
+            "served_per_sim_second": round(static_rate, 3),
+        },
+        "continuous": {
+            "frontend": "ContinuousBatchingEngine(max_rows=12, admit_per_step=4)",
+            "served": continuous_served,
+            "sim_seconds": round(continuous_seconds, 2),
+            "served_per_sim_second": round(continuous_rate, 3),
+            "engine_stats": engine.stats.as_dict(),
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "byte_identical_repeat": True,
+    }
+    with open(bench_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"      static:     {static_served}/{BENCH_REQUESTS} served in "
+        f"{static_seconds:.2f}s sim -> {static_rate:.3f} req/s", flush=True,
+    )
+    print(
+        f"      continuous: {continuous_served}/{BENCH_REQUESTS} served in "
+        f"{continuous_seconds:.2f}s sim -> {continuous_rate:.3f} req/s "
+        f"({speedup:.2f}x)", flush=True,
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"continuous batching speedup {speedup:.2f}x < required {MIN_SPEEDUP}x"
+    )
+    return payload
+
+
 def main() -> int:
     from repro.observability import read_trace
 
@@ -144,7 +317,7 @@ def main() -> int:
     if os.path.exists(trace_path):
         os.remove(trace_path)
 
-    print(f"[1/4] chaos fleet: {NUM_REQUESTS} requests, {FAULT_RATE:.0%} fault rate "
+    print(f"[1/5] chaos fleet: {NUM_REQUESTS} requests, {FAULT_RATE:.0%} fault rate "
           f"per kind -> {trace_path}", flush=True)
     outcomes, report = run_fleet(trace_path)
 
@@ -158,7 +331,7 @@ def main() -> int:
     assert sum(report["injected"].values()) > 0, "no faults injected; chaos proves nothing"
     assert served >= 0.9 * valid, f"served {served}/{valid} valid requests (< 90%)"
 
-    print("[2/4] checking ledger consistency", flush=True)
+    print("[2/5] checking ledger consistency", flush=True)
     assert report["served"] == served
     assert report["rejected"] == statuses.get("rejected", 0)
     assert report["shed"] == statuses.get("shed", 0)
@@ -166,7 +339,7 @@ def main() -> int:
     assert sum(report["served_by_rung"].values()) == served
     assert sum(report["shed_by_reason"].values()) == report["shed"]
 
-    print("[3/4] validating the telemetry trace", flush=True)
+    print("[3/5] validating the telemetry trace", flush=True)
     records = list(read_trace(trace_path))  # raises SchemaViolation on any bad line
     counters = Counter()
     for record in records:
@@ -178,17 +351,22 @@ def main() -> int:
     for reason, count in report["shed_by_reason"].items():
         assert counters.get(f"serving.shed.{reason}", 0) == count, f"shed counter {reason} drifted"
 
-    print("[4/4] repeat run must be byte-identical", flush=True)
+    print("[4/5] repeat run must be byte-identical", flush=True)
     outcomes_again, report_again = run_fleet(None)
     assert rows(outcomes) == rows(outcomes_again), "outputs differ across identical runs"
     assert report == report_again, "accounting differs across identical runs"
+
+    bench_path = os.path.join(REPO_ROOT, "BENCH_continuous_batching.json")
+    print(f"[5/5] static vs continuous throughput -> {bench_path}", flush=True)
+    bench = run_throughput_bench(bench_path)
 
     degraded = served - report["served_by_rung"].get("beam", 0)
     print(
         f"serving smoke test: OK ({served}/{valid} valid requests served, "
         f"{degraded} degraded, {statuses.get('rejected', 0)} rejected, "
         f"{report['shed']} shed, {report['failed']} failed; "
-        f"{sum(report['injected'].values())} faults injected)"
+        f"{sum(report['injected'].values())} faults injected; "
+        f"continuous batching {bench['speedup']:.2f}x static)"
     )
     return 0
 

@@ -318,6 +318,9 @@ def _cmd_serve(args) -> int:
 
     from repro.serving import (
         AdmissionPolicy,
+        ContinuousBatchingEngine,
+        EncoderStateCache,
+        EngineConfig,
         FaultPlan,
         GenerationRequest,
         InferenceService,
@@ -342,6 +345,7 @@ def _cmd_serve(args) -> int:
             error_rate=args.fault_rate,
             per_request=True,
         )
+    cache = EncoderStateCache(args.cache_size, telemetry=telemetry) if args.cache_size else None
     service = InferenceService(
         bundle.model,
         bundle.encoder_vocab,
@@ -350,8 +354,21 @@ def _cmd_serve(args) -> int:
         config=ServiceConfig(default_deadline_seconds=args.deadline),
         telemetry=telemetry,
         fault_plan=fault_plan,
+        encoder_cache=cache,
     )
-    batcher = MicroBatcher(service, max_batch=args.max_batch, queue_limit=args.queue_limit)
+    if args.batching == "continuous":
+        frontend = ContinuousBatchingEngine(
+            service,
+            EngineConfig(
+                max_rows=args.max_rows,
+                queue_limit=args.queue_limit,
+                admit_per_step=args.admit_per_step,
+            ),
+        )
+    else:
+        frontend = MicroBatcher(
+            service, max_batch=args.max_batch, queue_limit=args.queue_limit
+        )
     try:
         outcomes = []
         for index, line in enumerate(lines):
@@ -361,10 +378,10 @@ def _cmd_serve(args) -> int:
                 beam_size=args.beam_size,
                 max_length=args.max_length,
             )
-            outcome = batcher.submit(request)
+            outcome = frontend.submit(request)
             if outcome is not None:
                 outcomes.append(outcome)
-        outcomes.extend(batcher.drain())
+        outcomes.extend(frontend.drain())
         for outcome in sorted(outcomes, key=lambda o: o.request_id):
             if outcome.status == "served":
                 rung = outcome.result.rung
@@ -529,8 +546,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--beam-size", type=int, default=3)
     serve.add_argument("--max-length", type=int, default=24)
     serve.add_argument("--deadline", type=float, default=5.0, help="per-request seconds")
-    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument(
+        "--batching",
+        default="continuous",
+        choices=["continuous", "static"],
+        help="continuous = step-level frontier engine; static = MicroBatcher fallback",
+    )
+    serve.add_argument("--max-batch", type=int, default=8, help="static batching group size")
     serve.add_argument("--queue-limit", type=int, default=32)
+    serve.add_argument(
+        "--max-rows", type=int, default=12,
+        help="continuous batching: frontier row budget (a request uses beam-size rows)",
+    )
+    serve.add_argument(
+        "--admit-per-step", type=int, default=4,
+        help="continuous batching: max admissions per decode step",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=128,
+        help="encoder-state cache capacity (0 disables the cache)",
+    )
     serve.add_argument("--max-unk-density", type=float, default=0.8)
     serve.add_argument(
         "--fault-rate",

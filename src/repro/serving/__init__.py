@@ -4,7 +4,9 @@
 and the decode engines: typed request admission, per-request deadlines
 threaded through encode/decode, a degradation ladder (beam → beam-1 →
 greedy → truncated-greedy), a circuit breaker with jittered retry/backoff,
-bounded-queue micro-batching with load shedding, and a deterministic
+bounded-queue micro-batching with load shedding, a step-level
+continuous-batching engine (:mod:`repro.serving.engine`) with an LRU
+encoder-state cache (:mod:`repro.serving.cache`), and a deterministic
 fault-injection seam for chaos testing. Everything reports through the
 :mod:`repro.observability` telemetry hub.
 
@@ -21,6 +23,13 @@ See docs/architecture.md, "Serving & graceful degradation".
 
 from repro.serving.batcher import MicroBatcher
 from repro.serving.breaker import BreakerConfig, CircuitBreaker, RetryPolicy
+from repro.serving.cache import (
+    CachedEncoderModel,
+    CacheStats,
+    EncoderStateCache,
+    fingerprint_model,
+    pad_batch,
+)
 from repro.serving.deadline import Clock, Deadline, ManualClock
 from repro.serving.errors import (
     BreakerOpen,
@@ -31,6 +40,7 @@ from repro.serving.errors import (
     ServingError,
     is_retryable,
 )
+from repro.serving.engine import ContinuousBatchingEngine, EngineConfig, EngineStats
 from repro.serving.faults import (
     FaultInjectingModel,
     FaultInjector,
@@ -56,6 +66,14 @@ __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
     "RetryPolicy",
+    "CachedEncoderModel",
+    "CacheStats",
+    "EncoderStateCache",
+    "fingerprint_model",
+    "pad_batch",
+    "ContinuousBatchingEngine",
+    "EngineConfig",
+    "EngineStats",
     "Clock",
     "Deadline",
     "ManualClock",

@@ -34,6 +34,7 @@ from repro.data.vocabulary import PAD_ID, Vocabulary
 from repro.decoding.hypothesis import Hypothesis, extended_ids_to_tokens
 from repro.observability import emit_state_transition, get_telemetry
 from repro.serving.breaker import BreakerConfig, CircuitBreaker, RetryPolicy
+from repro.serving.cache import CachedEncoderModel, EncoderStateCache
 from repro.serving.deadline import Clock, Deadline
 from repro.serving.errors import (
     BreakerOpen,
@@ -133,6 +134,11 @@ class InferenceService:
         :class:`~repro.serving.deadline.ManualClock` for determinism.
     telemetry:
         A telemetry hub; defaults to the ambient hub.
+    encoder_cache:
+        Optional :class:`~repro.serving.cache.EncoderStateCache`. The model
+        is wrapped so single-example encodes hit the cache; the fault seam
+        wraps *outside* the cache, so injected encode faults still fire on
+        cache hits (a hit does not launder away the chaos).
     """
 
     def __init__(
@@ -148,6 +154,7 @@ class InferenceService:
         clock: Clock | None = None,
         telemetry=None,
         fault_plan: FaultPlan | None = None,
+        encoder_cache: EncoderStateCache | None = None,
     ) -> None:
         self.clock = clock if clock is not None else Clock()
         self.config = config if config is not None else ServiceConfig()
@@ -160,6 +167,9 @@ class InferenceService:
         )
         self.stats = ServiceStats()
         self._jitter_rng = np.random.default_rng(self.config.seed)
+        self.encoder_cache = encoder_cache
+        if encoder_cache is not None:
+            model = CachedEncoderModel(model, encoder_cache)
         self.injector: FaultInjector | None = None
         if fault_plan is not None and fault_plan.active:
             self.injector = FaultInjector(fault_plan, clock=self.clock)
@@ -367,4 +377,6 @@ class InferenceService:
         payload["breaker_state"] = self.breaker.state
         if self.injector is not None:
             payload["injected"] = dict(self.injector.injected)
+        if self.encoder_cache is not None:
+            payload["encoder_cache"] = self.encoder_cache.as_dict()
         return payload

@@ -1,0 +1,168 @@
+"""Queue-latency fairness: the regression the continuous engine fixes.
+
+The latent `MicroBatcher` unfairness: a request that arrives while a
+batch is in flight waits the *full batch turnaround* before it is even
+looked at — even when the frontier has idle row capacity the whole time.
+A short request stuck behind a long batch pays the long batch's bill.
+
+The continuous engine removes the batch boundary: the late arrival is
+admitted into free rows at the next decode step and finishes on its own
+schedule. Both halves are pinned here — the bad bound *holds* for the
+micro-batcher (this is the seed-failing shape: it documents the defect
+the engine exists to fix) and the good bound holds for the engine.
+
+Time is simulated: a per-boundary stall plan advances a manual clock at
+every encode and decode step, so "latency" is deterministic step
+accounting, not wall time.
+"""
+
+from repro.observability import Telemetry
+from repro.serving import (
+    ContinuousBatchingEngine,
+    EngineConfig,
+    FaultPlan,
+    GenerationRequest,
+    InferenceService,
+    ManualClock,
+    MicroBatcher,
+    ServiceConfig,
+)
+
+from conftest import DECODER, ENCODER, build_tiny_model, request_texts
+
+STEP_SECONDS = 0.1
+LONG_LENGTH = 20   # the batch in flight when the short request arrives
+SHORT_LENGTH = 2   # the late arrival: two decode steps of real work
+ARRIVAL = 0.05     # the short request arrives just after the batch starts
+
+
+def build_timed_service(clock):
+    """Every encode/decode boundary costs STEP_SECONDS of simulated time."""
+    return InferenceService(
+        build_tiny_model(),
+        ENCODER,
+        DECODER,
+        config=ServiceConfig(default_deadline_seconds=60.0),
+        clock=clock,
+        telemetry=Telemetry([]),
+        fault_plan=FaultPlan(seed=0, slow_rate=1.0, slow_seconds=STEP_SECONDS),
+    )
+
+
+def make_requests():
+    texts = request_texts(5, seed=91)
+    long_batch = [
+        GenerationRequest(text, request_id=f"long-{index}", beam_size=2,
+                          max_length=LONG_LENGTH)
+        for index, text in enumerate(texts[:4])
+    ]
+    short = GenerationRequest(texts[4], request_id="short", beam_size=2,
+                              max_length=SHORT_LENGTH)
+    return long_batch, short
+
+
+def test_microbatcher_late_arrival_waits_full_batch_turnaround():
+    """The defect, pinned: under the micro-batcher the short request's
+    arrival-to-completion latency is dominated by the long batch it had
+    no part in. This is the seed-failing bound the engine fixes — if the
+    micro-batcher ever serves the late arrival faster than the long
+    batch's turnaround, this test (and the defect) disappear together."""
+    clock = ManualClock()
+    service = build_timed_service(clock)
+    batcher = MicroBatcher(service, max_batch=4, queue_limit=16)
+    long_batch, short = make_requests()
+
+    for request in long_batch:
+        assert batcher.submit(request) is None
+    # The batch goes in flight at t=0. The short request arrives at
+    # t=ARRIVAL — mid-flight, so the synchronous pump cannot see it until
+    # the whole group returns.
+    batcher.pump()
+    turnaround = clock.now()
+    assert turnaround >= LONG_LENGTH * STEP_SECONDS  # the batch was long
+
+    assert batcher.submit(short) is None
+    batcher.drain()
+    short_latency = clock.now() - ARRIVAL
+
+    # The unfairness bound: the short request could not beat the long
+    # batch's turnaround, despite needing SHORT_LENGTH steps of work.
+    assert short_latency >= turnaround
+    assert short_latency >= LONG_LENGTH * STEP_SECONDS
+
+
+def test_continuous_engine_bounds_late_arrival_latency():
+    """The fix, pinned: the engine admits the late arrival into free rows
+    at the next step boundary; its latency is its own work plus a small
+    admission delay — independent of the long cohort's total turnaround."""
+    clock = ManualClock()
+    service = build_timed_service(clock)
+    engine = ContinuousBatchingEngine(
+        service,
+        EngineConfig(max_rows=10, admit_per_step=4, pad_to=12),
+    )
+    long_batch, short = make_requests()
+
+    for request in long_batch:
+        assert engine.submit(request) is None
+    # One step: the long cohort is admitted and decoding.
+    engine.step()
+    assert engine.in_flight == 4
+    arrived_at = clock.now()
+
+    assert engine.submit(short) is None
+    outcomes = []
+    steps_until_served = 0
+    while not any(o.request_id == "short" for o in outcomes):
+        outcomes.extend(engine.step())
+        steps_until_served += 1
+    short_latency = clock.now() - arrived_at
+
+    # Served in ~SHORT_LENGTH steps plus one admission boundary — while
+    # the long cohort is still in flight (no head-of-line blocking).
+    assert steps_until_served <= SHORT_LENGTH + 1
+    assert engine.in_flight == 4
+    # Each merged step costs one stall; admission adds one encode stall.
+    assert short_latency <= (SHORT_LENGTH + 2) * STEP_SECONDS
+    # And the fairness headline: far below the long batch's turnaround.
+    assert short_latency < LONG_LENGTH * STEP_SECONDS / 2
+
+    remaining = engine.drain()
+    assert {o.status for o in list(outcomes) + list(remaining)} == {"served"}
+
+
+def test_engine_latency_advantage_is_large():
+    """End-to-end comparison on identical fleets: the engine's late-arrival
+    latency beats the micro-batcher's by the length ratio, not by noise."""
+
+    def batcher_latency():
+        clock = ManualClock()
+        batcher = MicroBatcher(build_timed_service(clock), max_batch=4)
+        long_batch, short = make_requests()
+        for request in long_batch:
+            batcher.submit(request)
+        batcher.pump()
+        batcher.submit(short)
+        batcher.drain()
+        return clock.now() - ARRIVAL
+
+    def engine_latency():
+        clock = ManualClock()
+        engine = ContinuousBatchingEngine(
+            build_timed_service(clock),
+            EngineConfig(max_rows=10, admit_per_step=4, pad_to=12),
+        )
+        long_batch, short = make_requests()
+        for request in long_batch:
+            engine.submit(request)
+        engine.step()
+        arrived_at = clock.now()
+        engine.submit(short)
+        outcomes = []
+        while not any(o.request_id == "short" for o in outcomes):
+            outcomes.extend(engine.step())
+        latency = clock.now() - arrived_at
+        engine.drain()
+        return latency
+
+    assert engine_latency() * 4 < batcher_latency()

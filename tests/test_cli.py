@@ -96,6 +96,45 @@ def test_generate_from_file(trained_bundle, tmp_path, capsys):
     assert out, "generate produced no output"
 
 
+def test_serve_continuous_default(trained_bundle, tmp_path, capsys):
+    sentences = tmp_path / "sentences.txt"
+    sentences.write_text(
+        "velkorim was born in porzana in 1873 .\n"
+        "the obrenta canal links mirova and telsk .\n"
+    )
+    code = main(["serve", "--bundle", str(trained_bundle), "--input", str(sentences)])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "[req-0]" in captured.out and "[req-1]" in captured.out
+    report = json.loads(captured.err)
+    assert report["served"] == 2
+    assert "encoder_cache" in report  # cache is on by default
+
+
+def test_serve_static_fallback_flag(trained_bundle, tmp_path, capsys):
+    sentences = tmp_path / "sentences.txt"
+    sentences.write_text("velkorim was born in porzana in 1873 .\n")
+    code = main(
+        [
+            "serve", "--bundle", str(trained_bundle), "--input", str(sentences),
+            "--batching", "static", "--cache-size", "0",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    report = json.loads(captured.err)
+    assert report["served"] == 1
+    assert "encoder_cache" not in report
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve", "--bundle", "x"])
+    assert args.batching == "continuous"
+    assert args.max_rows == 12
+    assert args.admit_per_step == 4
+    assert args.cache_size == 128
+
+
 def test_train_with_coverage_flag(tmp_path):
     out = tmp_path / "cov"
     code = main(
