@@ -1,0 +1,350 @@
+"""End-to-end smoke test + benchmark for the crash-safe shard store.
+
+    PYTHONPATH=src python scripts/datastore_smoke.py [--bench-out FILE]
+
+Exercises the durability contract with REAL process kills (``os._exit``
+mid-publish in a subprocess — not an in-process exception) and closes the
+loop on the store's headline claims:
+
+- ingest killed at an arbitrary publish point resumes to a store that is
+  **bit-identical** to an uninterrupted ingest (every file compared);
+- the half-ingested store left behind by the kill is already a valid,
+  smaller corpus (crash-safety is not just about the final state);
+- training from the memory-mapped store matches in-memory lists
+  **byte-for-byte** — per-epoch losses and a SHA-256 over every final
+  parameter array — at 0, 1, 2, and 4 gradient workers;
+- snapshots carry the manifest digest (``trainer.corpus_digest``).
+
+With ``--bench-out`` it additionally writes ingest throughput, streamed-
+vs-eager epoch time, and peak-RSS numbers (measured in separate child
+processes so each mode's high-water mark is its own) in the repo's
+BENCH_*.json format. Exits non-zero on any violated assertion.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+PARITY_TRAIN = 96  # parity corpus: small, trained at 4 worker counts
+BENCH_RECORDS = 2000  # bench corpus: big enough for honest throughput/RSS
+SHARD_RECORDS = 32
+EPOCHS = 2
+KILL_EXIT_CODE = 17
+CORPUS_SEED = 5
+RUN_SEED = 7
+
+
+def _corpus(num_train: int):
+    from repro.data.synthetic import SyntheticConfig, generate_corpus
+
+    config = SyntheticConfig(num_train=num_train, num_dev=16, num_test=1, seed=CORPUS_SEED)
+    return generate_corpus(config).train
+
+
+def _dir_bytes(directory: str) -> dict[str, bytes]:
+    return {
+        name: open(os.path.join(directory, name), "rb").read()
+        for name in sorted(os.listdir(directory))
+    }
+
+
+def _child(mode: str, *extra: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    return subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child", mode, *extra],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+# ----------------------------------------------------------------------
+# Child modes (run in subprocesses so kills and RSS peaks are real)
+# ----------------------------------------------------------------------
+def _child_kill_ingest(directory: str, num_train: int, kill_at: int) -> int:
+    """Ingest, but ``os._exit`` on the Nth file publish: a real mid-write
+    kill, with no chance for cleanup handlers to tidy up after us."""
+    import repro.tensor.serialization as serialization
+    from repro.data import ingest_examples
+
+    original = serialization._publish
+    seen = {"publishes": 0}
+
+    def lethal_publish(tmp_path, final_path):
+        seen["publishes"] += 1
+        if seen["publishes"] >= kill_at:
+            os._exit(KILL_EXIT_CODE)
+        return original(tmp_path, final_path)
+
+    serialization._publish = lethal_publish
+    ingest_examples(_corpus(num_train), directory, shard_records=SHARD_RECORDS)
+    return 0  # only reached when kill_at exceeds the publish count
+
+
+def _child_rss(directory: str, mode: str) -> int:
+    """Iterate one epoch of batches, print this process's peak RSS."""
+    import resource
+
+    from repro.data import BatchIterator, QGDataset, ShardedCorpus, StreamingQGDataset
+
+    corpus = ShardedCorpus.open(directory)
+    encoder, decoder = QGDataset.build_vocabs(list(corpus[:64]), 500, 120)
+    if mode == "streamed":
+        dataset = StreamingQGDataset(corpus, encoder, decoder)
+    else:
+        dataset = QGDataset(list(corpus), encoder, decoder)
+    total = 0
+    for batch in BatchIterator(dataset, batch_size=32, seed=RUN_SEED):
+        total += int(batch.src.shape[0])
+    assert total == len(corpus)
+    print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Smoke sections
+# ----------------------------------------------------------------------
+def check_kill_resume(tmp_dir: str) -> None:
+    from repro.data import ShardedCorpus, ingest_examples
+
+    reference_dir = os.path.join(tmp_dir, "reference")
+    ingest_examples(_corpus(PARITY_TRAIN), reference_dir, shard_records=SHARD_RECORDS)
+    reference = _dir_bytes(reference_dir)
+
+    # 96 records / 32 per shard = 3 shard + 3 manifest + 1 completing
+    # manifest publish. Kill mid-ingest (a shard publish) and at the very
+    # last manifest write; the in-process chaos suite sweeps every point.
+    for kill_at in (3, 7):
+        directory = os.path.join(tmp_dir, f"killed_{kill_at}")
+        result = _child("kill-ingest", directory, str(PARITY_TRAIN), str(kill_at))
+        assert result.returncode == KILL_EXIT_CODE, (
+            f"kill child should die with {KILL_EXIT_CODE}, got "
+            f"{result.returncode}: {result.stderr}"
+        )
+
+        survivor = ShardedCorpus.open(directory)
+        partial = list(survivor)
+        full = list(_corpus(PARITY_TRAIN))
+        assert partial == full[: len(partial)], "survivor store serves altered records"
+        survivor.close()
+
+        resumed = ingest_examples(full, directory, shard_records=SHARD_RECORDS)
+        assert resumed.manifest.complete
+        assert resumed.resumed_from == len(partial)
+        assert _dir_bytes(directory) == reference, (
+            f"kill at publish #{kill_at}: resumed store differs from clean ingest"
+        )
+        print(
+            f"  kill at publish #{kill_at}: survivor served {len(partial)} records, "
+            f"resume bit-identical",
+            flush=True,
+        )
+
+
+def _params_sha256(state_dict) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(state_dict):
+        digest.update(name.encode())
+        digest.update(state_dict[name].tobytes())
+    return digest.hexdigest()
+
+
+def _train(container, workers: int):
+    from repro.data import BatchIterator, QGDataset, StreamingQGDataset
+    from repro.models import ModelConfig, build_model
+    from repro.training import ElasticConfig, ElasticTrainer, TrainerConfig
+
+    examples = list(container)
+    encoder, decoder = QGDataset.build_vocabs(examples, 500, 120)
+    if isinstance(container, list):
+        dataset = QGDataset(examples, encoder, decoder)
+    else:
+        dataset = StreamingQGDataset(container, encoder, decoder)
+    model = build_model(
+        "acnn",
+        ModelConfig(embedding_dim=32, hidden_size=48, num_layers=1, dropout=0.3, seed=0),
+        len(encoder),
+        len(decoder),
+    )
+    trainer = ElasticTrainer(
+        model,
+        dataset,
+        batch_size=8,
+        dev_iterator=BatchIterator(dataset, batch_size=8, shuffle=False),
+        config=TrainerConfig(epochs=EPOCHS, learning_rate=0.5),
+        elastic=ElasticConfig(
+            workers=workers,
+            microbatches_per_step=4,
+            worker_timeout=10.0,
+            heartbeat_interval=0.1,
+            restart_backoff=0.05,
+        ),
+        run_seed=RUN_SEED,
+    )
+    history = trainer.train()
+    losses = [(r.train_loss, r.dev_loss) for r in history.records]
+    return trainer, losses, _params_sha256(trainer.model.state_dict())
+
+
+def check_train_parity(tmp_dir: str) -> None:
+    from repro.data import ShardedCorpus, ingest_examples
+
+    directory = os.path.join(tmp_dir, "parity_store")
+    ingested = ingest_examples(_corpus(PARITY_TRAIN), directory, shard_records=SHARD_RECORDS)
+
+    _, memory_losses, memory_sha = _train(_corpus(PARITY_TRAIN), workers=0)
+    for workers in (0, 1, 2, 4):
+        corpus = ShardedCorpus.open(directory)
+        trainer, losses, sha = _train(corpus, workers=workers)
+        assert losses == memory_losses, (
+            f"shards@{workers} losses diverged:\n  memory: {memory_losses}\n"
+            f"  shards: {losses}"
+        )
+        assert sha == memory_sha, f"shards@{workers}: final parameters differ"
+        assert trainer.corpus_digest == ingested.digest, "snapshot digest not stamped"
+        corpus.close()
+        print(f"  shards@{workers} == memory@0 (params sha256 {sha[:12]}…)", flush=True)
+
+
+def run_bench(tmp_dir: str) -> dict:
+    from repro.data import BatchIterator, QGDataset, ShardedCorpus, StreamingQGDataset
+    from repro.data import ingest_examples
+
+    directory = os.path.join(tmp_dir, "bench_store")
+    examples = _corpus(BENCH_RECORDS)
+    start = time.perf_counter()
+    ingest_examples(examples, directory, shard_records=256)
+    ingest_seconds = time.perf_counter() - start
+
+    corpus = ShardedCorpus.open(directory)
+    encoder, decoder = QGDataset.build_vocabs(list(corpus[:64]), 500, 120)
+
+    # Construction is inside the clock: the eager dataset pays its whole
+    # encode-everything cost up front, the streamed one pays per batch.
+    def epoch_seconds(build) -> float:
+        begin = time.perf_counter()
+        count = 0
+        for batch in BatchIterator(build(), batch_size=32, seed=RUN_SEED):
+            count += int(batch.src.shape[0])
+        assert count == len(corpus)
+        return time.perf_counter() - begin
+
+    streamed_epoch = epoch_seconds(lambda: StreamingQGDataset(corpus, encoder, decoder))
+    eager_epoch = epoch_seconds(lambda: QGDataset(list(corpus), encoder, decoder))
+
+    rss = {}
+    for mode in ("streamed", "eager"):
+        result = _child("rss", directory, mode)
+        assert result.returncode == 0, f"rss child ({mode}) failed: {result.stderr}"
+        rss[mode] = int(result.stdout.strip())
+    corpus.close()
+
+    return {
+        "records": BENCH_RECORDS,
+        "ingest_seconds": ingest_seconds,
+        "ingest_records_per_second": BENCH_RECORDS / ingest_seconds,
+        "streamed_epoch_seconds": streamed_epoch,
+        "eager_epoch_seconds": eager_epoch,
+        "peak_rss_streamed_bytes": rss["streamed"],
+        "peak_rss_eager_bytes": rss["eager"],
+    }
+
+
+def main() -> int:
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-out", default=None, help="write BENCH-format JSON here")
+    parser.add_argument("--child", nargs="*", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.child:
+        mode, *rest = args.child
+        if mode == "kill-ingest":
+            directory, num_train, kill_at = rest
+            return _child_kill_ingest(directory, int(num_train), int(kill_at))
+        if mode == "rss":
+            return _child_rss(rest[0], rest[1])
+        raise SystemExit(f"unknown child mode {mode!r}")
+
+    with tempfile.TemporaryDirectory(prefix="datastore_smoke_") as tmp_dir:
+        print("[1/3] kill-mid-ingest resume (real os._exit in a subprocess)", flush=True)
+        check_kill_resume(tmp_dir)
+        print("[2/3] train parity: memory@0 vs shards@{0,1,2,4}", flush=True)
+        check_train_parity(tmp_dir)
+        print("[3/3] bench: ingest throughput, epoch time, peak RSS", flush=True)
+        bench = run_bench(tmp_dir)
+        print(
+            f"  {bench['ingest_records_per_second']:.0f} records/s ingest, "
+            f"epoch streamed {bench['streamed_epoch_seconds']:.2f}s vs eager "
+            f"{bench['eager_epoch_seconds']:.2f}s, peak RSS streamed "
+            f"{bench['peak_rss_streamed_bytes'] / 1048576.0:.0f} MiB vs eager "
+            f"{bench['peak_rss_eager_bytes'] / 1048576.0:.0f} MiB",
+            flush=True,
+        )
+
+    if args.bench_out:
+        payload = {
+            "benchmark": "shard_store",
+            "description": (
+                "crash-safe shard store: ingest throughput, streamed-vs-eager "
+                "epoch iteration, and peak RSS on a synthetic corpus of "
+                f"{BENCH_RECORDS} records; smoke sections assert kill-resume "
+                "bit-identity and memory-vs-shards training parity first"
+            ),
+            "command": "PYTHONPATH=src python scripts/datastore_smoke.py --bench-out BENCH_shardstore.json",
+            "equivalence": (
+                "resumed store bit-identical to uninterrupted ingest; training "
+                "losses and final parameters byte-identical between in-memory "
+                "lists and the mmap-backed store at 0/1/2/4 workers"
+            ),
+            "host_cpus": os.cpu_count(),
+            "configs": [
+                {
+                    "name": "ingest",
+                    "records": bench["records"],
+                    "wall_seconds": bench["ingest_seconds"],
+                    "records_per_second": round(bench["ingest_records_per_second"], 1),
+                },
+                {
+                    "name": "epoch_streamed",
+                    "wall_seconds": bench["streamed_epoch_seconds"],
+                    "peak_rss_mb": round(bench["peak_rss_streamed_bytes"] / 1048576.0, 1),
+                },
+                {
+                    "name": "epoch_eager",
+                    "wall_seconds": bench["eager_epoch_seconds"],
+                    "peak_rss_mb": round(bench["peak_rss_eager_bytes"] / 1048576.0, 1),
+                },
+            ],
+            "note": (
+                "peak RSS is measured in separate child processes (ru_maxrss) "
+                "so each mode carries its own high-water mark; the corpus is "
+                "small enough that python interpreter overhead dominates both "
+                "numbers — the streamed mode's point is that example decoding "
+                "and encoding happen per-batch against shared mmap pages "
+                "instead of a per-process materialized copy, with wall time "
+                "honestly recorded for the host it ran on"
+            ),
+        }
+        with open(args.bench_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"bench numbers written to {args.bench_out}")
+
+    print(
+        "datastore smoke test: OK (kill-resume bit-identical, "
+        "memory/shards training parity at 0/1/2/4 workers)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

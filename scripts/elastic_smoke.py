@@ -11,7 +11,9 @@ asserts the whole determinism-and-recovery contract at once:
 - per-epoch train/dev losses are identical across all three runs;
 - the killed worker was detected, restarted, and its micro-batch was
   recomputed bit-exactly;
-- zero orphaned worker processes survive any run.
+- zero orphaned worker processes survive any run;
+- every live worker reported a plausible resident-set size through the
+  ``elastic.worker<rank>.rss_mb`` telemetry gauge.
 
 With ``--bench-out`` it additionally writes throughput / scaling-efficiency
 numbers (per worker count) in the repo's BENCH_*.json format. Exits
@@ -56,9 +58,11 @@ def _build_setup():
 
 def _run(workers: int, fault_plan=None):
     from faults import assert_no_orphans
+    from repro.observability import MemorySink, Telemetry
     from repro.training import ElasticConfig, ElasticTrainer, TrainerConfig, WorkerFaultPlan
 
     model, train_set, dev_iterator = _build_setup()
+    sink = MemorySink()
     if fault_plan is not None:
         fault_plan = WorkerFaultPlan(kill_on_compute=fault_plan)
     trainer = ElasticTrainer(
@@ -75,6 +79,7 @@ def _run(workers: int, fault_plan=None):
             restart_backoff=0.05,
         ),
         fault_plan=fault_plan,
+        telemetry=Telemetry([sink]),
         run_seed=7,
     )
     spawned: list[int] = []
@@ -87,6 +92,22 @@ def _run(workers: int, fault_plan=None):
 
     assert trainer.live_worker_pids() == [], f"workers={workers}: pool not shut down"
     assert_no_orphans(spawned)
+
+    # Per-worker memory is observable: every live rank heartbeats its RSS
+    # and the supervisor gauges it as elastic.worker<rank>.rss_mb.
+    rss_gauges = {
+        record["name"]: record["value"]
+        for record in sink.of_kind("gauge")
+        if record["name"].endswith(".rss_mb")
+    }
+    if workers:
+        expected = {f"elastic.worker{rank}.rss_mb" for rank in range(workers)}
+        assert expected <= set(rss_gauges), (
+            f"workers={workers}: missing RSS gauges, saw {sorted(rss_gauges)}"
+        )
+        assert all(1.0 < value < 16384.0 for value in rss_gauges.values()), (
+            f"implausible worker RSS readings: {rss_gauges}"
+        )
     examples_seen = len(train_set) * EPOCHS
     tokens_seen = sum(len(ex.tgt_output_ids) for ex in train_set.encoded) * EPOCHS
     return {

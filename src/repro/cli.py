@@ -25,16 +25,21 @@ import numpy as np
 
 from repro.data import (
     BatchIterator,
+    LoadReport,
     QGDataset,
     QGExample,
+    ShardedCorpus,
     SourceMode,
+    StreamingQGDataset,
     SyntheticConfig,
     collate,
     corpus_statistics,
     detokenize,
     generate_corpus,
+    ingest_examples,
     load_du_split,
     load_squad_json,
+    split_corpus,
     tokenize,
     vocabulary_coverage,
 )
@@ -81,12 +86,40 @@ def _build_telemetry(telemetry_dir: str | None) -> Telemetry | None:
     )
 
 
-def _load_examples(args) -> list[QGExample]:
-    """Examples from --squad-json / --du-src+--du-tgt / synthetic fallback."""
+def _load_report(args) -> LoadReport:
+    return LoadReport(max_skip_fraction=getattr(args, "max_skip_fraction", None))
+
+
+def _print_load_report(report: LoadReport) -> None:
+    if report.skipped:
+        print(f"[data] {report.summary()}", file=sys.stderr)
+
+
+def _load_examples(args):
+    """Examples from --shards / --squad-json / --du-src+--du-tgt / synthetic.
+
+    The shard-store path returns a lazy memory-mapped sequence; the others
+    return lists. Either way the result is indexable and iterable, and the
+    file-backed paths count (and bound, via ``--max-skip-fraction``)
+    skipped records.
+    """
+    if getattr(args, "shards", None):
+        report = _load_report(args)
+        corpus = ShardedCorpus.open(args.shards, strict=args.strict_data, report=report)
+        _print_load_report(report)
+        return corpus
     if args.squad_json:
-        return load_squad_json(args.squad_json)
+        report = _load_report(args)
+        examples = load_squad_json(args.squad_json, report=report)
+        _print_load_report(report)
+        return examples
     if args.du_src and args.du_tgt:
-        return load_du_split(args.du_src, args.du_tgt, args.du_para)
+        report = _load_report(args)
+        examples = load_du_split(
+            args.du_src, args.du_tgt, args.du_para, report=report
+        )
+        _print_load_report(report)
+        return examples
     corpus = generate_corpus(
         SyntheticConfig(
             num_train=args.train_size,
@@ -103,8 +136,58 @@ def _add_data_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--du-src", help="Du et al. split: source sentences file")
     parser.add_argument("--du-tgt", help="Du et al. split: questions file")
     parser.add_argument("--du-para", help="Du et al. split: paragraphs file (optional)")
+    parser.add_argument(
+        "--shards",
+        help=(
+            "directory of an ingested shard store (see `acnn ingest`): "
+            "memory-mapped, checksummed, shared across elastic workers"
+        ),
+    )
+    parser.add_argument(
+        "--max-skip-fraction",
+        type=float,
+        default=0.5,
+        help=(
+            "fail with a typed error when loaders skip more than this "
+            "fraction of records instead of training on the survivors"
+        ),
+    )
+    parser.add_argument(
+        "--strict-data",
+        action="store_true",
+        help=(
+            "shard store: fail fast on the first corrupt record instead of "
+            "quarantining and counting it"
+        ),
+    )
     parser.add_argument("--train-size", type=int, default=1500, help="synthetic corpus size")
     parser.add_argument("--seed", type=int, default=13)
+
+
+def _cmd_ingest(args) -> int:
+    examples = _load_examples(args)
+    result = ingest_examples(
+        examples,
+        args.out,
+        shard_records=args.shard_records,
+        resume=not args.no_resume,
+    )
+    manifest = result.manifest
+    if result.ingested == 0 and result.resumed_from == manifest.total_records:
+        print(f"shard store {args.out} already complete; nothing to do")
+    elif result.resumed_from:
+        print(
+            f"resumed at record {result.resumed_from}, "
+            f"ingested {result.ingested} more"
+        )
+    else:
+        print(f"ingested {result.ingested} records")
+    print(
+        f"{manifest.total_records} records in {len(manifest.shards)} shards "
+        f"({args.shard_records}/shard), manifest digest {result.digest[:16]}…"
+    )
+    print(f"train from it with: acnn train --shards {args.out} ...")
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -126,9 +209,17 @@ def _cmd_train(args) -> int:
     _apply_fusion(args)
 
     examples = _load_examples(args)
-    train_examples, dev_examples, _ = split_examples(
-        examples, dev_fraction=0.15, test_fraction=0.0, seed=args.seed
-    )
+    from_shards = bool(getattr(args, "shards", None))
+    if from_shards:
+        # Same seeded shuffle and cut points as split_examples, but the
+        # splits stay lazy views over the shared mmap-backed corpus.
+        train_examples, dev_examples, _ = split_corpus(
+            examples, dev_fraction=0.15, test_fraction=0.0, seed=args.seed
+        )
+    else:
+        train_examples, dev_examples, _ = split_examples(
+            examples, dev_fraction=0.15, test_fraction=0.0, seed=args.seed
+        )
 
     source_mode = SourceMode.PARAGRAPH if args.mode == "paragraph" else SourceMode.SENTENCE
     encoder_vocab, decoder_vocab = QGDataset.build_vocabs(
@@ -138,11 +229,12 @@ def _cmd_train(args) -> int:
         source_mode=source_mode,
         paragraph_length=args.paragraph_length,
     )
-    train_set = QGDataset(
+    dataset_cls = StreamingQGDataset if from_shards else QGDataset
+    train_set = dataset_cls(
         train_examples, encoder_vocab, decoder_vocab,
         source_mode=source_mode, paragraph_length=args.paragraph_length,
     )
-    dev_set = QGDataset(
+    dev_set = dataset_cls(
         dev_examples, encoder_vocab, decoder_vocab,
         source_mode=source_mode, paragraph_length=args.paragraph_length,
     )
@@ -399,6 +491,29 @@ def _cmd_serve(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="acnn", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help=(
+            "ingest a corpus into a crash-safe memory-mapped shard store; "
+            "resumable — re-running after a kill continues from the last "
+            "published manifest entry, bit-identical to an uninterrupted run"
+        ),
+    )
+    _add_data_flags(ingest)
+    ingest.add_argument("--out", required=True, help="shard store output directory")
+    ingest.add_argument(
+        "--shard-records",
+        type=int,
+        default=2048,
+        help="records per shard file (must match on resume)",
+    )
+    ingest.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="discard any existing shards/manifest in --out and rebuild",
+    )
+    ingest.set_defaults(handler=_cmd_ingest)
 
     stats = subparsers.add_parser("stats", help="corpus statistics")
     _add_data_flags(stats)

@@ -2,14 +2,33 @@
 
 from repro.data.analysis import CorpusStatistics, corpus_statistics, vocabulary_coverage
 from repro.data.augmentation import augment_examples, rename_entities
-from repro.data.batching import Batch, BatchIterator, collate, plan_batches
+from repro.data.batching import (
+    Batch,
+    BatchIterator,
+    collate,
+    example_source_lengths,
+    plan_batches,
+)
 from repro.data.dataset import EncodedExample, QGDataset, SourceMode
 from repro.data.embeddings import embedding_matrix_for_vocab, load_glove_text, pseudo_glove
 from repro.data.examples import QGExample
+from repro.data.shardstore import (
+    CorpusChangedError,
+    CorpusView,
+    Manifest,
+    ShardCorrupted,
+    ShardedCorpus,
+    ShardStoreError,
+    ShardWriter,
+    StreamingQGDataset,
+    ingest_examples,
+    split_corpus,
+)
 from repro.data.splits import split_examples
 from repro.data.squad import (
     DatasetError,
     LoadReport,
+    SkipBudgetExceeded,
     load_du_split,
     load_squad_json,
     split_sentences,
@@ -28,16 +47,28 @@ __all__ = [
     "Batch",
     "BatchIterator",
     "collate",
+    "example_source_lengths",
     "plan_batches",
     "EncodedExample",
     "QGDataset",
     "SourceMode",
+    "CorpusChangedError",
+    "CorpusView",
+    "Manifest",
+    "ShardCorrupted",
+    "ShardedCorpus",
+    "ShardStoreError",
+    "ShardWriter",
+    "StreamingQGDataset",
+    "ingest_examples",
+    "split_corpus",
     "embedding_matrix_for_vocab",
     "load_glove_text",
     "pseudo_glove",
     "QGExample",
     "DatasetError",
     "LoadReport",
+    "SkipBudgetExceeded",
     "load_du_split",
     "load_squad_json",
     "split_sentences",

@@ -14,7 +14,22 @@ import numpy as np
 
 from repro.data.dataset import EncodedExample
 
-__all__ = ["Batch", "collate", "plan_batches", "BatchIterator"]
+__all__ = ["Batch", "collate", "plan_batches", "example_source_lengths", "BatchIterator"]
+
+
+def example_source_lengths(examples: Sequence[EncodedExample]) -> list[int]:
+    """Source-length table for batch planning, without forcing encoding.
+
+    Lazy datasets (the shard store's ``StreamingQGDataset``) expose a
+    ``source_lengths`` attribute computed from raw tokens in one cheap pass;
+    eager sequences fall back to measuring each encoded example. Both paths
+    return identical values, so batch plans — and therefore training
+    trajectories — do not depend on which storage backs the corpus.
+    """
+    lengths = getattr(examples, "source_lengths", None)
+    if lengths is not None:
+        return list(lengths)
+    return [len(ex.src_ids) for ex in examples]
 
 
 @dataclass(frozen=True)
@@ -177,7 +192,13 @@ class BatchIterator:
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        self.examples = list(examples)
+        # Indexable containers (lists, QGDataset, the shard store's lazy
+        # StreamingQGDataset) are kept as-is so nothing is materialized;
+        # plain iterables are drained once into a list.
+        if hasattr(examples, "__getitem__") and hasattr(examples, "__len__"):
+            self.examples = examples
+        else:
+            self.examples = list(examples)
         self.batch_size = batch_size
         self.pad_id = pad_id
         self.shuffle = shuffle
@@ -193,7 +214,7 @@ class BatchIterator:
     def plan_epoch(self) -> list[list[int]]:
         """Advance the shuffle stream and return this epoch's index plan."""
         return plan_batches(
-            [len(ex.src_ids) for ex in self.examples],
+            example_source_lengths(self.examples),
             self.batch_size,
             self._rng,
             shuffle=self.shuffle,

@@ -100,6 +100,24 @@ class QGDataset:
         paragraph_length: int = 100,
         max_question_length: int = 30,
     ) -> None:
+        self._configure(
+            encoder_vocab, decoder_vocab, source_mode, paragraph_length, max_question_length
+        )
+        self.encoded: list[EncodedExample] = [self._encode(ex) for ex in examples]
+
+    def _configure(
+        self,
+        encoder_vocab: Vocabulary,
+        decoder_vocab: Vocabulary,
+        source_mode: str,
+        paragraph_length: int,
+        max_question_length: int,
+    ) -> None:
+        """Validate and pin the encoding configuration.
+
+        Shared between the eager constructor and lazy subclasses (the shard
+        store's ``StreamingQGDataset``) so both paths encode identically.
+        """
         if source_mode not in (SourceMode.SENTENCE, SourceMode.PARAGRAPH):
             raise ValueError(f"unknown source mode {source_mode!r}")
         self.encoder_vocab = encoder_vocab
@@ -107,7 +125,6 @@ class QGDataset:
         self.source_mode = source_mode
         self.paragraph_length = paragraph_length
         self.max_question_length = max_question_length
-        self.encoded: list[EncodedExample] = [self._encode(ex) for ex in examples]
 
     # ------------------------------------------------------------------
     # Vocabulary construction

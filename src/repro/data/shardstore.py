@@ -1,0 +1,907 @@
+"""Crash-safe memory-mapped shard store for question-generation corpora.
+
+The pipeline previously parsed raw JSON/line files into fully materialized
+Python lists — once per elastic worker. This module gives the data layer the
+same torn-write/checksum discipline as :mod:`repro.tensor.serialization`:
+
+- **Packed binary shards** (``shard-000000.bin``): length-prefixed framed
+  records with a per-record CRC32, a fixed-width ``u64`` record index for
+  O(1) random access over ``mmap``, and magic-delimited header/footer so a
+  truncated or misframed file is detected before a single record is decoded.
+- **A manifest as the commit point** (``MANIFEST.json``): per-shard SHA-256
+  digests and record counts, published *last* via the existing temp-file +
+  fsync + ``os.replace`` idiom. A crash at any instant leaves either the
+  previous manifest generation or the new one — never a torn multi-file
+  state that silently trains on half a corpus.
+- **Resumable ingestion** (:class:`ShardWriter` / :func:`ingest_examples`):
+  kill an ingest mid-shard and a re-run discards the unpublished temp files
+  and orphan shards, then continues from the last manifest entry —
+  bit-identical to an uninterrupted ingest (pinned by test and by
+  ``scripts/datastore_smoke.py``).
+- **A memory-mapped reader** (:class:`ShardedCorpus`): shards are mapped
+  read-only, records decode lazily on access, and forked elastic workers
+  share the OS page cache instead of each materializing the corpus. On
+  corruption the reader either quarantines with skip-and-count through the
+  :class:`~repro.data.squad.LoadReport` /
+  :class:`~repro.data.squad.DatasetError` taxonomy (shard path + record
+  offset in every error) or fails fast in strict mode.
+- **Streaming encoding** (:class:`StreamingQGDataset`): a
+  :class:`~repro.data.dataset.QGDataset` that numericalizes examples on
+  access instead of materializing ``encoded`` up front, so the training
+  loop's memory footprint is bounded by one micro-batch.
+
+Shard file layout (all integers little-endian)::
+
+    +--------------------------------------------------+
+    | header:  magic "ACNNSHD1" (8) | version u32 | 0 u32
+    +--------------------------------------------------+
+    | record 0: payload_len u32 | crc32 u32 | payload  |
+    | record 1: ...                                    |
+    +--------------------------------------------------+
+    | index:   record_count x u64 frame offsets        |
+    +--------------------------------------------------+
+    | footer:  index_offset u64 | record_count u32     |
+    |          | index_crc32 u32 | magic "ACNNEND1" (8)|
+    +--------------------------------------------------+
+
+Training from the shard store is byte-identical (losses and final
+parameters) to training from in-memory lists at any elastic worker count;
+snapshots stamp :attr:`ShardedCorpus.manifest_digest` so resuming against a
+silently changed corpus raises :class:`CorpusChangedError` instead of
+producing a wrong answer.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import json
+import mmap
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.dataset import QGDataset
+from repro.data.examples import QGExample
+from repro.data.squad import DatasetError, LoadReport
+from repro.tensor.serialization import atomic_write, file_digest
+
+__all__ = [
+    "ShardStoreError",
+    "RecordTooLarge",
+    "CorpusChangedError",
+    "ShardCorrupted",
+    "MANIFEST_NAME",
+    "encode_record",
+    "decode_record",
+    "build_shard_bytes",
+    "ShardReader",
+    "ShardInfo",
+    "Manifest",
+    "ShardWriter",
+    "IngestResult",
+    "ingest_examples",
+    "ShardedCorpus",
+    "CorpusView",
+    "split_corpus",
+    "StreamingQGDataset",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+"""The commit point: published last, names every shard and its digest."""
+
+_MAGIC_HEADER = b"ACNNSHD1"
+_MAGIC_FOOTER = b"ACNNEND1"
+_SHARD_VERSION = 1
+_MANIFEST_FORMAT = 1
+_HEADER = struct.Struct("<8sII")  # magic, version, reserved
+_FRAME = struct.Struct("<II")  # payload_len, crc32(payload)
+_FOOTER = struct.Struct("<QII8s")  # index_offset, record_count, crc32(index), magic
+_SHARD_NAME_RE = re.compile(r"^shard-(\d{6})\.bin$")
+
+DEFAULT_SHARD_RECORDS = 2048
+DEFAULT_MAX_RECORD_BYTES = 8 << 20
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+class ShardStoreError(RuntimeError):
+    """Structural misuse of the store (missing manifest, config mismatch)."""
+
+
+class RecordTooLarge(ShardStoreError):
+    """An example serialized past ``max_record_bytes`` — refuse, don't truncate."""
+
+
+class CorpusChangedError(ShardStoreError):
+    """The corpus behind a manifest digest is not the one a run started on.
+
+    Raised when a training snapshot (or a resumed ingest) is replayed
+    against a shard store whose ``MANIFEST.json`` digest no longer matches:
+    continuing would silently change the optimization trajectory, so the
+    mismatch is a typed rejection instead of a wrong answer.
+    """
+
+
+class ShardCorrupted(DatasetError):
+    """A shard or record failed validation, with shard + offset provenance.
+
+    Subclasses :class:`~repro.data.squad.DatasetError` (itself a
+    ``ValueError``), so the existing skip-and-count / fail-fast taxonomy of
+    the SQuAD loaders applies unchanged; ``offset`` is the record index
+    within the shard (or ``None`` for shard-level damage).
+    """
+
+
+# ----------------------------------------------------------------------
+# Record codec
+# ----------------------------------------------------------------------
+def encode_record(example: QGExample) -> bytes:
+    """Serialize one example to a compact UTF-8 JSON payload.
+
+    The four token tuples are stored as a JSON array so arbitrary Unicode
+    tokens round-trip exactly; field order is fixed, making shard bytes a
+    pure function of the example stream.
+    """
+    payload = json.dumps(
+        [
+            list(example.sentence),
+            list(example.paragraph),
+            list(example.question),
+            list(example.answer),
+        ],
+        ensure_ascii=False,
+        separators=(",", ":"),
+    )
+    return payload.encode("utf-8")
+
+
+def decode_record(payload: bytes) -> QGExample:
+    """Inverse of :func:`encode_record`; raises ``ValueError`` on bad shape."""
+    fields = json.loads(payload.decode("utf-8"))
+    if not isinstance(fields, list) or len(fields) != 4:
+        raise ValueError("record payload is not a 4-field example")
+    sentence, paragraph, question, answer = (
+        tuple(str(token) for token in field) for field in fields
+    )
+    return QGExample(
+        sentence=sentence, paragraph=paragraph, question=question, answer=answer
+    )
+
+
+def build_shard_bytes(payloads: Sequence[bytes]) -> bytes:
+    """Pack payloads into one shard image (header, frames, index, footer)."""
+    parts = [_HEADER.pack(_MAGIC_HEADER, _SHARD_VERSION, 0)]
+    offsets: list[int] = []
+    position = _HEADER.size
+    for payload in payloads:
+        offsets.append(position)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+        parts.append(frame)
+        parts.append(bytes(payload))
+        position += _FRAME.size + len(payload)
+    index = b"".join(struct.pack("<Q", offset) for offset in offsets)
+    parts.append(index)
+    parts.append(_FOOTER.pack(position, len(payloads), zlib.crc32(index), _MAGIC_FOOTER))
+    return b"".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Shard reader (one memory-mapped file)
+# ----------------------------------------------------------------------
+class ShardReader:
+    """Read-only mmap view of one shard with O(1) record access.
+
+    Construction validates the frame structure end to end (magics, version,
+    index bounds, index CRC, record count); every ``payload()`` call
+    re-checks the record's own CRC32, so a byte that flips *after* open is
+    still caught at access time. All failures raise :class:`ShardCorrupted`
+    with the shard path and record offset.
+    """
+
+    def __init__(self, path: str | os.PathLike, expected_records: int | None = None) -> None:
+        self.path = os.fspath(path)
+        size = os.path.getsize(self.path)
+        if size < _HEADER.size + _FOOTER.size:
+            raise ShardCorrupted(
+                self.path, None, f"truncated shard: {size} bytes is below the minimum frame"
+            )
+        self._file = open(self.path, "rb")
+        try:
+            self._mmap = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            self._file.close()
+            raise ShardCorrupted(self.path, None, f"cannot mmap shard: {exc}") from exc
+        try:
+            magic, version, _ = _HEADER.unpack_from(self._mmap, 0)
+            if magic != _MAGIC_HEADER:
+                raise ShardCorrupted(self.path, None, "bad header magic (not a shard file)")
+            if version != _SHARD_VERSION:
+                raise ShardCorrupted(self.path, None, f"unsupported shard version {version}")
+            index_offset, count, index_crc, footer_magic = _FOOTER.unpack_from(
+                self._mmap, size - _FOOTER.size
+            )
+            if footer_magic != _MAGIC_FOOTER:
+                raise ShardCorrupted(
+                    self.path, None, "bad footer magic (torn or truncated shard)"
+                )
+            index_end = size - _FOOTER.size
+            if (
+                index_offset < _HEADER.size
+                or index_offset > index_end
+                or index_end - index_offset != 8 * count
+            ):
+                raise ShardCorrupted(
+                    self.path, None,
+                    f"index bounds are inconsistent (offset={index_offset}, count={count})",
+                )
+            index_bytes = self._mmap[index_offset:index_end]
+            if zlib.crc32(index_bytes) != index_crc:
+                raise ShardCorrupted(self.path, None, "record index failed its CRC32")
+            if expected_records is not None and count != expected_records:
+                raise ShardCorrupted(
+                    self.path, None,
+                    f"record count {count} does not match manifest ({expected_records})",
+                )
+            self.record_count = int(count)
+            self._records_end = int(index_offset)
+            self._offsets = np.frombuffer(index_bytes, dtype="<u8")
+        except BaseException:
+            self.close()
+            raise
+
+    def payload(self, index: int) -> bytes:
+        """Record ``index``'s payload bytes, CRC-verified on every call."""
+        if not 0 <= index < self.record_count:
+            raise IndexError(f"record {index} out of range [0, {self.record_count})")
+        offset = int(self._offsets[index])
+        if offset < _HEADER.size or offset + _FRAME.size > self._records_end:
+            raise ShardCorrupted(self.path, index, f"record offset {offset} out of bounds")
+        length, crc = _FRAME.unpack_from(self._mmap, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > self._records_end:
+            raise ShardCorrupted(
+                self.path, index, f"record frame overruns the data region ({length} bytes)"
+            )
+        data = self._mmap[start:end]
+        if zlib.crc32(data) != crc:
+            raise ShardCorrupted(self.path, index, "record payload failed its CRC32")
+        return data
+
+    def crc_ok(self, index: int) -> bool:
+        """Non-raising probe used by the quarantine sweep."""
+        try:
+            self.payload(index)
+            return True
+        except ShardCorrupted:
+            return False
+
+    def example(self, index: int) -> QGExample:
+        """Decode record ``index``; decode failures carry provenance too."""
+        try:
+            return decode_record(self.payload(index))
+        except ShardCorrupted:
+            raise
+        except ValueError as exc:
+            raise ShardCorrupted(self.path, index, f"undecodable record: {exc}") from exc
+
+    def close(self) -> None:
+        for handle in ("_mmap", "_file"):
+            value = getattr(self, handle, None)
+            if value is not None:
+                try:
+                    value.close()
+                except OSError:  # pragma: no cover - close is best effort
+                    pass
+                setattr(self, handle, None)
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardInfo:
+    """One published shard as the manifest records it."""
+
+    name: str
+    records: int
+    bytes: int
+    sha256: str
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The store's commit record: what has been durably published.
+
+    ``complete`` flips to True only in the final publish of an ingest, so a
+    resumed run can distinguish "mid-ingest manifest, continue appending"
+    from "finished corpus, nothing to do".
+    """
+
+    shard_records: int
+    complete: bool
+    shards: tuple[ShardInfo, ...]
+
+    @property
+    def total_records(self) -> int:
+        return sum(info.records for info in self.shards)
+
+    def to_payload(self) -> dict:
+        return {
+            "format": _MANIFEST_FORMAT,
+            "shard_records": self.shard_records,
+            "complete": self.complete,
+            "total_records": self.total_records,
+            "shards": [
+                {
+                    "name": info.name,
+                    "records": info.records,
+                    "bytes": info.bytes,
+                    "sha256": info.sha256,
+                }
+                for info in self.shards
+            ],
+        }
+
+    @staticmethod
+    def path(directory: str | os.PathLike) -> str:
+        return os.path.join(os.fspath(directory), MANIFEST_NAME)
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike) -> "Manifest":
+        """Parse and validate ``MANIFEST.json``.
+
+        Raises :class:`ShardStoreError` when the manifest is absent and
+        :class:`ShardCorrupted` (with the manifest path) when it is torn or
+        structurally invalid — a torn manifest is never silently trained on.
+        """
+        location = cls.path(directory)
+        if not os.path.exists(location):
+            raise ShardStoreError(
+                f"no {MANIFEST_NAME} in {os.fspath(directory)!r} — not a shard store "
+                "(run `acnn ingest` first)"
+            )
+        try:
+            with open(location, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+            raise ShardCorrupted(location, None, f"torn or unreadable manifest: {exc}") from exc
+        try:
+            if payload["format"] != _MANIFEST_FORMAT:
+                raise ShardCorrupted(
+                    location, None, f"unsupported manifest format {payload['format']!r}"
+                )
+            shards = tuple(
+                ShardInfo(
+                    name=str(entry["name"]),
+                    records=int(entry["records"]),
+                    bytes=int(entry["bytes"]),
+                    sha256=str(entry["sha256"]),
+                )
+                for entry in payload["shards"]
+            )
+            manifest = cls(
+                shard_records=int(payload["shard_records"]),
+                complete=bool(payload["complete"]),
+                shards=shards,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShardCorrupted(location, None, f"malformed manifest: {exc}") from exc
+        for position, info in enumerate(manifest.shards):
+            if not _SHARD_NAME_RE.match(info.name) or info.records < 1:
+                raise ShardCorrupted(
+                    location, position, f"manifest entry {info.name!r} is not a valid shard"
+                )
+        return manifest
+
+    def save(self, directory: str | os.PathLike) -> str:
+        """Atomically publish the manifest; returns its digest."""
+        location = self.path(directory)
+        text = json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+        atomic_write(location, lambda handle: handle.write(text), binary=False)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Writer / resumable ingestion
+# ----------------------------------------------------------------------
+def _shard_name(index: int) -> str:
+    return f"shard-{index:06d}.bin"
+
+
+def _sweep_stray_files(directory: str, keep_shards: int) -> list[str]:
+    """Remove unpublished temp files and orphan shards beyond the manifest.
+
+    A kill between a shard publish and its manifest publish leaves a shard
+    file the manifest never committed; a kill mid-``atomic_write`` leaves a
+    ``*.tmp.*`` file. Both are discarded so a resumed ingest rebuilds them
+    bit-identically. Returns the removed paths (for tests and logs).
+    """
+    removed: list[str] = []
+    for path in glob.glob(os.path.join(directory, "*.tmp.*")):
+        os.unlink(path)
+        removed.append(path)
+    for path in glob.glob(os.path.join(directory, "shard-*.bin")):
+        match = _SHARD_NAME_RE.match(os.path.basename(path))
+        if match and int(match.group(1)) >= keep_shards:
+            os.unlink(path)
+            removed.append(path)
+    return removed
+
+
+class ShardWriter:
+    """Appends examples and publishes full shards with the manifest as commit.
+
+    Every full buffer becomes one shard published atomically, immediately
+    followed by a manifest publish naming it — so after any kill the
+    manifest's ``total_records`` is exactly the durable prefix of the input
+    stream. ``resume=True`` picks up from an existing (incomplete) manifest:
+    the caller must skip :attr:`records_committed` input examples (which
+    :func:`ingest_examples` does), and ``shard_records`` must match the
+    manifest's or a :class:`ShardStoreError` explains the drift.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        shard_records: int = DEFAULT_SHARD_RECORDS,
+        max_record_bytes: int = DEFAULT_MAX_RECORD_BYTES,
+        resume: bool = True,
+    ) -> None:
+        if shard_records < 1:
+            raise ValueError(f"shard_records must be >= 1, got {shard_records}")
+        if max_record_bytes < 1:
+            raise ValueError(f"max_record_bytes must be >= 1, got {max_record_bytes}")
+        self.directory = os.fspath(directory)
+        self.shard_records = shard_records
+        self.max_record_bytes = max_record_bytes
+        os.makedirs(self.directory, exist_ok=True)
+
+        self._shards: list[ShardInfo] = []
+        if os.path.exists(Manifest.path(self.directory)):
+            if not resume:
+                for info in Manifest.load(self.directory).shards:
+                    try:
+                        os.unlink(os.path.join(self.directory, info.name))
+                    except FileNotFoundError:
+                        pass
+                os.unlink(Manifest.path(self.directory))
+            else:
+                manifest = Manifest.load(self.directory)
+                if manifest.complete:
+                    raise ShardStoreError(
+                        f"{self.directory!r} already holds a complete corpus; "
+                        "ingest to a fresh directory or pass resume=False to rebuild"
+                    )
+                if manifest.shard_records != shard_records:
+                    raise ShardStoreError(
+                        f"resume shard_records mismatch: manifest has "
+                        f"{manifest.shard_records}, configured {shard_records} — "
+                        "shard boundaries would drift from the original ingest"
+                    )
+                self._shards = list(manifest.shards)
+        self.swept = _sweep_stray_files(self.directory, len(self._shards))
+        self._buffer: list[bytes] = []
+        self._finalized = False
+
+    @property
+    def records_committed(self) -> int:
+        """Durable records (manifest-committed); the resume skip count."""
+        return sum(info.records for info in self._shards)
+
+    def append(self, example: QGExample) -> None:
+        if self._finalized:
+            raise ShardStoreError("writer is finalized; open a new one to append")
+        payload = encode_record(example)
+        if len(payload) > self.max_record_bytes:
+            raise RecordTooLarge(
+                f"record {self.records_committed + len(self._buffer)} serializes to "
+                f"{len(payload)} bytes (limit {self.max_record_bytes}); refusing to "
+                "write a frame the reader would reject"
+            )
+        self._buffer.append(payload)
+        if len(self._buffer) >= self.shard_records:
+            self._publish_shard()
+
+    def _publish_shard(self) -> None:
+        data = build_shard_bytes(self._buffer)
+        name = _shard_name(len(self._shards))
+        atomic_write(os.path.join(self.directory, name), lambda handle: handle.write(data))
+        self._shards.append(
+            ShardInfo(
+                name=name,
+                records=len(self._buffer),
+                bytes=len(data),
+                sha256=hashlib.sha256(data).hexdigest(),
+            )
+        )
+        self._buffer.clear()
+        self._write_manifest(complete=False)
+
+    def _write_manifest(self, complete: bool) -> str:
+        manifest = Manifest(
+            shard_records=self.shard_records,
+            complete=complete,
+            shards=tuple(self._shards),
+        )
+        return manifest.save(self.directory)
+
+    def finalize(self) -> tuple[Manifest, str]:
+        """Flush the partial shard and publish the completing manifest."""
+        if self._finalized:
+            raise ShardStoreError("writer is already finalized")
+        if self._buffer:
+            self._publish_shard()
+        digest = self._write_manifest(complete=True)
+        self._finalized = True
+        return (
+            Manifest(
+                shard_records=self.shard_records,
+                complete=True,
+                shards=tuple(self._shards),
+            ),
+            digest,
+        )
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """What one :func:`ingest_examples` call did."""
+
+    manifest: Manifest
+    digest: str
+    """SHA-256 of the published ``MANIFEST.json`` — the corpus identity."""
+    ingested: int
+    """Records appended by this call (0 when the manifest was already complete)."""
+    resumed_from: int
+    """Records already durable before this call started."""
+
+
+def ingest_examples(
+    examples: Iterable[QGExample],
+    directory: str | os.PathLike,
+    shard_records: int = DEFAULT_SHARD_RECORDS,
+    max_record_bytes: int = DEFAULT_MAX_RECORD_BYTES,
+    resume: bool = True,
+) -> IngestResult:
+    """Ingest an example stream into ``directory``; resumable and idempotent.
+
+    A re-run over the same stream after a kill continues from the last
+    manifest entry and produces bytes identical to an uninterrupted ingest.
+    A directory whose manifest is already complete is returned as-is (the
+    stream is not consumed), so ingest is safe to re-run unconditionally.
+    """
+    location = os.fspath(directory)
+    if resume and os.path.exists(Manifest.path(location)):
+        existing = Manifest.load(location)
+        if existing.complete:
+            if existing.shard_records != shard_records:
+                raise ShardStoreError(
+                    f"{location!r} was ingested with shard_records="
+                    f"{existing.shard_records}, not {shard_records}"
+                )
+            return IngestResult(
+                manifest=existing,
+                digest=file_digest(Manifest.path(location)),
+                ingested=0,
+                resumed_from=existing.total_records,
+            )
+    writer = ShardWriter(
+        location,
+        shard_records=shard_records,
+        max_record_bytes=max_record_bytes,
+        resume=resume,
+    )
+    skip = writer.records_committed
+    ingested = 0
+    for position, example in enumerate(examples):
+        if position < skip:
+            continue
+        writer.append(example)
+        ingested += 1
+    manifest, digest = writer.finalize()
+    return IngestResult(
+        manifest=manifest, digest=digest, ingested=ingested, resumed_from=skip
+    )
+
+
+# ----------------------------------------------------------------------
+# Sharded corpus reader
+# ----------------------------------------------------------------------
+class ShardedCorpus(Sequence):
+    """Lazy, memory-mapped view of an ingested corpus.
+
+    Construct via :meth:`open`. Indexing decodes one record from the mmap
+    (CRC-verified per access); nothing is materialized up front, and forked
+    workers share the mapped pages. ``corpus_digest`` identifies the exact
+    manifest generation for snapshot stamping.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        manifest: Manifest,
+        manifest_digest: str,
+        readers: list[ShardReader | None],
+        entries: np.ndarray,
+        report: LoadReport,
+    ) -> None:
+        self.directory = directory
+        self.manifest = manifest
+        self.manifest_digest = manifest_digest
+        self.report = report
+        self._readers = readers
+        self._entries = entries  # (N, 2) int64: shard index, record index
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | os.PathLike,
+        strict: bool = False,
+        report: LoadReport | None = None,
+        verify: bool = True,
+    ) -> "ShardedCorpus":
+        """Open a store, validating every shard against the manifest.
+
+        Parameters
+        ----------
+        strict:
+            Fail fast: the first fault raises :class:`ShardCorrupted` with
+            shard + record provenance. Default is quarantine mode — damaged
+            records (or whole unreadable shards) are skipped and counted
+            into ``report``, and the survivors form the corpus.
+        report:
+            Skip-and-count ledger. One is created when omitted (available
+            as ``corpus.report``); pass your own to set
+            ``max_skip_fraction`` and get the typed
+            :class:`~repro.data.squad.SkipBudgetExceeded` refusal when too
+            little of the corpus survives.
+        verify:
+            Check each shard's SHA-256 against the manifest at open
+            (streamed, nothing materialized). With ``False`` only the frame
+            structure is validated up front; per-record CRCs still guard
+            every access.
+        """
+        location = os.fspath(directory)
+        manifest = Manifest.load(location)
+        digest = file_digest(Manifest.path(location))
+        if report is None:
+            report = LoadReport()
+        readers: list[ShardReader | None] = []
+        kept: list[tuple[int, int]] = []
+        for shard_index, info in enumerate(manifest.shards):
+            shard_path = os.path.join(location, info.name)
+            try:
+                if not os.path.exists(shard_path):
+                    raise ShardCorrupted(
+                        shard_path, None, "shard named by the manifest is missing"
+                    )
+                actual_bytes = os.path.getsize(shard_path)
+                if actual_bytes != info.bytes:
+                    raise ShardCorrupted(
+                        shard_path, None,
+                        f"shard is {actual_bytes} bytes, manifest records {info.bytes} "
+                        "(truncated or appended)",
+                    )
+                reader = ShardReader(shard_path, expected_records=info.records)
+            except ShardCorrupted:
+                if strict:
+                    raise
+                readers.append(None)
+                for _ in range(info.records):
+                    report.skip("shard_unreadable")
+                continue
+            digest_ok = (not verify) or file_digest(shard_path) == info.sha256
+            if digest_ok:
+                readers.append(reader)
+                kept.extend((shard_index, j) for j in range(reader.record_count))
+                continue
+            if strict:
+                reader.close()
+                raise ShardCorrupted(
+                    shard_path, None,
+                    f"shard SHA-256 does not match the manifest "
+                    f"({info.sha256[:12]}… recorded) — stale checksum or silent corruption",
+                )
+            # Salvage: the shard digest diverged; keep records whose own CRC
+            # still passes, quarantine the rest with their offsets counted.
+            bad = [j for j in range(reader.record_count) if not reader.crc_ok(j)]
+            if bad:
+                readers.append(reader)
+                bad_set = set(bad)
+                for _ in bad:
+                    report.skip("record_crc_mismatch")
+                kept.extend(
+                    (shard_index, j)
+                    for j in range(reader.record_count)
+                    if j not in bad_set
+                )
+            else:
+                # Digest drift with every record CRC passing means the
+                # damage hides in structure we cannot localize — too
+                # suspicious to serve any of it.
+                reader.close()
+                readers.append(None)
+                for _ in range(info.records):
+                    report.skip("shard_digest_mismatch")
+        entries = (
+            np.array(kept, dtype=np.int64)
+            if kept
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        report.loaded += len(kept)
+        report.enforce(location)
+        return cls(location, manifest, digest, readers, entries, report)
+
+    # -- identity ------------------------------------------------------
+    @property
+    def corpus_digest(self) -> str:
+        """Alias for snapshot stamping (see ``ElasticTrainer``)."""
+        return self.manifest_digest
+
+    @property
+    def quarantined(self) -> int:
+        """Records dropped by the open-time sweep."""
+        return self.report.skipped
+
+    # -- sequence protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return int(self._entries.shape[0])
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return CorpusView(self, tuple(range(*index.indices(len(self)))))
+        position = int(index)
+        if position < 0:
+            position += len(self)
+        if not 0 <= position < len(self):
+            raise IndexError(f"corpus index {index} out of range [0, {len(self)})")
+        shard_index, record_index = self._entries[position]
+        reader = self._readers[int(shard_index)]
+        assert reader is not None  # quarantined shards never land in entries
+        return reader.example(int(record_index))
+
+    def __iter__(self) -> Iterator[QGExample]:
+        for position in range(len(self)):
+            yield self[position]
+
+    def close(self) -> None:
+        for reader in self._readers:
+            if reader is not None:
+                reader.close()
+
+
+class CorpusView(Sequence):
+    """Lazy index view over a corpus (or another view) — splits stay lazy."""
+
+    def __init__(self, corpus: Sequence, indices: Sequence[int]) -> None:
+        self.corpus = corpus
+        self.indices = tuple(int(i) for i in indices)
+
+    @property
+    def corpus_digest(self) -> str | None:
+        return getattr(self.corpus, "corpus_digest", None)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return CorpusView(self.corpus, self.indices[index])
+        return self.corpus[self.indices[index]]
+
+    def __iter__(self):
+        for position in self.indices:
+            yield self.corpus[position]
+
+
+def split_corpus(
+    corpus: Sequence,
+    dev_fraction: float = 0.1,
+    test_fraction: float = 0.0,
+    seed: int = 0,
+) -> tuple[CorpusView, CorpusView, CorpusView]:
+    """Lazy (train, dev, test) views, mirroring ``split_examples`` semantics.
+
+    Same seeded shuffle and cut points as
+    :func:`~repro.data.splits.split_examples`, but nothing is materialized:
+    each split is a :class:`CorpusView` over the shared mmap-backed corpus.
+    """
+    if not len(corpus):
+        raise ValueError("split_corpus needs at least one example")
+    if dev_fraction < 0 or test_fraction < 0:
+        raise ValueError("split fractions must be non-negative")
+    if dev_fraction + test_fraction >= 1.0:
+        raise ValueError(
+            f"dev+test fractions must leave room for training data, "
+            f"got {dev_fraction} + {test_fraction}"
+        )
+    order = np.arange(len(corpus))
+    np.random.default_rng(seed).shuffle(order)
+    num_dev = int(round(len(corpus) * dev_fraction))
+    num_test = int(round(len(corpus) * test_fraction))
+    if len(corpus) - num_dev - num_test <= 0:
+        raise ValueError("split produced an empty training set")
+    return (
+        CorpusView(corpus, order[num_dev + num_test:]),
+        CorpusView(corpus, order[:num_dev]),
+        CorpusView(corpus, order[num_dev: num_dev + num_test]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Streaming (lazily encoded) dataset
+# ----------------------------------------------------------------------
+class StreamingQGDataset(QGDataset):
+    """A :class:`QGDataset` that encodes on access instead of up front.
+
+    Backed by any lazy example sequence (a :class:`ShardedCorpus`, a
+    :class:`CorpusView`, or a plain list); ``__getitem__`` runs the same
+    ``_encode`` as the eager dataset, so the produced
+    :class:`~repro.data.dataset.EncodedExample` objects — and therefore
+    every loss and parameter downstream — are byte-identical to the
+    materialized path. ``source_lengths`` provides the batch planner's
+    length table from the raw tokens in one cheap pass (no vocabulary
+    encoding), and ``corpus_digest`` flows through for snapshot stamping.
+    """
+
+    def __init__(
+        self,
+        corpus: Sequence[QGExample],
+        encoder_vocab,
+        decoder_vocab,
+        source_mode: str = "sentence",
+        paragraph_length: int = 100,
+        max_question_length: int = 30,
+    ) -> None:
+        self._configure(
+            encoder_vocab,
+            decoder_vocab,
+            source_mode,
+            paragraph_length,
+            max_question_length,
+        )
+        self.corpus = corpus
+        self._source_lengths: list[int] | None = None
+
+    @property
+    def corpus_digest(self) -> str | None:
+        return getattr(self.corpus, "corpus_digest", None)
+
+    @property
+    def source_lengths(self) -> list[int]:
+        if self._source_lengths is None:
+            use_paragraph = self.source_mode == "paragraph"
+            truncate = self.paragraph_length if use_paragraph else None
+            self._source_lengths = [
+                len(example.source(use_paragraph, truncate=truncate))
+                for example in self.corpus
+            ]
+        return self._source_lengths
+
+    def __len__(self) -> int:
+        return len(self.corpus)
+
+    def __getitem__(self, index: int):
+        return self._encode(self.corpus[index])
+
+    def __iter__(self):
+        for example in self.corpus:
+            yield self._encode(example)
+
+    def copyable_oov_rate(self) -> float:
+        oov_copyable = 0
+        total = 0
+        for encoded in self:
+            for allowed, positions in zip(encoded.att_allowed, encoded.copy_positions):
+                total += 1
+                if not allowed and positions:
+                    oov_copyable += 1
+        return oov_copyable / total if total else 0.0  # numerics: ok — inline zero-check ternary

@@ -32,6 +32,7 @@ from repro.data.tokenizer import tokenize
 
 __all__ = [
     "DatasetError",
+    "SkipBudgetExceeded",
     "LoadReport",
     "load_squad_json",
     "load_du_split",
@@ -55,21 +56,64 @@ class DatasetError(ValueError):
         self.detail = detail
 
 
+class SkipBudgetExceeded(DatasetError):
+    """More of the corpus was skipped than ``max_skip_fraction`` allows.
+
+    Skip-and-count is meant to absorb a handful of defective entries, not to
+    quietly train on the survivors of a mostly-destroyed corpus; crossing
+    the budget converts silent data loss into this typed refusal.
+    """
+
+
 @dataclass
 class LoadReport:
     """Skip-and-count ledger for one loader call.
 
     Pass an instance to a loader to record what was dropped and why;
     defective entries are skipped rather than aborting the whole load.
+    Set ``max_skip_fraction`` to bound how much loss is tolerable: loaders
+    (and the shard-store reader) call :meth:`enforce` after counting, and a
+    skip fraction above the budget raises :class:`SkipBudgetExceeded`.
     """
 
     loaded: int = 0
     skipped: int = 0
     skipped_by_reason: dict[str, int] = field(default_factory=dict)
+    max_skip_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_skip_fraction is not None and not (
+            0.0 <= self.max_skip_fraction <= 1.0
+        ):
+            raise ValueError(
+                f"max_skip_fraction must be in [0, 1], got {self.max_skip_fraction}"
+            )
 
     def skip(self, reason: str) -> None:
         self.skipped += 1
         self.skipped_by_reason[reason] = self.skipped_by_reason.get(reason, 0) + 1
+
+    @property
+    def skip_fraction(self) -> float:
+        """Skipped records as a fraction of everything seen so far."""
+        return self.skipped / max(1, self.loaded + self.skipped)
+
+    def enforce(self, path) -> None:
+        """Raise :class:`SkipBudgetExceeded` when the skip budget is blown.
+
+        No-op when ``max_skip_fraction`` is unset. ``path`` names the file
+        or store directory for the error's provenance.
+        """
+        if self.max_skip_fraction is None:
+            return
+        if self.skipped and self.skip_fraction > self.max_skip_fraction:
+            raise SkipBudgetExceeded(
+                path,
+                None,
+                f"skipped {self.skipped} of {self.loaded + self.skipped} records "
+                f"({self.skip_fraction:.1%} > budget {self.max_skip_fraction:.1%}): "
+                f"{self.summary()}",
+            )
 
     def summary(self) -> str:
         reasons = ", ".join(
@@ -170,6 +214,7 @@ def load_squad_json(
                 )
     if report is not None:
         report.loaded += len(examples)
+        report.enforce(path)
     return examples
 
 
@@ -240,6 +285,7 @@ def load_du_split(
         examples.append(QGExample(sentence=sentence, paragraph=paragraph, question=question))
     if report is not None:
         report.loaded += len(examples)
+        report.enforce(src_path)
     return examples
 
 

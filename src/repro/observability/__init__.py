@@ -28,6 +28,7 @@ from repro.observability.monitors import (
     gate_statistics,
     nonfinite_sentinel,
     param_norm,
+    process_rss_bytes,
     scaling_efficiency,
 )
 from repro.observability.schema import SchemaViolation, read_trace, validate_line, validate_record
@@ -56,6 +57,7 @@ __all__ = [
     "gate_statistics",
     "nonfinite_sentinel",
     "param_norm",
+    "process_rss_bytes",
     "scaling_efficiency",
     "emit_worker_pool",
     "SchemaViolation",

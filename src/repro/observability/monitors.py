@@ -18,6 +18,7 @@
 from __future__ import annotations
 
 import math
+import os
 import time
 from typing import Callable, Sequence
 
@@ -32,6 +33,7 @@ __all__ = [
     "emit_gate_statistics",
     "emit_state_transition",
     "scaling_efficiency",
+    "process_rss_bytes",
     "emit_worker_pool",
     "ThroughputMeter",
 ]
@@ -136,23 +138,54 @@ def scaling_efficiency(busy_seconds: float, wall_seconds: float, world_size: int
     return min(1.0, busy_seconds / capacity)  # numerics: ok — capacity <= 0 returns early
 
 
+def process_rss_bytes() -> int:
+    """Resident-set size of the calling process, in bytes.
+
+    Reads ``/proc/self/statm`` (instantaneous RSS); falls back to
+    ``resource.getrusage`` (peak RSS, KiB on Linux) where proc is
+    unavailable. Never raises — a platform with neither reports 0 rather
+    than breaking a heartbeat path.
+    """
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+    except (ImportError, OSError, ValueError):  # pragma: no cover - exotic platform
+        return 0
+
+
 def emit_worker_pool(
     telemetry: Telemetry,
     prefix: str,
     heartbeat_ages: dict[int, float],
     world_size: int,
     efficiency: float | None = None,
+    rss_bytes: dict[int, float] | None = None,
     step: int | None = None,
 ) -> None:
     """Gauge the elastic pool's health: membership, per-worker heartbeats.
 
     ``heartbeat_ages`` maps live worker rank → seconds since its last
     heartbeat; the supervisor calls this every step so a stalling worker is
-    visible in the trace *before* its timeout fires.
+    visible in the trace *before* its timeout fires. ``rss_bytes`` maps
+    rank → resident-set size (workers sample :func:`process_rss_bytes` with
+    each heartbeat), gauged as ``<prefix>.worker<rank>.rss_mb`` — the
+    observable form of the shard store's no-materialization claim.
     """
     telemetry.gauge(f"{prefix}.world_size", float(world_size), step=step)
     for rank, age in sorted(heartbeat_ages.items()):
         telemetry.gauge(f"{prefix}.worker{rank}.heartbeat_age", float(age), step=step)
+    if rss_bytes:
+        for rank, rss in sorted(rss_bytes.items()):
+            telemetry.gauge(
+                f"{prefix}.worker{rank}.rss_mb", float(rss) / 1048576.0, step=step
+            )
     if efficiency is not None:
         telemetry.gauge(f"{prefix}.scaling_efficiency", float(efficiency), step=step)
 

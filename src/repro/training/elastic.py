@@ -56,8 +56,9 @@ import multiprocessing
 
 import numpy as np
 
-from repro.data.batching import Batch, BatchIterator, collate
+from repro.data.batching import Batch, BatchIterator, collate, example_source_lengths
 from repro.data.dataset import EncodedExample
+from repro.data.shardstore import CorpusChangedError
 from repro.models.base import QuestionGenerator
 from repro.observability import (
     Telemetry,
@@ -65,6 +66,7 @@ from repro.observability import (
     emit_worker_pool,
     get_telemetry,
     param_norm,
+    process_rss_bytes,
     scaling_efficiency,
 )
 from repro.optim import SGD, HalveAtEpoch, NonFiniteGradError, clip_grad_norm
@@ -285,8 +287,11 @@ def _worker_main(
             return False
 
     def _heartbeat() -> None:
+        # Each heartbeat carries the worker's current RSS: with the corpus
+        # mmap-shared the gauge stays near the model-replica size, which is
+        # what makes the shard store's no-materialization claim observable.
         while not stalled.is_set():
-            if not _send(("hb", rank)):
+            if not _send(("hb", rank, process_rss_bytes())):
                 return
             stalled.wait(heartbeat_interval)
 
@@ -340,6 +345,7 @@ class _WorkerHandle:
     process: object | None = None
     conn: object | None = None
     last_heartbeat: float = 0.0
+    rss_bytes: int = 0
     restarts_used: int = 0
     status: str = "live"  # live | backoff | retired
     backoff_until: float = 0.0
@@ -403,9 +409,17 @@ class ElasticTrainer:
         from repro.training.trainer import TrainerConfig
 
         self.model = model
-        self.examples = list(examples)
-        if not self.examples:
+        # Indexable containers (lists, QGDataset, the shard store's lazy
+        # StreamingQGDataset) are used in place — workers inherit the mmap
+        # handles at fork time and share OS pages instead of each holding a
+        # materialized copy. Plain iterables are drained once into a list.
+        if hasattr(examples, "__getitem__") and hasattr(examples, "__len__"):
+            self.examples = examples
+        else:
+            self.examples = list(examples)
+        if not len(self.examples):
             raise ValueError("elastic training needs a non-empty example list")
+        self.corpus_digest = getattr(examples, "corpus_digest", None)
         self.batch_size = int(batch_size)
         self.bucket_multiplier = bucket_multiplier
         self.pad_id = pad_id
@@ -533,6 +547,17 @@ class ElasticTrainer:
     def _live_handles(self) -> list[_WorkerHandle]:
         return [h for h in self._handles.values() if h.status == "live"]
 
+    @property
+    def worker_rss(self) -> dict[int, int]:
+        """Rank → latest heartbeat-reported RSS in bytes (live workers only).
+
+        Zero until a rank's first RSS-bearing heartbeat arrives; gauged per
+        step as ``elastic.worker<rank>.rss_mb``.
+        """
+        return {
+            h.rank: h.rss_bytes for h in self._live_handles() if h.rss_bytes > 0
+        }
+
     # ------------------------------------------------------------------
     # Supervision
     # ------------------------------------------------------------------
@@ -657,6 +682,8 @@ class ElasticTrainer:
                 kind = message[0]
                 if kind in ("hb", "hello"):
                     handle.last_heartbeat = time.monotonic()
+                    if kind == "hb" and len(message) > 2:
+                        handle.rss_bytes = int(message[2])
                 elif kind == "grad":
                     _, rank, slot, grads, loss_sum, tokens, seconds = message
                     handle.last_heartbeat = time.monotonic()
@@ -762,6 +789,7 @@ class ElasticTrainer:
                 "run_seed": self.run_seed,
                 "microbatches_per_step": self.microbatches_per_step,
                 "batch_size": self.batch_size,
+                "corpus_digest": self.corpus_digest,
             },
             "best_dev": None if math.isinf(self._best_dev) else self._best_dev,
             "epochs_without_improvement": self._epochs_without_improvement,
@@ -802,6 +830,22 @@ class ElasticTrainer:
                     f"vs configured {current} — the optimization trajectory "
                     "would silently change"
                 )
+        # Corpus identity: snapshots taken from a shard store carry its
+        # manifest digest. Resuming against a store whose manifest changed
+        # (re-ingest, edited shards) is a typed rejection, not a silently
+        # different trajectory. A digest-less side (in-memory lists) cannot
+        # be verified and is allowed — parity there is pinned by tests.
+        snapshot_digest = stamp.get("corpus_digest")
+        if (
+            snapshot_digest is not None
+            and self.corpus_digest is not None
+            and snapshot_digest != self.corpus_digest
+        ):
+            raise CorpusChangedError(
+                f"snapshot was trained on corpus {snapshot_digest[:12]}… but the "
+                f"configured shard store is {self.corpus_digest[:12]}… — the corpus "
+                "changed under the run; re-ingest or point at the original store"
+            )
         model_state = {
             k.split("::", 1)[1]: v for k, v in arrays.items() if k.startswith("model::")
         }
@@ -987,7 +1031,7 @@ class ElasticTrainer:
             self._snapshot("epoch_start", 1, 0)
 
         snapshot_every = self.resilience.every_n_batches if self.resilience else 0
-        lengths = [len(ex.src_ids) for ex in self.examples]
+        lengths = example_source_lengths(self.examples)
         group = self.microbatches_per_step
 
         for epoch in range(start_epoch, config.epochs + 1):
@@ -1039,6 +1083,7 @@ class ElasticTrainer:
                         },
                         world_size=len(self._live_handles()),
                         efficiency=scaling_efficiency(busy, step_wall, world),
+                        rss_bytes=self.worker_rss,
                     )
                     telemetry.observe("elastic.step_seconds", step_wall)
                     self._check_interrupt(epoch, step_in_epoch + 1, accum)

@@ -1,0 +1,42 @@
+"""Shared setup for the data suite.
+
+The shard-store tests reuse the fault-injection helpers from
+``tests/training/faults.py`` (``crash_on_nth_publish``, ``truncate_file``,
+``corrupt_file``); pytest's rootdir imports resolve per-directory, so the
+training directory is added to the path explicitly.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "training"))
+
+from repro.data import QGExample  # noqa: E402
+
+
+@pytest.fixture
+def corpus_examples():
+    """A small varied corpus: ASCII, Unicode, shared tokens, empty answers."""
+    rows = [
+        ("zorvex was born in karlin .", "where was zorvex born ?", "karlin"),
+        ("mira designed the velkin tower .", "who designed the velkin tower ?", "mira"),
+        ("draxby is the capital of ostavia .", "what is the capital of ostavia ?", "draxby"),
+        ("the quen river flows through belcor .", "what river flows through belcor ?", "quen"),
+        ("pelor wrote the sunken atlas .", "who wrote the sunken atlas ?", "pelor"),
+        ("the omber bridge spans the fjord .", "what spans the fjord ?", "bridge"),
+        ("élodie composa la chanson d'août .", "qui composa la chanson ?", "élodie"),
+        ("研究者 は 東京 で 発表 した .", "研究者 は どこ で 発表 した ?", "東京"),
+        ("the price was 1,250 € exactly .", "what was the price ?", ""),
+        ("snæfell rises above the plain .", "what rises above the plain ?", "snæfell"),
+    ]
+    return [
+        QGExample(
+            sentence=tuple(s.split()),
+            paragraph=tuple((s + " more context follows here .").split()),
+            question=tuple(q.split()),
+            answer=tuple(a.split()),
+        )
+        for s, q, a in rows
+    ]

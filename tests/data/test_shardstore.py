@@ -1,0 +1,335 @@
+"""Shard store: format round-trips, manifest commit semantics, lazy reads.
+
+The chaos-side coverage (kills, bit flips, torn manifests, training parity)
+lives in ``test_shardstore_chaos.py``; property fuzzing in
+``test_shardstore_properties.py``. This file pins the sunny-day contracts
+and each validation error's type and provenance.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.data import (
+    LoadReport,
+    QGDataset,
+    QGExample,
+    ShardCorrupted,
+    ShardedCorpus,
+    ShardStoreError,
+    ShardWriter,
+    SkipBudgetExceeded,
+    StreamingQGDataset,
+    ingest_examples,
+    split_corpus,
+    split_examples,
+)
+from repro.data.shardstore import (
+    MANIFEST_NAME,
+    Manifest,
+    RecordTooLarge,
+    ShardReader,
+    build_shard_bytes,
+    decode_record,
+    encode_record,
+)
+
+
+def _store(tmp_path, examples, shard_records=4, name="store"):
+    directory = tmp_path / name
+    result = ingest_examples(examples, directory, shard_records=shard_records)
+    return directory, result
+
+
+# ----------------------------------------------------------------------
+# Record codec
+# ----------------------------------------------------------------------
+def test_record_codec_round_trip(corpus_examples):
+    for example in corpus_examples:
+        assert decode_record(encode_record(example)) == example
+
+
+def test_record_codec_deterministic(corpus_examples):
+    for example in corpus_examples:
+        assert encode_record(example) == encode_record(example)
+
+
+def test_decode_rejects_wrong_shape():
+    with pytest.raises(ValueError):
+        decode_record(json.dumps(["just", "three", "fields"]).encode())
+    with pytest.raises(ValueError):
+        decode_record(json.dumps({"not": "a list"}).encode())
+
+
+# ----------------------------------------------------------------------
+# Shard file + reader
+# ----------------------------------------------------------------------
+def test_shard_round_trip(tmp_path, corpus_examples):
+    payloads = [encode_record(ex) for ex in corpus_examples]
+    path = tmp_path / "one.bin"
+    path.write_bytes(build_shard_bytes(payloads))
+    reader = ShardReader(path)
+    assert reader.record_count == len(payloads)
+    for index, payload in enumerate(payloads):
+        assert reader.payload(index) == payload
+        assert reader.example(index) == corpus_examples[index]
+    reader.close()
+
+
+def test_reader_index_bounds(tmp_path, corpus_examples):
+    path = tmp_path / "one.bin"
+    path.write_bytes(build_shard_bytes([encode_record(corpus_examples[0])]))
+    reader = ShardReader(path)
+    with pytest.raises(IndexError):
+        reader.payload(1)
+    with pytest.raises(IndexError):
+        reader.payload(-1)
+    reader.close()
+
+
+def test_reader_rejects_truncation(tmp_path, corpus_examples):
+    path = tmp_path / "one.bin"
+    data = build_shard_bytes([encode_record(ex) for ex in corpus_examples])
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(ShardCorrupted) as excinfo:
+        ShardReader(path)
+    assert str(path) in str(excinfo.value)
+
+
+def test_reader_rejects_foreign_file(tmp_path):
+    path = tmp_path / "not_a_shard.bin"
+    path.write_bytes(b"\x00" * 100)
+    with pytest.raises(ShardCorrupted, match="magic"):
+        ShardReader(path)
+
+
+def test_reader_rejects_record_count_mismatch(tmp_path, corpus_examples):
+    path = tmp_path / "one.bin"
+    path.write_bytes(build_shard_bytes([encode_record(ex) for ex in corpus_examples]))
+    with pytest.raises(ShardCorrupted, match="record count"):
+        ShardReader(path, expected_records=3)
+
+
+def test_access_time_crc_detects_post_open_flip(tmp_path, corpus_examples):
+    from faults import corrupt_file
+
+    path = tmp_path / "one.bin"
+    payloads = [encode_record(ex) for ex in corpus_examples[:3]]
+    path.write_bytes(build_shard_bytes(payloads))
+    reader = ShardReader(path)
+    assert reader.payload(1) == payloads[1]
+    # Flip one byte inside record 1's payload AFTER the reader opened.
+    offset = path.read_bytes().index(payloads[1])
+    corrupt_file(path, offset=offset + 2)
+    reader.close()
+    reader = ShardReader(path)
+    with pytest.raises(ShardCorrupted) as excinfo:
+        reader.payload(1)
+    assert excinfo.value.offset == 1
+    assert reader.payload(0) == payloads[0]  # neighbours unaffected
+    reader.close()
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def test_manifest_missing_is_typed(tmp_path):
+    with pytest.raises(ShardStoreError, match="acnn ingest"):
+        Manifest.load(tmp_path)
+
+
+def test_manifest_torn_json_is_corruption(tmp_path, corpus_examples):
+    directory, _ = _store(tmp_path, corpus_examples)
+    manifest_path = directory / MANIFEST_NAME
+    manifest_path.write_text(manifest_path.read_text()[:40])
+    with pytest.raises(ShardCorrupted, match="manifest"):
+        Manifest.load(directory)
+    with pytest.raises(ShardCorrupted):
+        ShardedCorpus.open(directory)  # quarantine mode never eats a torn manifest
+
+
+def test_manifest_bad_schema_is_corruption(tmp_path):
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format": 1, "shards": 3}))
+    with pytest.raises(ShardCorrupted, match="malformed"):
+        Manifest.load(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Writer / ingest
+# ----------------------------------------------------------------------
+def test_ingest_shard_layout(tmp_path, corpus_examples):
+    directory, result = _store(tmp_path, corpus_examples, shard_records=4)
+    manifest = result.manifest
+    assert manifest.complete
+    assert [info.records for info in manifest.shards] == [4, 4, 2]
+    assert manifest.total_records == len(corpus_examples)
+    for info in manifest.shards:
+        assert os.path.getsize(directory / info.name) == info.bytes
+
+
+def test_ingest_complete_store_is_noop(tmp_path, corpus_examples):
+    directory, first = _store(tmp_path, corpus_examples)
+    again = ingest_examples(corpus_examples, directory, shard_records=4)
+    assert again.ingested == 0
+    assert again.digest == first.digest
+
+
+def test_ingest_complete_store_rejects_other_shard_size(tmp_path, corpus_examples):
+    directory, _ = _store(tmp_path, corpus_examples, shard_records=4)
+    with pytest.raises(ShardStoreError, match="shard_records"):
+        ingest_examples(corpus_examples, directory, shard_records=8)
+
+
+def test_resume_rejects_shard_records_drift(tmp_path, corpus_examples):
+    directory = tmp_path / "store"
+    writer = ShardWriter(directory, shard_records=4)
+    for example in corpus_examples[:5]:
+        writer.append(example)  # one full shard committed, one buffered
+    with pytest.raises(ShardStoreError, match="drift"):
+        ShardWriter(directory, shard_records=8)
+
+
+def test_writer_rejects_oversize_record(tmp_path):
+    writer = ShardWriter(tmp_path / "store", shard_records=4, max_record_bytes=64)
+    huge = QGExample(
+        sentence=tuple("tok%d" % i for i in range(200)),
+        paragraph=(),
+        question=("why", "?"),
+    )
+    with pytest.raises(RecordTooLarge):
+        writer.append(huge)
+
+
+def test_no_resume_rebuilds_from_scratch(tmp_path, corpus_examples):
+    directory, first = _store(tmp_path, corpus_examples)
+    rebuilt = ingest_examples(
+        corpus_examples[:6], directory, shard_records=4, resume=False
+    )
+    assert rebuilt.manifest.total_records == 6
+    corpus = ShardedCorpus.open(directory)
+    assert list(corpus) == corpus_examples[:6]
+    # No stale shard files from the first, larger generation survive.
+    shard_files = sorted(p.name for p in directory.glob("shard-*.bin"))
+    assert shard_files == [info.name for info in rebuilt.manifest.shards]
+
+
+def test_writer_sweeps_orphans_on_resume(tmp_path, corpus_examples):
+    directory = tmp_path / "store"
+    writer = ShardWriter(directory, shard_records=4)
+    for example in corpus_examples[:4]:
+        writer.append(example)  # shard-000000 committed via manifest
+    # Simulate a kill that left an unpublished temp and an uncommitted shard.
+    (directory / "shard-000007.bin.tmp.xyz").write_bytes(b"partial")
+    (directory / "shard-000001.bin").write_bytes(b"never entered the manifest")
+    resumed = ShardWriter(directory, shard_records=4)
+    assert resumed.records_committed == 4
+    names = {os.path.basename(path) for path in resumed.swept}
+    assert names == {"shard-000007.bin.tmp.xyz", "shard-000001.bin"}
+    assert not (directory / "shard-000001.bin").exists()
+
+
+# ----------------------------------------------------------------------
+# ShardedCorpus reads
+# ----------------------------------------------------------------------
+def test_corpus_round_trip_and_digest(tmp_path, corpus_examples):
+    directory, result = _store(tmp_path, corpus_examples)
+    corpus = ShardedCorpus.open(directory)
+    assert len(corpus) == len(corpus_examples)
+    assert list(corpus) == corpus_examples
+    assert corpus[-1] == corpus_examples[-1]
+    assert corpus.corpus_digest == result.digest
+    assert corpus.quarantined == 0
+    corpus.close()
+
+
+def test_corpus_slice_is_lazy_view(tmp_path, corpus_examples):
+    directory, _ = _store(tmp_path, corpus_examples)
+    corpus = ShardedCorpus.open(directory)
+    view = corpus[2:7]
+    assert list(view) == corpus_examples[2:7]
+    assert view[1] == corpus_examples[3]
+    assert list(view[1:3]) == corpus_examples[3:5]
+    assert view.corpus_digest == corpus.corpus_digest
+
+
+def test_split_corpus_matches_split_examples(tmp_path, corpus_examples):
+    directory, _ = _store(tmp_path, corpus_examples)
+    corpus = ShardedCorpus.open(directory)
+    lazy = split_corpus(corpus, dev_fraction=0.2, test_fraction=0.1, seed=11)
+    eager = split_examples(
+        corpus_examples, dev_fraction=0.2, test_fraction=0.1, seed=11
+    )
+    for lazy_split, eager_split in zip(lazy, eager):
+        assert list(lazy_split) == eager_split
+
+
+def test_split_corpus_validates_fractions(tmp_path, corpus_examples):
+    directory, _ = _store(tmp_path, corpus_examples)
+    corpus = ShardedCorpus.open(directory)
+    with pytest.raises(ValueError):
+        split_corpus(corpus, dev_fraction=0.6, test_fraction=0.5)
+    with pytest.raises(ValueError):
+        split_corpus(corpus, dev_fraction=-0.1)
+
+
+def test_open_verify_false_skips_digest_but_keeps_structure(tmp_path, corpus_examples):
+    directory, _ = _store(tmp_path, corpus_examples)
+    corpus = ShardedCorpus.open(directory, verify=False)
+    assert list(corpus) == corpus_examples
+
+
+def test_skip_budget_enforced_on_open(tmp_path, corpus_examples):
+    from faults import truncate_file
+
+    directory, result = _store(tmp_path, corpus_examples, shard_records=4)
+    truncate_file(directory / result.manifest.shards[0].name, keep_fraction=0.3)
+    report = LoadReport(max_skip_fraction=0.1)
+    with pytest.raises(SkipBudgetExceeded, match="budget"):
+        ShardedCorpus.open(directory, report=report)
+    # A permissive budget admits the survivors and counts the loss.
+    relaxed = LoadReport(max_skip_fraction=0.5)
+    corpus = ShardedCorpus.open(directory, report=relaxed)
+    assert len(corpus) == 6
+    assert relaxed.skipped_by_reason == {"shard_unreadable": 4}
+
+
+# ----------------------------------------------------------------------
+# StreamingQGDataset
+# ----------------------------------------------------------------------
+def test_streaming_dataset_matches_eager(tmp_path, corpus_examples):
+    directory, result = _store(tmp_path, corpus_examples)
+    corpus = ShardedCorpus.open(directory)
+    encoder, decoder = QGDataset.build_vocabs(corpus_examples, 200, 100)
+    eager = QGDataset(corpus_examples, encoder, decoder)
+    lazy = StreamingQGDataset(corpus, encoder, decoder)
+    assert len(lazy) == len(eager)
+    assert list(lazy) == eager.encoded
+    assert [lazy[i] for i in range(len(lazy))] == eager.encoded
+    assert lazy.source_lengths == [len(ex.src_ids) for ex in eager.encoded]
+    assert lazy.corpus_digest == result.digest
+    assert lazy.copyable_oov_rate() == eager.copyable_oov_rate()
+
+
+def test_streaming_dataset_paragraph_mode_matches(tmp_path, corpus_examples):
+    directory, _ = _store(tmp_path, corpus_examples)
+    corpus = ShardedCorpus.open(directory)
+    encoder, decoder = QGDataset.build_vocabs(
+        corpus_examples, 200, 100, source_mode="paragraph", paragraph_length=6
+    )
+    eager = QGDataset(
+        corpus_examples, encoder, decoder, source_mode="paragraph", paragraph_length=6
+    )
+    lazy = StreamingQGDataset(
+        corpus, encoder, decoder, source_mode="paragraph", paragraph_length=6
+    )
+    assert list(lazy) == eager.encoded
+    assert lazy.source_lengths == [len(ex.src_ids) for ex in eager.encoded]
+
+
+def test_streaming_dataset_validates_mode(tmp_path, corpus_examples):
+    directory, _ = _store(tmp_path, corpus_examples)
+    corpus = ShardedCorpus.open(directory)
+    encoder, decoder = QGDataset.build_vocabs(corpus_examples, 200, 100)
+    with pytest.raises(ValueError, match="source mode"):
+        StreamingQGDataset(corpus, encoder, decoder, source_mode="document")

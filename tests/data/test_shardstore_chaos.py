@@ -1,0 +1,295 @@
+"""Shard-store chaos suite: every injected data fault is either quarantined
+and counted, or raised with shard + record-offset provenance — and a kill at
+ANY persistence point leaves a store a re-run completes bit-identically.
+
+Mirrors the checkpoint/elastic chaos style (``tests/training/faults.py``):
+``crash_on_nth_publish`` dies mid-``atomic_write`` (the shard store
+publishes through the same ``repro.tensor.serialization._publish`` seam as
+checkpoints), ``truncate_file``/``corrupt_file`` damage surviving bytes.
+The training-parity tests close the loop on the PR's headline claim:
+training from the mmap-backed store is byte-identical to in-memory lists at
+several worker counts.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from faults import SimulatedCrash, corrupt_file, crash_on_nth_publish, truncate_file
+
+from repro.data import (
+    BatchIterator,
+    CorpusChangedError,
+    LoadReport,
+    QGDataset,
+    ShardCorrupted,
+    ShardedCorpus,
+    StreamingQGDataset,
+    ingest_examples,
+    split_corpus,
+)
+from repro.data.shardstore import MANIFEST_NAME
+from repro.models import ModelConfig, build_model
+from repro.training import (
+    ElasticConfig,
+    ElasticTrainer,
+    ResilienceConfig,
+    TrainerConfig,
+)
+
+RUN_SEED = 7
+
+
+def _dir_bytes(directory) -> dict[str, bytes]:
+    return {
+        name: (directory / name).read_bytes()
+        for name in sorted(os.listdir(directory))
+    }
+
+
+def _ingest(examples, directory, **kwargs):
+    return ingest_examples(examples, directory, shard_records=4, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Kill-mid-ingest: resume is bit-identical at EVERY publish point
+# ----------------------------------------------------------------------
+def test_resume_after_kill_at_every_publish_point(tmp_path, corpus_examples):
+    reference_dir = tmp_path / "reference"
+    _ingest(corpus_examples, reference_dir)
+    reference = _dir_bytes(reference_dir)
+
+    # 10 records at 4/shard = 3 shard publishes + 3 manifest publishes + the
+    # completing manifest = 7 publish points. Kill at each one.
+    total_publishes = 7
+    for kill_at in range(1, total_publishes + 1):
+        directory = tmp_path / f"killed_{kill_at}"
+        with crash_on_nth_publish(kill_at):
+            with pytest.raises(SimulatedCrash):
+                _ingest(corpus_examples, directory)
+        resumed = _ingest(corpus_examples, directory)
+        assert resumed.manifest.complete
+        assert _dir_bytes(directory) == reference, (
+            f"kill at publish #{kill_at}: resumed store is not bit-identical"
+        )
+
+
+def test_kill_survivor_is_readable_before_resume(tmp_path, corpus_examples):
+    """The post-kill store (pre-resume) is a valid, smaller corpus."""
+    directory = tmp_path / "store"
+    with crash_on_nth_publish(5):  # dies publishing shard 3 of 3
+        with pytest.raises(SimulatedCrash):
+            _ingest(corpus_examples, directory)
+    corpus = ShardedCorpus.open(directory)
+    assert list(corpus) == corpus_examples[:8]  # 2 committed shards of 4
+
+
+# ----------------------------------------------------------------------
+# Damage taxonomy: quarantined-and-counted or raised with provenance
+# ----------------------------------------------------------------------
+def test_truncated_shard_quarantined_or_raised(tmp_path, corpus_examples):
+    directory = tmp_path / "store"
+    result = _ingest(corpus_examples, directory)
+    victim = directory / result.manifest.shards[1].name
+    truncate_file(victim, keep_fraction=0.5)
+
+    with pytest.raises(ShardCorrupted) as excinfo:
+        ShardedCorpus.open(directory, strict=True)
+    assert str(victim) in str(excinfo.value)
+
+    report = LoadReport()
+    corpus = ShardedCorpus.open(directory, report=report)
+    assert list(corpus) == corpus_examples[:4] + corpus_examples[8:]
+    assert report.skipped_by_reason == {"shard_unreadable": 4}
+
+
+def test_missing_shard_quarantined_or_raised(tmp_path, corpus_examples):
+    directory = tmp_path / "store"
+    result = _ingest(corpus_examples, directory)
+    os.unlink(directory / result.manifest.shards[0].name)
+    with pytest.raises(ShardCorrupted, match="missing"):
+        ShardedCorpus.open(directory, strict=True)
+    report = LoadReport()
+    corpus = ShardedCorpus.open(directory, report=report)
+    assert list(corpus) == corpus_examples[4:]
+    assert report.skipped == 4
+
+
+def test_bit_flip_in_record_quarantines_just_that_record(tmp_path, corpus_examples):
+    directory = tmp_path / "store"
+    result = _ingest(corpus_examples, directory)
+    shard_path = directory / result.manifest.shards[0].name
+    # Flip a byte inside record 2's payload (found by content).
+    from repro.data.shardstore import encode_record
+
+    payload = encode_record(corpus_examples[2])
+    corrupt_file(shard_path, offset=shard_path.read_bytes().index(payload) + 1)
+
+    with pytest.raises(ShardCorrupted):
+        ShardedCorpus.open(directory, strict=True)
+
+    report = LoadReport()
+    corpus = ShardedCorpus.open(directory, report=report)
+    expected = [ex for i, ex in enumerate(corpus_examples) if i != 2]
+    assert list(corpus) == expected
+    assert report.skipped_by_reason == {"record_crc_mismatch": 1}
+
+
+def test_bit_flip_sweep_never_silently_wrong(tmp_path, corpus_examples):
+    """Flip every 13th byte of one shard, one at a time: each outcome is a
+    raise-with-provenance or a skip-and-count — never altered examples."""
+    directory = tmp_path / "store"
+    result = _ingest(corpus_examples, directory)
+    shard_path = directory / result.manifest.shards[1].name
+    pristine = shard_path.read_bytes()
+    original = set(corpus_examples)
+    for offset in range(0, len(pristine), 13):
+        corrupt_file(shard_path, offset=offset)
+        report = LoadReport()
+        try:
+            corpus = ShardedCorpus.open(directory, report=report)
+        except ShardCorrupted as err:
+            assert err.path  # provenance always present
+        else:
+            survivors = list(corpus)
+            assert all(example in original for example in survivors)
+            assert len(survivors) + report.skipped == len(corpus_examples)
+            corpus.close()
+        shard_path.write_bytes(pristine)
+
+
+def test_stale_manifest_checksum(tmp_path, corpus_examples):
+    """Manifest digest no longer matches healthy shard bytes: the shard is
+    too suspicious to serve (whole-shard quarantine) or a strict raise."""
+    import json
+
+    directory = tmp_path / "store"
+    result = _ingest(corpus_examples, directory)
+    manifest_path = directory / MANIFEST_NAME
+    payload = json.loads(manifest_path.read_text())
+    payload["shards"][2]["sha256"] = "0" * 64
+    manifest_path.write_text(json.dumps(payload))
+
+    with pytest.raises(ShardCorrupted, match="SHA-256"):
+        ShardedCorpus.open(directory, strict=True)
+
+    report = LoadReport()
+    corpus = ShardedCorpus.open(directory, report=report)
+    assert list(corpus) == corpus_examples[:8]
+    assert report.skipped_by_reason == {"shard_digest_mismatch": 2}
+
+
+def test_torn_manifest_always_raises(tmp_path, corpus_examples):
+    directory = tmp_path / "store"
+    _ingest(corpus_examples, directory)
+    truncate_file(directory / MANIFEST_NAME, keep_fraction=0.4)
+    for strict in (False, True):
+        with pytest.raises(ShardCorrupted, match="manifest"):
+            ShardedCorpus.open(directory, strict=strict)
+
+
+# ----------------------------------------------------------------------
+# Training parity: mmap-backed store vs in-memory lists
+# ----------------------------------------------------------------------
+def _train(examples_container, workers, epochs=2):
+    encoder, decoder = QGDataset.build_vocabs(list(examples_container), 200, 100)
+    dataset = (
+        StreamingQGDataset(examples_container, encoder, decoder)
+        if not isinstance(examples_container, list)
+        else QGDataset(examples_container, encoder, decoder)
+    )
+    config = ModelConfig(embedding_dim=8, hidden_size=8, num_layers=1, dropout=0.3, seed=0)
+    model = build_model("acnn", config, len(encoder), len(decoder))
+    dev = BatchIterator(dataset, batch_size=2, shuffle=False)
+    trainer = ElasticTrainer(
+        model,
+        dataset,
+        batch_size=2,
+        dev_iterator=dev,
+        config=TrainerConfig(epochs=epochs, learning_rate=0.5),
+        elastic=ElasticConfig(
+            workers=workers,
+            microbatches_per_step=2,
+            worker_timeout=5.0,
+            heartbeat_interval=0.1,
+            restart_backoff=0.05,
+        ),
+        run_seed=RUN_SEED,
+    )
+    history = trainer.train()
+    losses = [(r.train_loss, r.dev_loss) for r in history.records]
+    return trainer, trainer.model.state_dict(), losses
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_training_from_store_matches_in_memory(tmp_path, corpus_examples, workers):
+    directory = tmp_path / "store"
+    _ingest(corpus_examples, directory)
+    corpus = ShardedCorpus.open(directory)
+
+    _, memory_params, memory_losses = _train(list(corpus_examples), workers=0)
+    trainer, shard_params, shard_losses = _train(corpus, workers=workers)
+
+    assert shard_losses == memory_losses
+    assert memory_params.keys() == shard_params.keys()
+    for name in memory_params:
+        assert np.array_equal(memory_params[name], shard_params[name]), name
+    assert trainer.corpus_digest == corpus.manifest_digest
+
+
+def test_snapshot_stamps_digest_and_rejects_changed_corpus(tmp_path, corpus_examples):
+    directory = tmp_path / "store"
+    _ingest(corpus_examples, directory)
+    corpus = ShardedCorpus.open(directory)
+    encoder, decoder = QGDataset.build_vocabs(corpus_examples, 200, 100)
+    dataset = StreamingQGDataset(corpus, encoder, decoder)
+    config = ModelConfig(embedding_dim=8, hidden_size=8, num_layers=1, dropout=0.3, seed=0)
+    snap_dir = tmp_path / "snaps"
+
+    def trainer_for(container):
+        model = build_model("acnn", config, len(encoder), len(decoder))
+        return ElasticTrainer(
+            model,
+            container,
+            batch_size=2,
+            config=TrainerConfig(epochs=1, learning_rate=0.5),
+            elastic=ElasticConfig(workers=0, microbatches_per_step=2),
+            resilience=ResilienceConfig(directory=snap_dir),
+            run_seed=RUN_SEED,
+        )
+
+    trainer_for(dataset).train()
+
+    # Re-ingest a DIFFERENT corpus into the same directory: new digest.
+    corpus.close()
+    _ingest(corpus_examples[:6], directory, resume=False)
+    changed = ShardedCorpus.open(directory)
+    changed_dataset = StreamingQGDataset(changed, encoder, decoder)
+    with pytest.raises(CorpusChangedError, match="corpus"):
+        trainer_for(changed_dataset).train(resume_from=snap_dir)
+
+    # Same digest resumes fine (already-finished run just returns).
+    _ingest(corpus_examples, directory, resume=False)
+    # Rebuilding the identical corpus reproduces the identical manifest
+    # bytes, hence the identical digest — resume is accepted.
+    same = ShardedCorpus.open(directory)
+    same_dataset = StreamingQGDataset(same, encoder, decoder)
+    trainer_for(same_dataset).train(resume_from=snap_dir)
+
+
+def test_split_corpus_training_stays_lazy_and_deterministic(tmp_path, corpus_examples):
+    """End-to-end shape of the CLI path: split views over one open store."""
+    directory = tmp_path / "store"
+    _ingest(corpus_examples, directory)
+    corpus = ShardedCorpus.open(directory)
+    train_view, dev_view, _ = split_corpus(corpus, dev_fraction=0.2, seed=3)
+    encoder, decoder = QGDataset.build_vocabs(train_view, 200, 100)
+    train_set = StreamingQGDataset(train_view, encoder, decoder)
+    dev_set = StreamingQGDataset(dev_view, encoder, decoder)
+    iterator = BatchIterator(train_set, batch_size=2, seed=5)
+    first = [batch.src.tobytes() for batch in iterator]
+    eager_train = QGDataset(list(train_view), encoder, decoder)
+    second = [b.src.tobytes() for b in BatchIterator(eager_train, batch_size=2, seed=5)]
+    assert first == second
+    assert len(dev_set) == 2

@@ -221,3 +221,57 @@ def test_du_split_strict_mode_raises_with_line_number(tmp_path):
         load_du_split(src, tgt, strict=True)
     assert excinfo.value.offset == 2
     assert excinfo.value.path == str(src)
+
+
+def test_squad_skip_budget_raises_when_exceeded(tmp_path):
+    from repro.data import LoadReport, SkipBudgetExceeded
+
+    payload = _squad_payload()
+    payload["data"][0]["paragraphs"][0]["qas"].append(
+        {"question": "Broken span?", "answers": [{"text": "x", "answer_start": 10_000}]}
+    )
+    path = tmp_path / "squad.json"
+    path.write_text(json.dumps(payload))
+
+    # 2 loaded, 2 skipped = 50% loss; a 25% budget must refuse the corpus.
+    report = LoadReport(max_skip_fraction=0.25)
+    with pytest.raises(SkipBudgetExceeded) as excinfo:
+        load_squad_json(path, report=report)
+    assert str(path) in str(excinfo.value)
+    assert "50.0%" in str(excinfo.value)
+
+    # The same corpus under a 50% budget loads (budget is exclusive).
+    report = LoadReport(max_skip_fraction=0.5)
+    examples = load_squad_json(path, report=report)
+    assert len(examples) == 2
+
+
+def test_du_split_skip_budget_raises_when_exceeded(tmp_path):
+    from repro.data import LoadReport, SkipBudgetExceeded
+
+    src = tmp_path / "src.txt"
+    tgt = tmp_path / "tgt.txt"
+    src.write_text("a b\n\nc d\n")
+    tgt.write_text("q ?\nr ?\n\n")
+    report = LoadReport(max_skip_fraction=0.1)
+    with pytest.raises(SkipBudgetExceeded):
+        load_du_split(src, tgt, report=report)
+
+    report = LoadReport(max_skip_fraction=0.9)
+    examples = load_du_split(src, tgt, report=report)
+    assert len(examples) == 1
+    assert report.skipped == 2
+
+
+def test_skip_budget_validation_and_clean_corpus():
+    from repro.data import LoadReport
+
+    with pytest.raises(ValueError, match=r"max_skip_fraction"):
+        LoadReport(max_skip_fraction=1.5)
+    with pytest.raises(ValueError, match=r"max_skip_fraction"):
+        LoadReport(max_skip_fraction=-0.1)
+
+    # A zero-tolerance budget over a clean corpus never trips.
+    report = LoadReport(max_skip_fraction=0.0)
+    report.loaded = 10
+    report.enforce("clean.json")
