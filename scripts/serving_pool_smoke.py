@@ -1,0 +1,300 @@
+"""Multi-process serving fleet smoke test: 200 requests, chaos, hot reload.
+
+    PYTHONPATH=src python scripts/serving_pool_smoke.py [output_dir]
+
+Builds a tiny ACNN and drives a 200-request fleet through a 3-worker
+:class:`repro.serving.ServingPool` with one injected worker kill
+mid-decode and one prepare/commit hot weight reload mid-fleet. Then
+checks the pool's whole contract:
+
+1. >= 99% of the requests are served; the ledger balances exactly
+   (served + rejected + shed + failed == submitted, one outcome each);
+2. the injected kill really happened: a worker died, its in-flight
+   requests were re-dispatched, and a restarted worker rejoined;
+3. the reload was atomic: every served response carries exactly one
+   weight fingerprint (the pre-reload or post-reload one, never a mix),
+   and both halves are byte-identical to single-process reference runs
+   on the matching weights;
+4. zero orphans: every worker pid is gone after shutdown;
+5. the telemetry trace is schema-valid end to end and contains the pool
+   lifecycle markers (worker restart, reload).
+
+The deterministic contract (counts + booleans, no timing) is written to
+``BENCH_serving_pool.json`` in the repo root so CI can diff it; the
+wall-clock numbers go to ``<output_dir>/serving_pool_bench.json``. Exits
+non-zero on any violation.
+"""
+
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+NUM_REQUESTS = 200
+POOL_WORKERS = 3
+RELOAD_AT = 120  # submission index of the mid-fleet hot reload
+KILL_ON_SERVE = {1: 4}  # worker 1 dies on its 4th request
+SEED_OLD = 3
+SEED_NEW = 11
+
+SENTENCES = [
+    "zorvex was born in karlin .",
+    "mira designed the velkin tower .",
+    "draxby is the capital of ostavia .",
+    "the quen river flows through belcor .",
+    "tovenka built the glass spire .",
+    "the ilex bridge spans the morda .",
+]
+QUESTIONS = [
+    "where was zorvex born ?",
+    "who designed the velkin tower ?",
+    "what is the capital of ostavia ?",
+    "what river flows through belcor ?",
+    "who built the glass spire ?",
+    "what spans the morda ?",
+]
+
+
+def build_parts():
+    from repro.data import QGDataset, QGExample
+    from repro.models import ModelConfig, build_model
+
+    examples = [
+        QGExample(sentence=tuple(s.split()), paragraph=tuple(s.split()),
+                  question=tuple(q.split()))
+        for s, q in zip(SENTENCES, QUESTIONS)
+    ]
+    encoder, decoder = QGDataset.build_vocabs(examples, 100, 100)
+
+    def model(seed):
+        config = ModelConfig(
+            embedding_dim=8, hidden_size=10, num_layers=1, dropout=0.0, seed=seed
+        )
+        return build_model("acnn", config, len(encoder), len(decoder))
+
+    return encoder, decoder, model
+
+
+def request_stream():
+    from repro.serving import GenerationRequest
+
+    # A generous explicit deadline: at fleet scale the wall-clock queue wait
+    # exceeds the 5 s default, and deadline-floor degradation is timing-
+    # dependent — this smoke pins the byte-parity contract, not deadline
+    # chaos (the serving suite covers that).
+    return [
+        GenerationRequest(
+            SENTENCES[index % len(SENTENCES)],
+            request_id=f"req-{index:04d}",
+            deadline_seconds=600.0,
+        )
+        for index in range(NUM_REQUESTS)
+    ]
+
+
+def rows(outcomes):
+    out = []
+    for o in sorted(outcomes, key=lambda o: o.request_id):
+        r = o.result
+        out.append((o.request_id, o.status, o.reason,
+                    r.tokens if r else None,
+                    round(r.log_prob, 12) if r else None,
+                    r.rung if r else None))
+    return out
+
+
+def single_process_reference(requests, seed):
+    from repro.observability import Telemetry
+    from repro.serving import ContinuousBatchingEngine, EngineConfig, InferenceService
+
+    encoder, decoder, model = build_parts()
+    service = InferenceService(model(seed), encoder, decoder, telemetry=Telemetry([]))
+    # The whole half is submitted up front, so the reference queue must
+    # hold it; the pool never queues more than a handful per worker.
+    engine = ContinuousBatchingEngine(
+        service, EngineConfig(queue_limit=len(requests) + 8)
+    )
+    outcomes = []
+    for request in requests:
+        outcome = engine.submit(request)
+        if outcome is not None:
+            outcomes.append(outcome)
+    outcomes.extend(engine.drain())
+    return rows(outcomes)
+
+
+def main() -> int:
+    from repro.observability import JsonlSink, Telemetry, read_trace
+    from repro.serving import PoolConfig, PoolFaultPlan, ServingPool
+    from repro.training.checkpoint import save_checkpoint
+
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        REPO_ROOT, "results", "serving_pool"
+    )
+    os.makedirs(output_dir, exist_ok=True)
+    trace_path = os.path.join(output_dir, "trace.jsonl")
+    if os.path.exists(trace_path):
+        os.remove(trace_path)
+
+    encoder, decoder, model = build_parts()
+    checkpoint_dir = os.path.join(output_dir, "reload-checkpoint")
+    save_checkpoint(os.path.join(checkpoint_dir, "model"), model(SEED_NEW), {"seed": SEED_NEW})
+
+    telemetry = Telemetry([JsonlSink(trace_path)])
+    pool = ServingPool(
+        model(SEED_OLD), encoder, decoder,
+        telemetry=telemetry,
+        config=PoolConfig(workers=POOL_WORKERS, heartbeat_interval=0.1,
+                          poll_interval=0.01, restart_backoff=0.05),
+        fault_plan=PoolFaultPlan(kill_on_serve=KILL_ON_SERVE),
+    )
+
+    requests = request_stream()
+    outcomes = []
+    started = time.perf_counter()
+    reload_seconds = 0.0
+    old_fp = pool.fingerprint
+    try:
+        pool.start()
+        for index, request in enumerate(requests):
+            if index == RELOAD_AT:
+                # Let the pre-reload half fully resolve so the fingerprint
+                # split in the ledger is exactly RELOAD_AT / the rest.
+                outcomes.extend(pool.drain())
+                reload_started = time.perf_counter()
+                new_fp = pool.reload_weights(checkpoint_dir)
+                reload_seconds = time.perf_counter() - reload_started
+            outcome = pool.submit(request)
+            if outcome is not None:
+                outcomes.append(outcome)
+            outcomes.extend(pool.pump())
+        outcomes.extend(pool.drain())
+        worker_pids = pool.live_worker_pids()
+        report = pool.report()
+    finally:
+        pool.shutdown()
+        telemetry.close()
+    elapsed = time.perf_counter() - started
+
+    failures = []
+
+    def check(ok, message):
+        print(("  ok  " if ok else "  FAIL") + "  " + message, flush=True)
+        if not ok:
+            failures.append(message)
+
+    stats = pool.stats
+    served = [o for o in outcomes if o.status == "served"]
+    check(len(outcomes) == NUM_REQUESTS, f"one outcome per request ({len(outcomes)}/{NUM_REQUESTS})")
+    check(stats.finished == stats.submitted == NUM_REQUESTS,
+          f"ledger balances (finished={stats.finished}, submitted={stats.submitted})")
+    check(len(served) >= 0.99 * NUM_REQUESTS,
+          f"served >= 99% ({len(served)}/{NUM_REQUESTS})")
+    check(stats.duplicate_results == 0, "no duplicate completions")
+
+    check(stats.worker_deaths >= 1, f"injected kill happened (deaths={stats.worker_deaths})")
+    check(stats.redispatched >= 1, f"in-flight re-dispatched (redispatched={stats.redispatched})")
+    check(stats.worker_restarts >= 1, f"killed worker restarted (restarts={stats.worker_restarts})")
+
+    check(stats.reloads == 1 and new_fp != old_fp, "hot reload committed a new fingerprint")
+    pre = [o for o in served if o.fingerprint == old_fp]
+    post = [o for o in served if o.fingerprint == new_fp]
+    check(len(pre) + len(post) == len(served),
+          "every response attributes to exactly one fingerprint")
+    check(all(int(o.request_id.split("-")[1]) < RELOAD_AT for o in pre)
+          and all(int(o.request_id.split("-")[1]) >= RELOAD_AT for o in post),
+          f"fingerprint split is exactly at the reload ({len(pre)}/{len(post)})")
+
+    pre_rows = rows(pre)
+    post_rows = rows(post)
+    check(pre_rows == single_process_reference(requests[:RELOAD_AT], SEED_OLD),
+          "pre-reload half byte-identical to single-process on old weights")
+    check(post_rows == single_process_reference(requests[RELOAD_AT:], SEED_NEW),
+          "post-reload half byte-identical to single-process on new weights")
+
+    check(len(worker_pids) >= 1, f"fleet was live pre-shutdown ({len(worker_pids)} workers)")
+    check(report["workers"], "coordinator report covers the fleet")
+    orphans = []
+    for pid in worker_pids:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue
+        orphans.append(pid)
+    check(orphans == [], f"zero orphans after shutdown (live={orphans})")
+    check(pool.live_worker_pids() == [], "pool reports no live workers")
+
+    records = list(read_trace(trace_path))  # raises SchemaViolation on a bad line
+    names = {r.get("name") for r in records if r.get("kind") == "run"}
+    check("pool_worker_restarted" in names, "trace has the worker-restart marker")
+    check("pool_reload" in names, "trace has the reload marker")
+    check(len(records) > 0, f"telemetry trace written ({len(records)} records)")
+
+    contract = {
+        "benchmark": "serving_pool",
+        "description": (
+            f"{NUM_REQUESTS}-request fleet through a {POOL_WORKERS}-worker "
+            "fork-based ServingPool with one injected worker kill mid-decode "
+            "and one prepare/commit hot weight reload mid-fleet. Deterministic "
+            "contract only — wall-clock numbers live in results/."
+        ),
+        "command": "PYTHONPATH=src python scripts/serving_pool_smoke.py",
+        "requests": NUM_REQUESTS,
+        "workers": POOL_WORKERS,
+        "reload_at": RELOAD_AT,
+        "served": len(served),
+        "ledger": {key: stats.as_dict()[key] for key in
+                   ("submitted", "finished", "served", "rejected", "shed",
+                    "failed", "duplicate_results")},
+        "chaos": {
+            "worker_kill_injected": stats.worker_deaths >= 1,
+            "redispatched_requests": stats.redispatched >= 1,
+            "worker_restarted": stats.worker_restarts >= 1,
+        },
+        "reload": {
+            "committed": stats.reloads == 1,
+            "single_fingerprint_per_response": len(pre) + len(post) == len(served),
+            "pre_reload_byte_identical": pre_rows == single_process_reference(
+                requests[:RELOAD_AT], SEED_OLD),
+            "post_reload_byte_identical": post_rows == single_process_reference(
+                requests[RELOAD_AT:], SEED_NEW),
+        },
+        "zero_orphans": orphans == [] and pool.live_worker_pids() == [],
+        "contract_holds": not failures,
+    }
+    bench_path = os.path.join(REPO_ROOT, "BENCH_serving_pool.json")
+    with open(bench_path, "w", encoding="utf-8") as handle:
+        json.dump(contract, handle, indent=2)
+        handle.write("\n")
+
+    timing = {
+        "requests": NUM_REQUESTS,
+        "workers": POOL_WORKERS,
+        "wall_seconds": round(elapsed, 3),
+        "requests_per_second": round(NUM_REQUESTS / elapsed, 2),
+        "reload_seconds": round(reload_seconds, 3),
+        "trace_records": len(records),
+    }
+    with open(os.path.join(output_dir, "serving_pool_bench.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(timing, handle, indent=2)
+        handle.write("\n")
+
+    print(flush=True)
+    if failures:
+        print(f"serving pool smoke: {len(failures)} violation(s)", flush=True)
+        return 1
+    print(
+        f"serving pool smoke: all checks passed "
+        f"({len(served)}/{NUM_REQUESTS} served in {elapsed:.1f}s, "
+        f"reload {reload_seconds * 1000:.0f}ms)",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

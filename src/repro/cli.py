@@ -165,6 +165,8 @@ def _add_data_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_ingest(args) -> int:
+    from repro.data import save_vocabs, vocab_params
+
     examples = _load_examples(args)
     result = ingest_examples(
         examples,
@@ -186,6 +188,40 @@ def _cmd_ingest(args) -> int:
         f"{manifest.total_records} records in {len(manifest.shards)} shards "
         f"({args.shard_records}/shard), manifest digest {result.digest[:16]}…"
     )
+    if not args.no_vocabs:
+        # One streaming pass over the mmapped store (never materialized):
+        # the record covers the whole corpus, so it is independent of any
+        # later split seed and every consumer agrees on the token ids.
+        source_mode = (
+            SourceMode.PARAGRAPH if args.mode == "paragraph" else SourceMode.SENTENCE
+        )
+        corpus = ShardedCorpus.open(args.out)
+        try:
+            encoder_vocab, decoder_vocab = QGDataset.build_vocabs(
+                iter(corpus),
+                encoder_vocab_size=args.encoder_vocab_size,
+                decoder_vocab_size=args.decoder_vocab_size,
+                source_mode=source_mode,
+                paragraph_length=args.paragraph_length,
+            )
+        finally:
+            corpus.close()
+        save_vocabs(
+            args.out,
+            encoder_vocab,
+            decoder_vocab,
+            result.digest,
+            vocab_params(
+                args.encoder_vocab_size,
+                args.decoder_vocab_size,
+                source_mode,
+                args.paragraph_length,
+            ),
+        )
+        print(
+            f"recorded vocabularies ({len(encoder_vocab)} encoder / "
+            f"{len(decoder_vocab)} decoder) — `acnn train --shards` skips the re-scan"
+        )
     print(f"train from it with: acnn train --shards {args.out} ...")
     return 0
 
@@ -222,13 +258,35 @@ def _cmd_train(args) -> int:
         )
 
     source_mode = SourceMode.PARAGRAPH if args.mode == "paragraph" else SourceMode.SENTENCE
-    encoder_vocab, decoder_vocab = QGDataset.build_vocabs(
-        train_examples,
-        encoder_vocab_size=args.encoder_vocab_size,
-        decoder_vocab_size=args.decoder_vocab_size,
-        source_mode=source_mode,
-        paragraph_length=args.paragraph_length,
-    )
+    recorded = None
+    if from_shards:
+        from repro.data import load_vocabs, vocab_params
+
+        # Vocabularies recorded at ingest time (whole-corpus, digest-stamped)
+        # make the re-scan unnecessary. A record that no longer matches the
+        # store or these flags raises VocabsMismatchError instead of
+        # silently shifting every token id.
+        recorded = load_vocabs(
+            args.shards,
+            examples.corpus_digest,
+            vocab_params(
+                args.encoder_vocab_size,
+                args.decoder_vocab_size,
+                source_mode,
+                args.paragraph_length,
+            ),
+        )
+    if recorded is not None:
+        encoder_vocab, decoder_vocab = recorded
+        print("using vocabularies recorded at ingest time (corpus re-scan skipped)")
+    else:
+        encoder_vocab, decoder_vocab = QGDataset.build_vocabs(
+            iter(train_examples),
+            encoder_vocab_size=args.encoder_vocab_size,
+            decoder_vocab_size=args.decoder_vocab_size,
+            source_mode=source_mode,
+            paragraph_length=args.paragraph_length,
+        )
     dataset_cls = StreamingQGDataset if from_shards else QGDataset
     train_set = dataset_cls(
         train_examples, encoder_vocab, decoder_vocab,
@@ -403,6 +461,29 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _print_outcomes(outcomes) -> None:
+    for outcome in sorted(outcomes, key=lambda o: o.request_id):
+        if outcome.status == "served":
+            rung = outcome.result.rung
+            print(f"[{outcome.request_id}] ({rung}) {outcome.result.question}")
+        else:
+            detail = outcome.reason or outcome.error or ""
+            print(f"[{outcome.request_id}] {outcome.status}: {detail}")
+
+
+def _install_hup_reload(enabled: bool) -> dict:
+    """Latch SIGHUP into a flag the serve loop polls between submissions."""
+    import signal as signal_module
+
+    flag = {"pending": False}
+    if enabled and hasattr(signal_module, "SIGHUP"):
+        def _hup(signum, frame):  # noqa: ARG001 - signal handler signature
+            flag["pending"] = True
+
+        signal_module.signal(signal_module.SIGHUP, _hup)
+    return flag
+
+
 def _cmd_serve(args) -> int:
     import json
 
@@ -411,16 +492,24 @@ def _cmd_serve(args) -> int:
     from repro.serving import (
         AdmissionPolicy,
         ContinuousBatchingEngine,
+        DrainGuard,
         EncoderStateCache,
         EngineConfig,
         FaultPlan,
         GenerationRequest,
         InferenceService,
         MicroBatcher,
+        PoolConfig,
+        RequestOutcome,
         ServiceConfig,
+        ServingPool,
     )
 
     bundle = ModelBundle.load(args.bundle)
+    # Signal handlers go in before the (possibly blocking) input read: a
+    # SIGTERM or SIGHUP while waiting on a pipe must latch, not kill.
+    drain_guard = DrainGuard().install()
+    reload_flag = _install_hup_reload(args.reload_on_hup)
     if args.input:
         with open(args.input, encoding="utf-8") as handle:
             lines = [line.strip() for line in handle if line.strip()]
@@ -428,6 +517,60 @@ def _cmd_serve(args) -> int:
         lines = [line.strip() for line in sys.stdin if line.strip()]
 
     telemetry = _build_telemetry(args.telemetry_dir)
+    policy = AdmissionPolicy(max_unk_density=args.max_unk_density)
+    service_config = ServiceConfig(default_deadline_seconds=args.deadline)
+    engine_config = EngineConfig(
+        max_rows=args.max_rows,
+        queue_limit=args.queue_limit,
+        admit_per_step=args.admit_per_step,
+    )
+
+    if args.pool_workers > 0:
+        # Multi-process fleet: the coordinator owns admission + the ledger;
+        # each worker runs its own continuous-batching engine over the
+        # fork-shared weights. (The model-level chaos seam is per-process;
+        # --fault-rate applies to single-process serving only.)
+        if args.fault_rate > 0:
+            print("[serve] --fault-rate is ignored with --pool-workers", file=sys.stderr)
+        pool = ServingPool(
+            bundle.model,
+            bundle.encoder_vocab,
+            bundle.decoder_vocab,
+            policy=policy,
+            service_config=service_config,
+            engine_config=engine_config,
+            config=PoolConfig(workers=args.pool_workers),
+            telemetry=telemetry,
+            cache_size=args.cache_size,
+        )
+        try:
+            outcomes = []
+            for index, line in enumerate(lines):
+                if reload_flag["pending"]:
+                    reload_flag["pending"] = False
+                    fingerprint = pool.reload_weights(args.bundle)
+                    print(f"[serve] reloaded weights → {fingerprint[:16]}…", file=sys.stderr)
+                if drain_guard.draining:
+                    pool.begin_drain()
+                request = GenerationRequest(
+                    line,
+                    request_id=f"req-{index}",
+                    beam_size=args.beam_size,
+                    max_length=args.max_length,
+                )
+                outcome = pool.submit(request)
+                if outcome is not None:
+                    outcomes.append(outcome)
+            outcomes.extend(pool.drain())
+            _print_outcomes(outcomes)
+            print(json.dumps(pool.report(), indent=2), file=sys.stderr)
+        finally:
+            pool.shutdown()
+            drain_guard.restore()
+            if telemetry is not None:
+                telemetry.close()
+        return 0
+
     fault_plan = None
     if args.fault_rate > 0:
         fault_plan = FaultPlan(
@@ -442,21 +585,14 @@ def _cmd_serve(args) -> int:
         bundle.model,
         bundle.encoder_vocab,
         bundle.decoder_vocab,
-        policy=AdmissionPolicy(max_unk_density=args.max_unk_density),
-        config=ServiceConfig(default_deadline_seconds=args.deadline),
+        policy=policy,
+        config=service_config,
         telemetry=telemetry,
         fault_plan=fault_plan,
         encoder_cache=cache,
     )
     if args.batching == "continuous":
-        frontend = ContinuousBatchingEngine(
-            service,
-            EngineConfig(
-                max_rows=args.max_rows,
-                queue_limit=args.queue_limit,
-                admit_per_step=args.admit_per_step,
-            ),
-        )
+        frontend = ContinuousBatchingEngine(service, engine_config)
     else:
         frontend = MicroBatcher(
             service, max_batch=args.max_batch, queue_limit=args.queue_limit
@@ -464,6 +600,24 @@ def _cmd_serve(args) -> int:
     try:
         outcomes = []
         for index, line in enumerate(lines):
+            if reload_flag["pending"]:
+                reload_flag["pending"] = False
+                from repro.training.checkpoint import load_checkpoint
+
+                load_checkpoint(os.path.join(args.bundle, "model"), bundle.model)
+                if cache is not None:
+                    cache.refresh(bundle.model)
+                print("[serve] reloaded weights from bundle", file=sys.stderr)
+            if drain_guard.draining:
+                # Graceful drain: admission stops, in-flight work still
+                # resolves through the deadline machinery below.
+                service.note_shed("draining")
+                outcomes.append(
+                    RequestOutcome(
+                        f"req-{index}", "shed", error="RequestShed", reason="draining"
+                    )
+                )
+                continue
             request = GenerationRequest(
                 line,
                 request_id=f"req-{index}",
@@ -474,15 +628,10 @@ def _cmd_serve(args) -> int:
             if outcome is not None:
                 outcomes.append(outcome)
         outcomes.extend(frontend.drain())
-        for outcome in sorted(outcomes, key=lambda o: o.request_id):
-            if outcome.status == "served":
-                rung = outcome.result.rung
-                print(f"[{outcome.request_id}] ({rung}) {outcome.result.question}")
-            else:
-                detail = outcome.reason or outcome.error or ""
-                print(f"[{outcome.request_id}] {outcome.status}: {detail}")
+        _print_outcomes(outcomes)
         print(json.dumps(service.report(), indent=2), file=sys.stderr)
     finally:
+        drain_guard.restore()
         if telemetry is not None:
             telemetry.close()
     return 0
@@ -512,6 +661,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resume",
         action="store_true",
         help="discard any existing shards/manifest in --out and rebuild",
+    )
+    ingest.add_argument("--mode", default="sentence", choices=["sentence", "paragraph"])
+    ingest.add_argument("--paragraph-length", type=int, default=100)
+    ingest.add_argument("--encoder-vocab-size", type=int, default=1500)
+    ingest.add_argument("--decoder-vocab-size", type=int, default=150)
+    ingest.add_argument(
+        "--no-vocabs",
+        action="store_true",
+        help=(
+            "skip recording vocabularies in the store (training will then "
+            "re-scan the corpus to build them)"
+        ),
     )
     ingest.set_defaults(handler=_cmd_ingest)
 
@@ -682,6 +843,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="encoder-state cache capacity (0 disables the cache)",
     )
     serve.add_argument("--max-unk-density", type=float, default=0.8)
+    serve.add_argument(
+        "--pool-workers",
+        type=int,
+        default=0,
+        help=(
+            "serve through a supervised multi-process decode pool: N forked "
+            "workers share the read-only weights, dead workers restart with "
+            "backoff and their in-flight requests re-dispatch to survivors "
+            "(0 = single-process serving)"
+        ),
+    )
+    serve.add_argument(
+        "--reload-on-hup",
+        action="store_true",
+        help=(
+            "hot-reload the bundle's checkpoint on SIGHUP without dropping "
+            "traffic (pool: prepare/commit handshake across workers; "
+            "single-process: in-place swap between requests)"
+        ),
+    )
     serve.add_argument(
         "--fault-rate",
         type=float,

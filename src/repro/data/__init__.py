@@ -21,8 +21,12 @@ from repro.data.shardstore import (
     ShardStoreError,
     ShardWriter,
     StreamingQGDataset,
+    VocabsMismatchError,
     ingest_examples,
+    load_vocabs,
+    save_vocabs,
     split_corpus,
+    vocab_params,
 )
 from repro.data.splits import split_examples
 from repro.data.squad import (
@@ -60,8 +64,12 @@ __all__ = [
     "ShardStoreError",
     "ShardWriter",
     "StreamingQGDataset",
+    "VocabsMismatchError",
     "ingest_examples",
+    "load_vocabs",
+    "save_vocabs",
     "split_corpus",
+    "vocab_params",
     "embedding_matrix_for_vocab",
     "load_glove_text",
     "pseudo_glove",

@@ -15,8 +15,9 @@ needs:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.data.examples import QGExample
 from repro.data.vocabulary import Vocabulary
@@ -131,7 +132,7 @@ class QGDataset:
     # ------------------------------------------------------------------
     @staticmethod
     def build_vocabs(
-        train_examples: Sequence[QGExample],
+        train_examples: Iterable[QGExample],
         encoder_vocab_size: int = 45000,
         decoder_vocab_size: int = 28000,
         source_mode: str = SourceMode.SENTENCE,
@@ -141,15 +142,21 @@ class QGDataset:
 
         Defaults are the paper's 45K/28K; experiments scale them down along
         with everything else.
+
+        ``train_examples`` may be any iterable — including a one-shot
+        generator streaming off a :class:`~repro.data.shardstore.ShardedCorpus`
+        — and is consumed in a single pass: only two token Counters are
+        held in memory, never a materialized corpus.
         """
         use_paragraph = source_mode == SourceMode.PARAGRAPH
-        sources = [
-            ex.source(use_paragraph, truncate=paragraph_length if use_paragraph else None)
-            for ex in train_examples
-        ]
-        questions = [ex.question for ex in train_examples]
-        encoder_vocab = Vocabulary.build(sources, max_size=encoder_vocab_size)
-        decoder_vocab = Vocabulary.build(questions, max_size=decoder_vocab_size)
+        truncate = paragraph_length if use_paragraph else None
+        source_counts: Counter[str] = Counter()
+        question_counts: Counter[str] = Counter()
+        for example in train_examples:
+            source_counts.update(example.source(use_paragraph, truncate=truncate))
+            question_counts.update(example.question)
+        encoder_vocab = Vocabulary.from_counts(source_counts, max_size=encoder_vocab_size)
+        decoder_vocab = Vocabulary.from_counts(question_counts, max_size=decoder_vocab_size)
         return encoder_vocab, decoder_vocab
 
     # ------------------------------------------------------------------

@@ -90,6 +90,11 @@ __all__ = [
     "CorpusView",
     "split_corpus",
     "StreamingQGDataset",
+    "VOCABS_NAME",
+    "VocabsMismatchError",
+    "vocab_params",
+    "save_vocabs",
+    "load_vocabs",
 ]
 
 MANIFEST_NAME = "MANIFEST.json"
@@ -905,3 +910,124 @@ class StreamingQGDataset(QGDataset):
                 if not allowed and positions:
                     oov_copyable += 1
         return oov_copyable / total if total else 0.0  # numerics: ok — inline zero-check ternary
+
+
+# ----------------------------------------------------------------------
+# Recorded vocabularies
+# ----------------------------------------------------------------------
+VOCABS_NAME = "VOCABS.json"
+"""Vocabularies built at ingest time, stamped with the manifest digest."""
+
+_VOCABS_FORMAT = 1
+
+
+class VocabsMismatchError(ShardStoreError):
+    """The recorded vocabularies do not belong to this store + parameters.
+
+    Raised when ``VOCABS.json`` was built against a different corpus
+    generation (manifest digest drift) or with different construction
+    parameters (vocab sizes, source mode, paragraph length) than the
+    caller needs: silently reusing them would change every token id
+    downstream, so the staleness is a typed rejection instead of a wrong
+    model. Re-run ``acnn ingest`` to refresh the record.
+    """
+
+
+def vocab_params(
+    encoder_vocab_size: int,
+    decoder_vocab_size: int,
+    source_mode: str,
+    paragraph_length: int,
+) -> dict:
+    """The construction parameters a vocab record is keyed by.
+
+    Everything that changes the Counter stream or its truncation is in
+    here; two calls agreeing on these produce byte-identical vocabularies
+    over the same corpus.
+    """
+    return {
+        "encoder_vocab_size": int(encoder_vocab_size),
+        "decoder_vocab_size": int(decoder_vocab_size),
+        "source_mode": str(source_mode),
+        "paragraph_length": int(paragraph_length),
+    }
+
+
+def save_vocabs(
+    directory: str | os.PathLike,
+    encoder_vocab,
+    decoder_vocab,
+    manifest_digest: str,
+    params: dict,
+) -> str:
+    """Atomically record built vocabularies next to the manifest.
+
+    The record carries the manifest digest of the corpus the vocabularies
+    were counted over, so a later ``load_vocabs`` can prove they still
+    describe the store it is looking at.
+    """
+    location = os.path.join(os.fspath(directory), VOCABS_NAME)
+    payload = {
+        "format": _VOCABS_FORMAT,
+        "manifest_digest": manifest_digest,
+        "params": dict(params),
+        "encoder_tokens": encoder_vocab.tokens,
+        "decoder_tokens": decoder_vocab.tokens,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True, ensure_ascii=False) + "\n"
+    atomic_write(location, lambda handle: handle.write(text), binary=False)
+    return location
+
+
+def load_vocabs(
+    directory: str | os.PathLike,
+    manifest_digest: str,
+    params: dict,
+):
+    """Load the vocabularies recorded at ingest time, if they still apply.
+
+    Returns ``(encoder_vocab, decoder_vocab)``, or ``None`` when the store
+    has no record (the caller falls back to a streaming re-scan). A record
+    that exists but was built over a different corpus generation or with
+    different parameters raises :class:`VocabsMismatchError`; a torn or
+    malformed record raises :class:`ShardCorrupted` with provenance.
+    """
+    from repro.data.vocabulary import SPECIAL_TOKENS, Vocabulary
+
+    location = os.path.join(os.fspath(directory), VOCABS_NAME)
+    if not os.path.exists(location):
+        return None
+    try:
+        with open(location, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+        raise ShardCorrupted(location, None, f"torn or unreadable vocab record: {exc}") from exc
+    try:
+        fmt = payload["format"]
+        recorded_digest = str(payload["manifest_digest"])
+        recorded_params = dict(payload["params"])
+        encoder_tokens = list(payload["encoder_tokens"])
+        decoder_tokens = list(payload["decoder_tokens"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ShardCorrupted(location, None, f"malformed vocab record: {exc}") from exc
+    if fmt != _VOCABS_FORMAT:
+        raise ShardCorrupted(location, None, f"unsupported vocab record format {fmt!r}")
+    specials = list(SPECIAL_TOKENS)
+    for tokens in (encoder_tokens, decoder_tokens):
+        if tokens[: len(specials)] != specials:
+            raise ShardCorrupted(location, None, "vocab record lost its special tokens")
+    if recorded_digest != manifest_digest:
+        raise VocabsMismatchError(
+            f"{VOCABS_NAME} was built over corpus {recorded_digest[:12]}… but the "
+            f"store is now {manifest_digest[:12]}… — re-run `acnn ingest` to refresh it"
+        )
+    wanted = dict(params)
+    if recorded_params != wanted:
+        raise VocabsMismatchError(
+            f"{VOCABS_NAME} was built with {recorded_params} but this run needs "
+            f"{wanted} — re-run `acnn ingest` with matching vocabulary flags"
+        )
+    return (
+        Vocabulary(encoder_tokens[len(specials):]),
+        Vocabulary(decoder_tokens[len(specials):]),
+    )

@@ -75,6 +75,25 @@ class Vocabulary:
         counts: Counter[str] = Counter()
         for sequence in sequences:
             counts.update(sequence)
+        return cls.from_counts(counts, max_size=max_size, min_freq=min_freq)
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: Counter[str],
+        max_size: int | None = None,
+        min_freq: int = 1,
+    ) -> "Vocabulary":
+        """Build from pre-aggregated token counts.
+
+        The streaming construction seam: callers that cannot afford to
+        materialize their corpus (a sharded store, a one-shot generator)
+        accumulate a :class:`~collections.Counter` in a single pass and
+        finish here. Byte-identical to :meth:`build` on the same tokens —
+        the ranked truncation and the alphabetical tie-break live only in
+        this method. ``counts`` is not mutated.
+        """
+        counts = Counter(counts)
         for special in SPECIAL_TOKENS:
             counts.pop(special, None)
         ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))

@@ -6,9 +6,11 @@ threaded through encode/decode, a degradation ladder (beam → beam-1 →
 greedy → truncated-greedy), a circuit breaker with jittered retry/backoff,
 bounded-queue micro-batching with load shedding, a step-level
 continuous-batching engine (:mod:`repro.serving.engine`) with an LRU
-encoder-state cache (:mod:`repro.serving.cache`), and a deterministic
-fault-injection seam for chaos testing. Everything reports through the
-:mod:`repro.observability` telemetry hub.
+encoder-state cache (:mod:`repro.serving.cache`), a supervised
+multi-process decode pool with exactly-once re-dispatch, graceful drain
+and prepare/commit hot weight reload (:mod:`repro.serving.pool`), and a
+deterministic fault-injection seam for chaos testing. Everything reports
+through the :mod:`repro.observability` telemetry hub.
 
 Quick start::
 
@@ -48,6 +50,14 @@ from repro.serving.faults import (
     InjectedFault,
 )
 from repro.serving.ladder import RUNG_NAMES, Rung, build_ladder, run_rung
+from repro.serving.pool import (
+    DrainGuard,
+    PoolConfig,
+    PoolFaultPlan,
+    PoolStats,
+    ServingPool,
+    WeightReloadError,
+)
 from repro.serving.requests import (
     AdmissionPolicy,
     GenerationRequest,
@@ -92,6 +102,12 @@ __all__ = [
     "Rung",
     "build_ladder",
     "run_rung",
+    "DrainGuard",
+    "PoolConfig",
+    "PoolFaultPlan",
+    "PoolStats",
+    "ServingPool",
+    "WeightReloadError",
     "AdmissionPolicy",
     "GenerationRequest",
     "GenerationResult",

@@ -118,7 +118,21 @@ class EngineStats:
     """Requests routed through the per-request ladder for any reason."""
     oversize: int = 0
     """Requests too long/wide for the frontier, served solo."""
+    duplicate_results: int = 0
+    """Same-id frontier completions dropped by the idempotency guard."""
     peak_rows: int = 0
+    _served_ids: set[str] = field(default_factory=set, repr=False)
+
+    def note_first_completion(self, request_id: str) -> bool:
+        """Idempotency guard mirroring ``ServiceStats.note_first_completion``:
+        a re-dispatched request may finish in two frontiers, but only the
+        first completion counts. Empty ids carry no identity."""
+        if not request_id:
+            return True
+        if request_id in self._served_ids:
+            return False
+        self._served_ids.add(request_id)
+        return True
 
     def as_dict(self) -> dict:
         return {
@@ -131,6 +145,7 @@ class EngineStats:
             "frontier_fallbacks": self.frontier_fallbacks,
             "solo_fallbacks": self.solo_fallbacks,
             "oversize": self.oversize,
+            "duplicate_results": self.duplicate_results,
             "peak_rows": self.peak_rows,
         }
 
@@ -533,7 +548,10 @@ class ContinuousBatchingEngine:
             )
         service.breaker.record_success()
         service._note_served(result)
-        self.stats.served_in_frontier += 1
+        if self.stats.note_first_completion(slot.request.request_id):
+            self.stats.served_in_frontier += 1
+        else:
+            self.stats.duplicate_results += 1
         return RequestOutcome(slot.request.request_id, "served", result=result)
 
     def _serve_solo(

@@ -76,12 +76,30 @@ class ServiceStats:
     failed: int = 0
     retries: int = 0
     rung_fallbacks: int = 0
+    duplicate_results: int = 0
+    """Same-id completions dropped by the idempotency guard (re-dispatch)."""
     served_by_rung: dict[str, int] = field(default_factory=dict)
     rejected_by_reason: dict[str, int] = field(default_factory=dict)
     shed_by_reason: dict[str, int] = field(default_factory=dict)
+    _served_ids: set[str] = field(default_factory=set, repr=False)
 
     def bump(self, table: dict[str, int], key: str) -> None:
         table[key] = table.get(key, 0) + 1
+
+    def note_first_completion(self, request_id: str) -> bool:
+        """Whether ``request_id`` completes for the first time.
+
+        The idempotency guard behind exactly-once accounting: a request
+        re-dispatched after a worker death can resolve twice, and only the
+        first completion may count as served. Anonymous requests (empty
+        id) carry no identity and are never deduplicated.
+        """
+        if not request_id:
+            return True
+        if request_id in self._served_ids:
+            return False
+        self._served_ids.add(request_id)
+        return True
 
     @property
     def finished(self) -> int:
@@ -96,6 +114,7 @@ class ServiceStats:
             "failed": self.failed,
             "retries": self.retries,
             "rung_fallbacks": self.rung_fallbacks,
+            "duplicate_results": self.duplicate_results,
             "served_by_rung": dict(sorted(self.served_by_rung.items())),
             "rejected_by_reason": dict(sorted(self.rejected_by_reason.items())),
             "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
@@ -114,6 +133,10 @@ class RequestOutcome:
     """Error class name for non-served outcomes."""
     reason: str | None = None
     """Rejection/shed reason code when applicable."""
+    fingerprint: str | None = None
+    """Weight fingerprint the response was produced under (pool serving):
+    attributes every outcome to exactly one weight generation across hot
+    reloads. ``None`` outside the pool path."""
 
 
 class InferenceService:
@@ -201,6 +224,10 @@ class InferenceService:
         self.telemetry.counter(f"serving.shed.{reason}")
 
     def _note_served(self, result: GenerationResult) -> None:
+        if not self.stats.note_first_completion(result.request_id):
+            self.stats.duplicate_results += 1
+            self.telemetry.counter("serving.duplicate_result")
+            return
         self.stats.served += 1
         self.stats.bump(self.stats.served_by_rung, result.rung)
         self.telemetry.counter("serving.served")

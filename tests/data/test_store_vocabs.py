@@ -1,0 +1,133 @@
+"""Vocabularies recorded at ingest time: streaming build, reuse, staleness.
+
+Satellite contract: ``build_vocabs`` consumes any iterable in one pass
+(so a memory-mapped :class:`ShardedCorpus` never has to be materialised),
+and the ``VOCABS.json`` record lets train/serve skip the re-scan — but
+only when it provably belongs to this corpus generation and these
+construction parameters.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.data import (
+    QGDataset,
+    ShardCorrupted,
+    ShardedCorpus,
+    Vocabulary,
+    VocabsMismatchError,
+    ingest_examples,
+    load_vocabs,
+    save_vocabs,
+    vocab_params,
+)
+from repro.data.shardstore import VOCABS_NAME
+
+
+PARAMS = vocab_params(100, 100, "sentence", 100)
+
+
+def _store_with_vocabs(tmp_path, examples, params=PARAMS):
+    directory = tmp_path / "store"
+    result = ingest_examples(examples, directory, shard_records=4)
+    corpus = ShardedCorpus.open(directory)
+    try:
+        encoder, decoder = QGDataset.build_vocabs(iter(corpus), 100, 100)
+    finally:
+        corpus.close()
+    save_vocabs(directory, encoder, decoder, result.digest, params)
+    return directory, result.digest, encoder, decoder
+
+
+# ----------------------------------------------------------------------
+# Streaming construction
+# ----------------------------------------------------------------------
+def test_build_vocabs_accepts_one_shot_iterable(corpus_examples):
+    from_list = QGDataset.build_vocabs(corpus_examples, 100, 100)
+    from_generator = QGDataset.build_vocabs(
+        (example for example in corpus_examples), 100, 100
+    )
+    assert from_generator[0].tokens == from_list[0].tokens
+    assert from_generator[1].tokens == from_list[1].tokens
+
+
+def test_build_vocabs_streams_a_sharded_corpus(tmp_path, corpus_examples):
+    directory = tmp_path / "store"
+    ingest_examples(corpus_examples, directory, shard_records=4)
+    corpus = ShardedCorpus.open(directory)
+    try:
+        streamed = QGDataset.build_vocabs(iter(corpus), 100, 100)
+    finally:
+        corpus.close()
+    materialised = QGDataset.build_vocabs(corpus_examples, 100, 100)
+    assert streamed[0].tokens == materialised[0].tokens
+    assert streamed[1].tokens == materialised[1].tokens
+
+
+def test_from_counts_matches_build(corpus_examples):
+    tokens = [token for example in corpus_examples for token in example.question]
+    from collections import Counter
+
+    built = Vocabulary.build([tokens], max_size=8, min_freq=1)
+    from_counts = Vocabulary.from_counts(Counter(tokens), max_size=8, min_freq=1)
+    assert from_counts.tokens == built.tokens
+
+
+# ----------------------------------------------------------------------
+# The VOCABS.json record
+# ----------------------------------------------------------------------
+def test_save_load_round_trip(tmp_path, corpus_examples):
+    directory, digest, encoder, decoder = _store_with_vocabs(tmp_path, corpus_examples)
+    loaded = load_vocabs(directory, digest, PARAMS)
+    assert loaded is not None
+    assert loaded[0].tokens == encoder.tokens
+    assert loaded[1].tokens == decoder.tokens
+    # Token → id maps agree too (ids drive everything downstream).
+    for token in encoder.tokens:
+        assert loaded[0].token_to_id(token) == encoder.token_to_id(token)
+
+
+def test_load_returns_none_when_absent(tmp_path, corpus_examples):
+    directory = tmp_path / "store"
+    result = ingest_examples(corpus_examples, directory, shard_records=4)
+    assert load_vocabs(directory, result.digest, PARAMS) is None
+
+
+def test_digest_drift_is_a_typed_mismatch(tmp_path, corpus_examples):
+    directory, _, _, _ = _store_with_vocabs(tmp_path, corpus_examples)
+    with pytest.raises(VocabsMismatchError, match="acnn ingest"):
+        load_vocabs(directory, "0" * 64, PARAMS)
+
+
+def test_params_drift_is_a_typed_mismatch(tmp_path, corpus_examples):
+    directory, digest, _, _ = _store_with_vocabs(tmp_path, corpus_examples)
+    other = vocab_params(50, 100, "sentence", 100)
+    with pytest.raises(VocabsMismatchError):
+        load_vocabs(directory, digest, other)
+    with pytest.raises(VocabsMismatchError):
+        load_vocabs(directory, digest, vocab_params(100, 100, "paragraph", 100))
+
+
+def test_torn_record_is_corruption(tmp_path, corpus_examples):
+    directory, digest, _, _ = _store_with_vocabs(tmp_path, corpus_examples)
+    location = os.path.join(directory, VOCABS_NAME)
+    with open(location, encoding="utf-8") as handle:
+        text = handle.read()
+    with open(location, "w", encoding="utf-8") as handle:
+        handle.write(text[: len(text) // 2])
+    with pytest.raises(ShardCorrupted):
+        load_vocabs(directory, digest, PARAMS)
+
+
+def test_record_missing_specials_is_corruption(tmp_path, corpus_examples):
+    directory, digest, _, _ = _store_with_vocabs(tmp_path, corpus_examples)
+    location = os.path.join(directory, VOCABS_NAME)
+    with open(location, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["encoder_tokens"] = payload["encoder_tokens"][2:]  # drop specials
+    with open(location, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    with pytest.raises(ShardCorrupted):
+        load_vocabs(directory, digest, PARAMS)

@@ -1,0 +1,203 @@
+"""SIGTERM on a real serving fleet: graceful drain, exit 0, no orphans.
+
+These tests drive actual processes from outside — the same harness the
+elastic-training chaos suite uses (``tests/training/faults.py``). A
+terminal SIGTERM goes to the whole foreground group; pool workers mask
+it, so only the coordinator reacts: admission stops, in-flight requests
+finish, the ledger balances, and the process exits 0 with every worker
+reaped. The same drain contract holds for single-process serving.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tests", "training"))
+
+import signal
+
+from faults import (
+    assert_no_orphans,
+    descendant_pids,
+    interrupt_group,
+    spawn_process,
+    wait_for_marker,
+)
+
+_EXAMPLE_PREAMBLE = """
+import sys
+import time
+
+from repro.data import QGDataset, QGExample
+from repro.models import ModelConfig, build_model
+from repro.observability import Telemetry
+
+sentences = [
+    "zorvex was born in karlin .",
+    "mira designed the velkin tower .",
+    "draxby is the capital of ostavia .",
+    "the quen river flows through belcor .",
+    "pelor wrote the sunken atlas .",
+    "the omber bridge spans the fjord .",
+]
+questions = [
+    "where was zorvex born ?",
+    "who designed the velkin tower ?",
+    "what is the capital of ostavia ?",
+    "what river flows through belcor ?",
+    "who wrote the sunken atlas ?",
+    "what spans the fjord ?",
+]
+examples = [
+    QGExample(sentence=tuple(s.split()), paragraph=tuple(s.split()), question=tuple(q.split()))
+    for s, q in zip(sentences, questions)
+]
+encoder, decoder = QGDataset.build_vocabs(examples, 100, 100)
+model = build_model(
+    "acnn", ModelConfig(embedding_dim=8, hidden_size=10, num_layers=1, dropout=0.0, seed=0),
+    len(encoder), len(decoder),
+)
+"""
+
+POOL_SCRIPT = _EXAMPLE_PREAMBLE + """
+from repro.serving import DrainGuard, GenerationRequest, PoolConfig, PoolFaultPlan, ServingPool
+
+fault_plan = None
+if "--kill-worker" in sys.argv:
+    fault_plan = PoolFaultPlan(kill_on_serve={0: 2})
+
+pool = ServingPool(
+    model, encoder, decoder,
+    telemetry=Telemetry([]),
+    config=PoolConfig(workers=2, heartbeat_interval=0.1, poll_interval=0.01,
+                      restart_backoff=0.05),
+    fault_plan=fault_plan,
+)
+pool.start()
+guard = DrainGuard().install()
+print("READY " + " ".join(str(pid) for pid in pool.live_worker_pids()), flush=True)
+
+outcomes = []
+index = 0
+while not guard.draining:
+    request = GenerationRequest(
+        sentences[index % len(sentences)], request_id=f"req-{index:04d}"
+    )
+    index += 1
+    outcome = pool.submit(request)
+    if outcome is not None:
+        outcomes.append(outcome)
+    outcomes.extend(pool.pump())
+    served = sum(1 for o in outcomes if o.status == "served")
+    print(f"SERVED {served}", flush=True)
+    time.sleep(0.05)
+
+pool.begin_drain()
+print("DRAINING", flush=True)
+outcomes.extend(pool.drain())
+pool.shutdown()
+assert pool.live_worker_pids() == [], "workers survived shutdown"
+
+stats = pool.stats
+assert stats.finished == stats.submitted, (stats.finished, stats.submitted)
+assert len(outcomes) == stats.submitted, (len(outcomes), stats.submitted)
+served = sum(1 for o in outcomes if o.status == "served")
+assert served == stats.served, (served, stats.served)
+print(
+    f"LEDGER submitted={stats.submitted} served={stats.served} "
+    f"shed={stats.shed} failed={stats.failed} deaths={stats.worker_deaths} "
+    f"redispatched={stats.redispatched}",
+    flush=True,
+)
+print("DRAINED OK", flush=True)
+sys.exit(0)
+"""
+
+SINGLE_PROCESS_SCRIPT = _EXAMPLE_PREAMBLE + """
+from repro.serving import ContinuousBatchingEngine, DrainGuard, GenerationRequest, InferenceService
+
+service = InferenceService(model, encoder, decoder, telemetry=Telemetry([]))
+engine = ContinuousBatchingEngine(service)
+guard = DrainGuard().install()
+print("READY", flush=True)
+
+outcomes = []
+submitted = 0
+index = 0
+while not guard.draining:
+    request = GenerationRequest(
+        sentences[index % len(sentences)], request_id=f"req-{index:04d}"
+    )
+    index += 1
+    submitted += 1
+    outcome = engine.submit(request)
+    if outcome is not None:
+        outcomes.append(outcome)
+    outcomes.extend(engine.step())
+    served = sum(1 for o in outcomes if o.status == "served")
+    print(f"SERVED {served}", flush=True)
+    time.sleep(0.05)
+
+# Admission stops; in-flight requests still resolve through drain.
+print("DRAINING", flush=True)
+outcomes.extend(engine.drain())
+assert len(outcomes) == submitted, (len(outcomes), submitted)
+served = sum(1 for o in outcomes if o.status == "served")
+shed = sum(1 for o in outcomes if o.status == "shed")
+print(f"LEDGER submitted={submitted} served={served} shed={shed}", flush=True)
+print("DRAINED OK", flush=True)
+sys.exit(0)
+"""
+
+
+def _run_and_drain(script, args=None, marker="SERVED 5"):
+    env = {"PYTHONPATH": os.path.join(REPO_ROOT, "src")}
+    process = spawn_process(script, args=args or [], env=env, cwd=REPO_ROOT)
+    workers = []
+    group = []
+    try:
+        lines = wait_for_marker(process, "READY", timeout=120.0)
+        for line in lines:
+            if line.startswith("READY"):
+                workers = [int(field) for field in line.split()[1:]]
+        wait_for_marker(process, marker, timeout=120.0)
+        group = descendant_pids(process.pid)
+
+        interrupt_group(process, signal.SIGTERM)
+        output = wait_for_marker(process, "DRAINED OK", timeout=120.0)
+        assert process.wait(timeout=60.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30.0)
+    assert_no_orphans(group + workers + [process.pid])
+    return output
+
+
+def _ledger(output):
+    line = next(line for line in output if line.startswith("LEDGER"))
+    return {key: int(value) for key, value in (part.split("=") for part in line.split()[1:])}
+
+
+def test_sigterm_on_pool_group_drains_and_exits_zero():
+    ledger = _ledger(_run_and_drain(POOL_SCRIPT))
+    assert ledger["submitted"] > 0
+    assert ledger["served"] > 0
+    assert ledger["failed"] == 0
+    assert ledger["served"] + ledger["shed"] + ledger["failed"] == ledger["submitted"]
+
+
+def test_sigterm_after_worker_kill_still_drains_clean():
+    ledger = _ledger(_run_and_drain(POOL_SCRIPT, args=["--kill-worker"], marker="SERVED 8"))
+    # The injected kill really happened, its requests were re-dispatched,
+    # and the ledger still balances after the SIGTERM drain.
+    assert ledger["deaths"] >= 1
+    assert ledger["redispatched"] >= 1
+    assert ledger["failed"] == 0
+    assert ledger["served"] + ledger["shed"] + ledger["failed"] == ledger["submitted"]
+
+
+def test_sigterm_on_single_process_serve_drains_and_exits_zero():
+    ledger = _ledger(_run_and_drain(SINGLE_PROCESS_SCRIPT, marker="SERVED 3"))
+    assert ledger["served"] > 0
+    assert ledger["served"] + ledger["shed"] == ledger["submitted"]

@@ -144,6 +144,29 @@ def test_serve_wraps_every_error_as_outcome():
     assert service.stats.finished == 2
 
 
+def test_redispatched_request_is_not_double_counted():
+    """The pool may re-dispatch an in-flight request to a survivor while the
+    'dead' worker's result is already in the pipe; the same request id then
+    resolves twice. The ledger must stay exactly-once: one served, one
+    counted duplicate, byte-identical payloads either way."""
+    service = build_service()
+    request = GenerationRequest("zorvex was born in karlin .", request_id="dup-1")
+    encoded = service.admit(request)
+    first = service.handle_admitted(request, encoded, service.start_deadline(request))
+    second = service.handle_admitted(request, encoded, service.start_deadline(request))
+    assert first.tokens == second.tokens
+    assert first.rung == second.rung
+    assert service.stats.served == 1
+    assert service.stats.served_by_rung == {"beam": 1}
+    assert service.stats.duplicate_results == 1
+    # Anonymous requests share the empty id; they are never deduplicated.
+    anonymous = GenerationRequest("mira designed the velkin tower .")
+    for _ in range(2):
+        encoded = service.admit(anonymous)
+        service.handle_admitted(anonymous, encoded, service.start_deadline(anonymous))
+    assert service.stats.served == 3
+
+
 def test_rung_outputs_are_byte_deterministic_under_fixed_seed():
     def run_once():
         service = build_service(

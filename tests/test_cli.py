@@ -228,3 +228,101 @@ def test_train_with_numerics_flags_end_to_end(tmp_path):
     )
     assert code == 0
     assert (out / "model.npz").exists()
+
+
+def test_ingest_records_vocabs_and_train_skips_rescan(tmp_path, capsys):
+    store = tmp_path / "store"
+    code = main(
+        [
+            "ingest",
+            "--train-size", "60",
+            "--out", str(store),
+            "--encoder-vocab-size", "300",
+            "--decoder-vocab-size", "80",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recorded vocabularies" in out
+    assert (store / "VOCABS.json").exists()
+
+    out_dir = tmp_path / "bundle"
+    code = main(
+        [
+            "train",
+            "--shards", str(store),
+            "--epochs", "1",
+            "--hidden-size", "8",
+            "--embedding-dim", "8",
+            "--num-layers", "1",
+            "--dropout", "0.0",
+            "--encoder-vocab-size", "300",
+            "--decoder-vocab-size", "80",
+            "--batch-size", "16",
+            "--out", str(out_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recorded at ingest time" in out
+    assert (out_dir / "model.npz").exists()
+
+
+def test_train_rebuilds_vocabs_when_record_params_differ(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(["ingest", "--train-size", "60", "--out", str(store)]) == 0
+    capsys.readouterr()
+    from repro.data import VocabsMismatchError
+
+    # Different vocab sizes than the record: the stale record must be a
+    # typed rejection, not a silent id shift.
+    with pytest.raises(VocabsMismatchError):
+        main(
+            [
+                "train",
+                "--shards", str(store),
+                "--epochs", "1",
+                "--hidden-size", "8",
+                "--embedding-dim", "8",
+                "--num-layers", "1",
+                "--dropout", "0.0",
+                "--encoder-vocab-size", "77",
+                "--out", str(tmp_path / "bundle"),
+            ]
+        )
+
+
+def test_ingest_no_vocabs_flag_keeps_old_behaviour(tmp_path, capsys):
+    store = tmp_path / "store"
+    code = main(["ingest", "--train-size", "60", "--out", str(store), "--no-vocabs"])
+    assert code == 0
+    assert "recorded vocabularies" not in capsys.readouterr().out
+    assert not (store / "VOCABS.json").exists()
+
+
+def test_serve_parser_pool_flags_default_off():
+    args = build_parser().parse_args(["serve", "--bundle", "x"])
+    assert args.pool_workers == 0
+    assert args.reload_on_hup is False
+
+
+def test_serve_with_pool_workers(trained_bundle, tmp_path, capsys):
+    sentences = tmp_path / "sentences.txt"
+    sentences.write_text(
+        "velkorim was born in porzana in 1873 .\n"
+        "the obrenta canal links mirova and telsk .\n"
+        "the tarnel museum opened in 1911 .\n"
+    )
+    code = main(
+        [
+            "serve", "--bundle", str(trained_bundle), "--input", str(sentences),
+            "--pool-workers", "2",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "[req-0]" in captured.out and "[req-2]" in captured.out
+    report = json.loads(captured.err)
+    assert report["served"] == 3
+    assert report["finished"] == report["submitted"] == 3
+    assert report["workers"].keys() == {"0", "1"}
